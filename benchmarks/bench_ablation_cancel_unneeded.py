@@ -1,0 +1,22 @@
+"""Ablation A2 (extension): cancel in-flight queries that became unneeded.
+
+Not in the paper — its backward propagation only keeps unneeded tasks out
+of the candidate pool.  Cancelling already-launched unneeded queries can
+reclaim database capacity under speculative strategies without hurting
+response time (results are discarded either way).
+"""
+
+from repro.bench import ablation_cancel_unneeded
+
+
+def test_ablation_cancel_unneeded(benchmark, report_figure, bench_seeds):
+    result = benchmark.pedantic(
+        ablation_cancel_unneeded, args=(bench_seeds,), rounds=1, iterations=1
+    )
+    report_figure(result)
+
+    for _code, work, work_cancel, time_units, time_cancel in result.rows:
+        # Cancelling unneeded work must not slow the instance down...
+        assert time_cancel <= time_units + 1e-9
+        # ...and must not *add* work.
+        assert work_cancel <= work + 1e-9

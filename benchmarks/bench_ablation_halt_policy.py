@@ -1,0 +1,19 @@
+"""Ablation A1: halting in-flight queries at instance completion vs draining.
+
+The paper's semantics lets an instance halt as soon as its targets are
+stable; whatever speculative queries are still in flight get cancelled at
+their next unit boundary.  Draining them instead can only add work.
+"""
+
+from repro.bench import ablation_halt_policy
+
+
+def test_ablation_halt_policy(benchmark, report_figure, bench_seeds):
+    result = benchmark.pedantic(
+        ablation_halt_policy, args=(bench_seeds,), rounds=1, iterations=1
+    )
+    report_figure(result)
+
+    for _code, cancel_work, drain_work, delta in result.rows:
+        assert drain_work >= cancel_work - 1e-9
+        assert abs(delta - (drain_work - cancel_work)) < 1e-9

@@ -1,0 +1,20 @@
+"""Ablation A3: closed- vs open-loop Db profiling for model accuracy.
+
+The analytical model interpolates an empirical Db function.  Profiling it
+closed-loop (fixed Gmpl, as Figure 9(a) suggests) misses open-system
+queueing variance and yields optimistic predictions; open-loop profiling
+(Poisson unit stream) folds that variance in.
+"""
+
+from repro.bench import ablation_profile_mode
+
+
+def test_ablation_profile_mode(benchmark, report_figure, bench_seeds):
+    result = benchmark.pedantic(
+        ablation_profile_mode, args=(bench_seeds,), rounds=1, iterations=1
+    )
+    report_figure(result)
+
+    for _code, _measured, _closed_ms, closed_err, _open_ms, open_err in result.rows:
+        # Open-loop profiling must not be (much) worse than closed-loop.
+        assert open_err <= closed_err + 5.0

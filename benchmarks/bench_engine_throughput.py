@@ -1,0 +1,24 @@
+"""Micro-benchmark: raw engine speed (instances/second of host time).
+
+Not a paper figure — this measures the reproduction itself, so pytest-
+benchmark's statistics are meaningful here (multiple rounds).  It guards
+against accidental algorithmic regressions in the propagation machinery,
+which the paper requires to be linear in the schema size.
+"""
+
+from repro import PatternParams, Strategy, generate_pattern
+from repro.bench import run_pattern_once
+
+
+def test_engine_throughput_pce0(benchmark):
+    pattern = generate_pattern(PatternParams(nb_rows=4, pct_enabled=50, seed=7))
+    strategy = Strategy.parse("PCE0")
+    metrics = benchmark(run_pattern_once, pattern, strategy)
+    assert metrics.done
+
+
+def test_engine_throughput_pse100(benchmark):
+    pattern = generate_pattern(PatternParams(nb_rows=4, pct_enabled=50, seed=7))
+    strategy = Strategy.parse("PSE100")
+    metrics = benchmark(run_pattern_once, pattern, strategy)
+    assert metrics.done

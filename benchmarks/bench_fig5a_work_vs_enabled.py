@@ -1,0 +1,28 @@
+"""Figure 5(a): Work vs %enabled for PCC0/PCE0/NCC0/NCE0 (nb_rows = 4).
+
+Shape checks (the paper's reading of the figure):
+* the P strategies form a cluster strictly below the N cluster at low
+  %enabled, converging at %enabled = 100;
+* N work is roughly linear in %enabled;
+* P's relative saving is largest at %enabled = 10.
+"""
+
+from repro.bench import fig5a
+
+
+def test_fig5a_work_vs_enabled(benchmark, report_figure, bench_seeds):
+    result = benchmark.pedantic(fig5a, args=(bench_seeds,), rounds=1, iterations=1)
+    report_figure(result)
+
+    by_enabled = {row[0]: dict(zip(result.headers[1:], row[1:])) for row in result.rows}
+    low, full = by_enabled[10], by_enabled[100]
+
+    # All strategies converge when everything is enabled.
+    assert max(full.values()) - min(full.values()) < 1e-9
+    # P saves substantially over N at low %enabled (paper: ~60%).
+    p_low = min(low["PCC0"], low["PCE0"])
+    n_low = min(low["NCC0"], low["NCE0"])
+    assert p_low < 0.8 * n_low
+    # N work grows with %enabled (roughly linear in enabled fraction).
+    n_curve = [by_enabled[e]["NCE0"] for e in range(10, 101, 10)]
+    assert all(a <= b + 1e-9 for a, b in zip(n_curve, n_curve[1:]))

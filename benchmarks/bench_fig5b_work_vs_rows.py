@@ -1,0 +1,13 @@
+"""Figure 5(b): Work vs nb_rows for PCC0/PCE0/NCC0/NCE0 (%enabled = 75)."""
+
+from repro.bench import fig5b
+
+
+def test_fig5b_work_vs_rows(benchmark, report_figure, bench_seeds):
+    result = benchmark.pedantic(fig5b, args=(bench_seeds,), rounds=1, iterations=1)
+    report_figure(result)
+
+    # The P cluster stays below the N cluster across every row count.
+    for row in result.rows:
+        values = dict(zip(result.headers[1:], row[1:]))
+        assert max(values["PCC0"], values["PCE0"]) <= min(values["NCC0"], values["NCE0"]) + 1e-9

@@ -1,0 +1,23 @@
+"""Figure 6(a): TimeInUnits vs %enabled for PC*100 / PS*100 / PCE0.
+
+Shape: maximal parallelism cuts response time far below the sequential
+PCE0 (the paper reports ~60% at %enabled = 25), and the speculative
+strategy shaves a little more off the conservative one.
+"""
+
+from repro.bench import fig6a
+
+
+def test_fig6a_time_vs_enabled(benchmark, report_figure, bench_seeds):
+    result = benchmark.pedantic(fig6a, args=(bench_seeds,), rounds=1, iterations=1)
+    report_figure(result)
+
+    by_enabled = {row[0]: dict(zip(result.headers[1:], row[1:])) for row in result.rows}
+    # Parallelism wins big at low-to-mid %enabled (the paper cites ~60%
+    # reduction at %enabled=25; our sweep samples 20 and 30).
+    assert by_enabled[20]["PC*100"] < 0.7 * by_enabled[20]["PCE0"]
+    assert by_enabled[30]["PC*100"] < 0.7 * by_enabled[30]["PCE0"]
+    # Speculative response time never exceeds conservative by much.
+    for row in result.rows:
+        values = dict(zip(result.headers[1:], row[1:]))
+        assert values["PS*100"] <= values["PC*100"] * 1.10 + 1e-9

@@ -1,0 +1,21 @@
+"""Figure 6(b): Work vs %enabled for PC*100 / PS*100 / PCE0.
+
+Shape: speculative execution pays a work premium over conservative, and
+the premium shrinks as %enabled grows (fewer misfires to waste).
+"""
+
+from repro.bench import fig6b
+
+
+def test_fig6b_work_vs_enabled(benchmark, report_figure, bench_seeds):
+    result = benchmark.pedantic(fig6b, args=(bench_seeds,), rounds=1, iterations=1)
+    report_figure(result)
+
+    by_enabled = {row[0]: dict(zip(result.headers[1:], row[1:])) for row in result.rows}
+    # Speculative does at least as much work as conservative everywhere.
+    for values in by_enabled.values():
+        assert values["PS*100"] >= values["PC*100"] - 1e-9
+    # The *relative* speculative premium shrinks from low to high %enabled.
+    premium_low = by_enabled[20]["PS*100"] / by_enabled[20]["PC*100"]
+    premium_high = by_enabled[90]["PS*100"] / by_enabled[90]["PC*100"]
+    assert premium_high < premium_low

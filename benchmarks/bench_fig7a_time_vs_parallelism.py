@@ -1,0 +1,20 @@
+"""Figure 7(a): TimeInUnits vs %Permitted for PCC*/PCE*/PSC*/PSE*.
+
+Shape: response time falls as parallelism rises, and with option P the
+Earliest heuristic beats Cheapest (the paper's Lesson 3).
+"""
+
+from repro.bench import fig7a
+
+
+def test_fig7a_time_vs_parallelism(benchmark, report_figure, bench_seeds):
+    result = benchmark.pedantic(fig7a, args=(bench_seeds,), rounds=1, iterations=1)
+    report_figure(result)
+
+    first = dict(zip(result.headers[1:], result.rows[0][1:]))
+    last = dict(zip(result.headers[1:], result.rows[-1][1:]))
+    # More parallelism = faster, for every family.
+    for family in result.headers[1:]:
+        assert last[family] < first[family]
+    # Earliest at least matches Cheapest at full parallelism (conservative).
+    assert last["PCE*"] <= last["PCC*"] * 1.05 + 1e-9

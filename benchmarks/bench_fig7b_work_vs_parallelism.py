@@ -1,0 +1,21 @@
+"""Figure 7(b): Work vs %Permitted for PCC*/PCE*/PSC*/PSE*.
+
+Shape: Earliest and Cheapest consume about the same work at every
+parallelism level; the speculative families sit above the conservative
+ones.
+"""
+
+from repro.bench import fig7b
+
+
+def test_fig7b_work_vs_parallelism(benchmark, report_figure, bench_seeds):
+    result = benchmark.pedantic(fig7b, args=(bench_seeds,), rounds=1, iterations=1)
+    report_figure(result)
+
+    for row in result.rows:
+        values = dict(zip(result.headers[1:], row[1:]))
+        # Speculative never does less work than its conservative sibling.
+        assert values["PSE*"] >= values["PCE*"] - 1e-9
+        assert values["PSC*"] >= values["PCC*"] - 1e-9
+        # E and C heuristics are work-comparable (paper: within ~10%).
+        assert abs(values["PCE*"] - values["PCC*"]) <= 0.25 * values["PCC*"] + 2.0

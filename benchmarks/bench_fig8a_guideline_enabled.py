@@ -1,0 +1,23 @@
+"""Figure 8(a): guideline map minT vs Work while %enabled varies (nb_rows=4).
+
+Each frontier row reads: with a Work budget >= the row's Work, the row's
+strategy achieves response time minT.  Structural checks: within each
+%enabled curve, minT strictly decreases as the budget grows.
+"""
+
+from repro.bench import fig8a
+
+
+def test_fig8a_guideline_enabled(benchmark, report_figure, bench_seeds):
+    result = benchmark.pedantic(fig8a, args=(bench_seeds,), rounds=1, iterations=1)
+    report_figure(result)
+
+    curves: dict[int, list[tuple[float, float]]] = {}
+    for enabled, work, min_t, _code in result.rows:
+        curves.setdefault(enabled, []).append((work, min_t))
+    assert set(curves) == {10, 25, 50, 75, 100}
+    for points in curves.values():
+        works = [w for w, _ in points]
+        times = [t for _, t in points]
+        assert works == sorted(works)
+        assert all(a > b for a, b in zip(times, times[1:])) or len(times) == 1

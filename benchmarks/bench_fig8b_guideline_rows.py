@@ -1,0 +1,30 @@
+"""Figure 8(b): guideline map minT vs Work while nb_rows varies.
+
+The paper reads this map as e.g. "for a work limit of 40 units the minimal
+response time is obtained with PS*100% when the pattern has 2 or 4 rows"
+and "no implementation can guarantee a work limit of 25 units with schemas
+of 8 rows" — the benchmark reproduces that kind of reading with our
+numbers: more rows = more parallelism = lower achievable minT at large
+budgets.
+"""
+
+from repro.analysis import FrontierStep, min_time_for_budget
+from repro.bench import fig8b
+
+
+def test_fig8b_guideline_rows(benchmark, report_figure, bench_seeds):
+    result = benchmark.pedantic(fig8b, args=(bench_seeds,), rounds=1, iterations=1)
+    report_figure(result)
+
+    curves: dict[int, list[FrontierStep]] = {}
+    for nb_rows, work, min_t, code in result.rows:
+        curves.setdefault(nb_rows, []).append(FrontierStep(work, min_t, code))
+    assert set(curves) == {1, 2, 4, 8, 16}
+
+    # With a generous budget, wider schemas (more rows) achieve lower minT.
+    generous = 1e9
+    best_by_rows = {
+        rows: min_time_for_budget(steps, generous).time_units
+        for rows, steps in curves.items()
+    }
+    assert best_by_rows[16] < best_by_rows[4] < best_by_rows[1]

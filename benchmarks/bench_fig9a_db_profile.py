@@ -1,0 +1,22 @@
+"""Figure 9(a): the empirical Db function (UnitTime vs Gmpl).
+
+Shape: near-flat at the zero-contention service time (~10 ms with the
+default calibration) and asymptotically linear once the four CPUs
+saturate — the paper's curve spans roughly 10-100 ms over Gmpl 0-35.
+"""
+
+from repro.bench import fig9a
+
+
+def test_fig9a_db_profile(benchmark, report_figure):
+    result = benchmark.pedantic(fig9a, rounds=1, iterations=1)
+    report_figure(result)
+
+    points = [(row[0], row[1]) for row in result.rows]
+    unit_times = [t for _, t in points]
+    # Monotone non-decreasing response times (within measurement noise).
+    assert all(b >= a - 0.5 for a, b in zip(unit_times, unit_times[1:]))
+    # Low-load plateau near the zero-contention service time.
+    assert 9.0 <= unit_times[0] <= 13.0
+    # Saturated region is several times slower than the plateau.
+    assert unit_times[-1] > 4 * unit_times[0]

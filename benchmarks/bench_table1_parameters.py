@@ -1,0 +1,9 @@
+"""Table 1: simulation parameters, regenerated from the code's defaults."""
+
+from repro.bench import table1
+
+
+def test_table1_parameters(benchmark, report_figure):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    report_figure(result)
+    assert len(result.rows) == 16  # Table 1 has sixteen parameter rows

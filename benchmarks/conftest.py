@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper and both prints
+it and writes it under ``results/``.  Scale knobs (seed count, instance
+counts) default to values that keep the full suite at laptop scale; set
+``REPRO_BENCH_SEEDS`` to trade time for tighter averages.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_seeds() -> tuple[int, ...]:
+    """Pattern seeds each figure averages over."""
+    count = int(os.environ.get("REPRO_BENCH_SEEDS", "6"))
+    return tuple(range(count))
+
+
+@pytest.fixture
+def report_figure(capsys):
+    """Print a FigureResult and persist it to results/<figure_id>.txt."""
+
+    def _report(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        slug = (
+            result.figure_id.lower()
+            .replace(" ", "_")
+            .replace("(", "")
+            .replace(")", "")
+        )
+        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+        return result
+
+    return _report

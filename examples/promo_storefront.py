@@ -1,0 +1,262 @@
+"""The paper's Figure 1: promo selection for a web storefront.
+
+A clothing retailer generates a web page for a customer; the decision
+flow picks which coat promos to show.  The example mirrors the paper's
+modular schema — coat-promo modules guarded by enabling conditions, a
+decision module built from business rules, and a presentation module —
+then flattens it (Figure 1(b)) and executes it for several customers
+against small in-memory "databases".
+
+Run:  python examples/promo_storefront.py
+"""
+
+from repro import (
+    Attribute,
+    Comparison,
+    Engine,
+    IdealDatabase,
+    Module,
+    NULL,
+    Op,
+    Or,
+    Rule,
+    Simulation,
+    Strategy,
+    UserPredicate,
+    flatten,
+    query,
+    rule_set,
+    synthesize,
+)
+
+# ---------------------------------------------------------------------------
+# Tiny in-memory "enterprise databases"
+# ---------------------------------------------------------------------------
+
+CLIMATE_DB = {"boston": "cold", "miami": "warm", "seattle": "wet"}
+
+CATALOG = [
+    {"item": "boys parka", "kind": "boys_coat", "price": 89, "profit": 30, "climate": "cold"},
+    {"item": "boys raincoat", "kind": "boys_coat", "price": 49, "profit": 15, "climate": "wet"},
+    {"item": "mens overcoat", "kind": "mens_coat", "price": 210, "profit": 70, "climate": "cold"},
+    {"item": "mens windbreaker", "kind": "mens_coat", "price": 75, "profit": 20, "climate": "warm"},
+]
+
+INVENTORY = {"boys parka": 12, "boys raincoat": 0, "mens overcoat": 3, "mens windbreaker": 44}
+
+
+# ---------------------------------------------------------------------------
+# The decision flow (modular form, then flattened)
+# ---------------------------------------------------------------------------
+
+
+def boys_coat_trigger():
+    """The paper's condition: a boy's item in the cart, or a child's item
+    and a boy's purchase within two years."""
+    return Or(
+        UserPredicate("boy_item_in_cart", ("cart",), lambda v: "boy" in " ".join(v["cart"])),
+        UserPredicate(
+            "child_item_and_history",
+            ("cart", "profile"),
+            lambda v: any("child" in item for item in v["cart"])
+            and v["profile"].get("bought_boys_item_recently", False),
+        ),
+    )
+
+
+def build_flow() -> Module:
+    root = Module("promo-flow")
+    for source in ("profile", "cart", "home_city"):
+        root.add(Attribute(source))
+
+    boys = Module("boys_coat_promo", condition=boys_coat_trigger())
+    boys.add(
+        Attribute(
+            "climate",
+            task=query(
+                "climate",
+                inputs=("home_city",),
+                cost=1,
+                fn=lambda v: CLIMATE_DB.get(v["home_city"], "temperate"),
+                description="dip: climate of customer home",
+            ),
+        )
+    )
+    boys.add(
+        Attribute(
+            "coat_hits",
+            task=query(
+                "coat_hits",
+                inputs=("climate",),
+                cost=2,
+                fn=lambda v: [
+                    c for c in CATALOG if c["kind"] == "boys_coat" and c["climate"] == v["climate"]
+                ],
+                description="hit list of appropriate coats",
+            ),
+        )
+    )
+    boys.add(
+        Attribute(
+            "coat_stock",
+            task=query(
+                "coat_stock",
+                inputs=("coat_hits",),
+                cost=2,
+                fn=lambda v: [c for c in v["coat_hits"] if INVENTORY.get(c["item"], 0) > 0],
+                description="check inventory for coats in appropriate size",
+            ),
+            condition=UserPredicate(
+                "any_hit", ("coat_hits",), lambda v: v["coat_hits"] is not NULL and bool(v["coat_hits"])
+            ),
+        )
+    )
+    boys.add(
+        Attribute(
+            "boys_promo",
+            task=synthesize(
+                "boys_promo",
+                ("coat_stock",),
+                lambda v: [
+                    {"promo": c["item"], "price": c["price"], "score": 60 + c["profit"]}
+                    for c in (v["coat_stock"] if v["coat_stock"] is not NULL else [])
+                ],
+            ),
+            condition=UserPredicate(
+                "any_stock", ("coat_stock",), lambda v: v["coat_stock"] is not NULL and bool(v["coat_stock"])
+            ),
+        )
+    )
+    root.add(boys)
+
+    decision = Module("decision")
+    decision.add(
+        Attribute(
+            "expendable_income",
+            task=query(
+                "expendable_income",
+                inputs=("profile", "cart"),
+                cost=2,
+                fn=lambda v: max(0, v["profile"].get("budget", 0) - 40 * len(v["cart"])),
+                description="estimate customer expendable income",
+            ),
+        )
+    )
+    decision.add(
+        Attribute(
+            "promo_hit_list",
+            task=synthesize(
+                "promo_hit_list",
+                ("boys_promo",),
+                lambda v: sorted(
+                    (v["boys_promo"] if v["boys_promo"] is not NULL else []),
+                    key=lambda p: -p["score"],
+                ),
+            ),
+        )
+    )
+    decision.add(
+        Attribute(
+            "give_promo",
+            task=rule_set(
+                "give_promo",
+                ("expendable_income", "promo_hit_list"),
+                rules=[
+                    Rule(
+                        "worth_it",
+                        UserPredicate(
+                            "good_candidates",
+                            ("promo_hit_list",),
+                            lambda v: bool(v["promo_hit_list"]) and v["promo_hit_list"][0]["score"] > 80,
+                        ),
+                        True,
+                    ),
+                ],
+                policy="any",
+                default=False,
+            ),
+            condition=Comparison("expendable_income", Op.GT, 0),
+        )
+    )
+    root.add(decision)
+
+    presentation = Module(
+        "presentation", condition=Comparison("give_promo", Op.EQ, True)
+    )
+    presentation.add(
+        Attribute(
+            "images",
+            task=query(
+                "images",
+                inputs=("promo_hit_list",),
+                cost=3,
+                fn=lambda v: [f"img/{p['promo'].replace(' ', '_')}.png" for p in v["promo_hit_list"][:2]],
+                description="identify images with one or more promo items",
+            ),
+        )
+    )
+    presentation.add(
+        Attribute(
+            "page_fragment",
+            task=synthesize(
+                "page_fragment",
+                ("images", "promo_hit_list"),
+                lambda v: {
+                    "banners": v["images"] if v["images"] is not NULL else [],
+                    "offers": [p["promo"] for p in v["promo_hit_list"][:2]],
+                },
+            ),
+            is_target=True,
+        )
+    )
+    root.add(presentation)
+    return root
+
+
+CUSTOMERS = {
+    "parent shopping for boy (Boston, wealthy)": {
+        "profile": {"budget": 400, "bought_boys_item_recently": True},
+        "cart": ["boys sweater", "child gloves"],
+        "home_city": "boston",
+    },
+    "parent shopping for boy (Boston, no expendable income)": {
+        "profile": {"budget": 30, "bought_boys_item_recently": True},
+        "cart": ["boys sweater"],
+        "home_city": "boston",
+    },
+    "no kids in cart (Miami)": {
+        "profile": {"budget": 500},
+        "cart": ["womens scarf"],
+        "home_city": "miami",
+    },
+}
+
+
+def main() -> None:
+    flow = build_flow()
+    schema = flatten(flow)
+    print(schema.describe())
+    print()
+
+    for label, source_values in CUSTOMERS.items():
+        simulation = Simulation()
+        engine = Engine(schema, Strategy.parse("PSE100"), IdealDatabase(simulation))
+        instance = engine.submit_instance(source_values)
+        simulation.run()
+        fragment = instance.cells["page_fragment"].value
+        metrics = instance.metrics
+        print(f"{label}:")
+        if fragment is NULL:
+            print("  -> no promo on this page")
+        else:
+            print(f"  -> offers: {fragment['offers']}  banners: {fragment['banners']}")
+        print(
+            f"     Work={metrics.work_units} TimeInUnits={metrics.elapsed:.0f} "
+            f"queries={metrics.queries_launched} "
+            f"unneeded skipped={metrics.unneeded_detected}"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

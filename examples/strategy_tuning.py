@@ -1,0 +1,89 @@
+"""Tuning an execution strategy for a target throughput (Figure 9(b)).
+
+The full workflow of section 5's analytical model:
+
+1. profile the database → the empirical Db function (Figure 9a);
+2. profile candidate strategies on the ideal database → (Work,
+   TimeInUnits) per strategy (the guideline map of Figure 8);
+3. solve Equation (6) at the target throughput → predicted TimeInSeconds
+   per strategy, plus the feasible-Work bound;
+4. verify the recommendation with an open-system simulation.
+
+Run:  python examples/strategy_tuning.py   (takes ~15s)
+"""
+
+from repro import DbParams, PatternParams, profile_database
+from repro.analysis import guideline_frontier, tune
+from repro.bench import (
+    evaluate_codes,
+    format_table,
+    measure_open_system,
+    strategy_points,
+)
+from repro.workload import generate_pattern
+
+THROUGHPUT = 10.0  # decision-flow instances per second
+CODES = ("PCE0", "PCC0", "PCE50", "PC*100", "PSE50", "PSE100")
+PATTERN = PatternParams(nb_rows=4, pct_enabled=25)
+
+
+def main() -> None:
+    print(f"target: {THROUGHPUT:g} instances/second on the Table-1 database\n")
+
+    print("1. profiling the database (open-loop Poisson unit stream)...")
+    db = profile_database(DbParams(), completions_per_level=800, warmup=100, mode="open")
+    print(
+        format_table(
+            ["Gmpl", "UnitTime_ms"], [[g, t] for g, t in db.points], floatfmt=".2f"
+        )
+    )
+
+    print("\n2. profiling strategies on the ideal database (6 pattern seeds)...")
+    results = evaluate_codes(PATTERN, CODES, seeds=range(6))
+    points = strategy_points(results)
+    frontier = guideline_frontier(points)
+    print(
+        format_table(
+            ["budget >= Work", "minT (units)", "strategy"],
+            [[step.work, step.time_units, step.code] for step in frontier],
+            title="guideline map (Pareto steps)",
+        )
+    )
+
+    print("\n3. analytical model at the target throughput...")
+    report = tune(points, db, THROUGHPUT)
+    rows = [
+        [
+            p.code,
+            p.work,
+            p.time_units,
+            p.unit_time_ms,
+            p.predicted_seconds * 1000.0 if p.feasible else None,
+        ]
+        for p in report.predictions
+    ]
+    print(
+        format_table(
+            ["strategy", "Work", "TimeInUnits", "UnitTime_ms", "predicted_ms"], rows
+        )
+    )
+    print(f"\nEq.(6) Work bound at {THROUGHPUT:g}/s: {report.max_work:.1f} units")
+    best = report.best
+    print(f"model recommends: {best.code} ({best.predicted_seconds * 1000.0:.0f} ms)")
+
+    print("\n4. verifying against an open-system simulation...")
+    pattern = generate_pattern(PATTERN.with_seed(0))
+    measured = measure_open_system(
+        pattern, best.code, THROUGHPUT, n_instances=250, warmup_instances=50
+    )
+    predicted_ms = best.predicted_seconds * 1000.0
+    error = abs(predicted_ms - measured.mean_ms) / measured.mean_ms * 100.0
+    print(
+        f"measured mean response for {best.code}: {measured.mean_ms:.0f} ms "
+        f"(predicted {predicted_ms:.0f} ms, error {error:.0f}%); "
+        f"mean Gmpl {measured.mean_gmpl:.1f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

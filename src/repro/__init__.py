@@ -1,0 +1,160 @@
+"""repro — decision flows: cost-based optimization of data-intensive decision DAGs.
+
+A faithful, self-contained reproduction of
+
+    R. Hull, F. Llirbat, B. Kumar, G. Zhou, G. Dong, J. Su.
+    "Optimization Techniques for Data-Intensive Decision Flows."
+    ICDE 2000, pp. 281-292.
+
+The package provides:
+
+* :mod:`repro.core` — the decision-flow model (attributes, enabling
+  conditions, tasks, modules, declarative snapshot semantics) and the
+  optimizing execution engine (eager condition evaluation, forward and
+  backward propagation, speculative execution, scheduling heuristics).
+* :mod:`repro.simdb` — the simulated database substrate: a deterministic
+  discrete-event kernel, multi-server FCFS service centers, the ideal and
+  bounded-resource database servers, and the empirical Db profiler.
+* :mod:`repro.workload` — the Table-1 schema-pattern generator.
+* :mod:`repro.analysis` — the analytical throughput model (Equations 1-6),
+  guideline maps, and strategy tuning.
+* :mod:`repro.bench` — experiment runners and reporting shared by the
+  benchmark suite and the examples.
+
+Quickstart::
+
+    from repro import PatternParams, Strategy, generate_pattern, run_once
+
+    pattern = generate_pattern(PatternParams(nb_rows=4, pct_enabled=50))
+    metrics = run_once(pattern, Strategy.parse("PCE0"))
+    print(metrics.work_units, metrics.elapsed)
+"""
+
+from repro.core import (
+    ALL_STRATEGY_CODES,
+    And,
+    Attribute,
+    AttributeState,
+    Comparison,
+    CompleteSnapshot,
+    Condition,
+    DecisionFlowSchema,
+    Engine,
+    FALSE,
+    InstanceMetrics,
+    IsException,
+    IsNull,
+    Literal,
+    ResultShare,
+    Module,
+    Not,
+    Op,
+    Or,
+    QueryTask,
+    Rule,
+    RuleSetTask,
+    Strategy,
+    SynthesisTask,
+    TRUE,
+    UserPredicate,
+    attr,
+    check_against_snapshot,
+    dumps_schema,
+    evaluate_schema,
+    expand_pattern,
+    flatten,
+    loads_schema,
+    query,
+    rule_set,
+    schema_from_dict,
+    schema_to_dict,
+    source_attribute,
+    summarize,
+    synthesize,
+)
+from repro.nulls import NULL, ExceptionValue, is_exception, is_null
+from repro.simdb import (
+    DbFunction,
+    DbParams,
+    IdealDatabase,
+    Simulation,
+    SimulatedDatabase,
+    profile_database,
+)
+from repro.workload import PatternParams, GeneratedPattern, generate_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # model
+    "Attribute",
+    "source_attribute",
+    "Condition",
+    "Literal",
+    "TRUE",
+    "FALSE",
+    "And",
+    "Or",
+    "Not",
+    "Comparison",
+    "IsNull",
+    "IsException",
+    "UserPredicate",
+    "attr",
+    "Op",
+    "QueryTask",
+    "SynthesisTask",
+    "query",
+    "synthesize",
+    "Rule",
+    "RuleSetTask",
+    "rule_set",
+    "Module",
+    "flatten",
+    "DecisionFlowSchema",
+    "dumps_schema",
+    "loads_schema",
+    "schema_to_dict",
+    "schema_from_dict",
+    "AttributeState",
+    "CompleteSnapshot",
+    "evaluate_schema",
+    "check_against_snapshot",
+    "NULL",
+    "is_null",
+    "ExceptionValue",
+    "is_exception",
+    # engine
+    "Engine",
+    "ResultShare",
+    "Strategy",
+    "expand_pattern",
+    "ALL_STRATEGY_CODES",
+    "InstanceMetrics",
+    "summarize",
+    # substrate
+    "Simulation",
+    "IdealDatabase",
+    "SimulatedDatabase",
+    "DbParams",
+    "DbFunction",
+    "profile_database",
+    # workload
+    "PatternParams",
+    "GeneratedPattern",
+    "generate_pattern",
+    "run_once",
+]
+
+
+def run_once(pattern: GeneratedPattern, strategy: Strategy) -> InstanceMetrics:
+    """Execute one instance of a generated pattern on a fresh ideal database.
+
+    Convenience wrapper used throughout the examples; returns the instance
+    metrics (``work_units`` is the paper's Work, ``elapsed`` its
+    TimeInUnits, since the ideal database's unit duration is 1).
+    """
+    simulation = Simulation()
+    engine = Engine(pattern.schema, strategy, IdealDatabase(simulation))
+    return engine.run_single(pattern.source_values)

@@ -1,0 +1,92 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro run fig5a            # run one experiment, print it
+    python -m repro run all --seeds 4    # run everything
+    python -m repro run fig9a --out results/
+
+Each experiment prints its table (and an ASCII shape chart) and, with
+``--out``, also writes it to ``<out>/<figure_id>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench import figures
+
+#: name → (callable accepting seeds, takes_seeds)
+EXPERIMENTS: dict[str, tuple] = {
+    "table1": (figures.table1, False),
+    "fig5a": (figures.fig5a, True),
+    "fig5b": (figures.fig5b, True),
+    "fig6a": (figures.fig6a, True),
+    "fig6b": (figures.fig6b, True),
+    "fig7a": (figures.fig7a, True),
+    "fig7b": (figures.fig7b, True),
+    "fig8a": (figures.fig8a, True),
+    "fig8b": (figures.fig8b, True),
+    "fig9a": (figures.fig9a, False),
+    "fig9b": (figures.fig9b, True),
+    "ablation-halt": (figures.ablation_halt_policy, True),
+    "ablation-cancel": (figures.ablation_cancel_unneeded, True),
+    "ablation-profile": (figures.ablation_profile_mode, True),
+    "ablation-sharing": (figures.ablation_sharing, False),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the evaluation of Hull et al., ICDE 2000.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument(
+        "--seeds", type=int, default=6, help="pattern seeds to average over (default 6)"
+    )
+    run.add_argument(
+        "--out", type=Path, default=None, help="directory to write <figure_id>.txt files"
+    )
+    return parser
+
+
+def _slug(figure_id: str) -> str:
+    return figure_id.lower().replace(" ", "_").replace("(", "").replace(")", "")
+
+
+def run_experiment(name: str, seeds: int, out: Path | None) -> None:
+    fn, takes_seeds = EXPERIMENTS[name]
+    result = fn(tuple(range(seeds))) if takes_seeds else fn()
+    text = result.render()
+    print(text)
+    print()
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{_slug(result.figure_id)}.txt").write_text(text + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (fn, _) in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<{width}}  {doc}")
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_experiment(name, args.seeds, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

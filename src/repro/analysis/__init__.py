@@ -1,0 +1,32 @@
+"""Analytical model (Eq. 1-6), guideline maps, and strategy tuning."""
+
+from repro.analysis.guidelines import (
+    FrontierStep,
+    StrategyPoint,
+    guideline_frontier,
+    min_time_for_budget,
+)
+from repro.analysis.mining import (
+    Refinement,
+    SnapshotRecord,
+    SnapshotTable,
+    suggest_refinements,
+)
+from repro.analysis.model import AnalyticalModel, ModelSolution
+from repro.analysis.tuning import StrategyPrediction, TuningReport, tune
+
+__all__ = [
+    "AnalyticalModel",
+    "ModelSolution",
+    "SnapshotRecord",
+    "SnapshotTable",
+    "Refinement",
+    "suggest_refinements",
+    "StrategyPoint",
+    "FrontierStep",
+    "guideline_frontier",
+    "min_time_for_budget",
+    "StrategyPrediction",
+    "TuningReport",
+    "tune",
+]

@@ -1,0 +1,72 @@
+"""Guideline maps: minimal response time achievable under a Work budget.
+
+Figure 8 of the paper plots, for a schema pattern, the minimal TimeInUnits
+(*minT*) obtainable for a given bound on Work, annotated with the execution
+strategy that achieves it.  Together with Equation (6)'s Work bound, these
+maps answer design-phase questions like "can this schema sustain 50
+instances/second, and with which strategy?".
+
+The map is the lower-left Pareto frontier of strategy profiles — each
+profile is a (Work, TimeInUnits) point measured on the ideal database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["StrategyPoint", "FrontierStep", "guideline_frontier", "min_time_for_budget"]
+
+
+@dataclass(frozen=True)
+class StrategyPoint:
+    """Measured (Work, TimeInUnits) profile of one strategy on one pattern."""
+
+    code: str
+    work: float
+    time_units: float
+
+
+@dataclass(frozen=True)
+class FrontierStep:
+    """One step of the guideline map: spending >= ``work`` buys ``time_units``."""
+
+    work: float
+    time_units: float
+    code: str
+
+
+def guideline_frontier(points: Iterable[StrategyPoint]) -> list[FrontierStep]:
+    """The Pareto steps of minT vs Work.
+
+    Sorted by increasing work; each step strictly improves the minimal
+    response time over all cheaper strategies (ties favor less work, then
+    the lexicographically first code for determinism).
+    """
+    ordered = sorted(points, key=lambda p: (p.work, p.time_units, p.code))
+    frontier: list[FrontierStep] = []
+    best = float("inf")
+    for point in ordered:
+        if point.time_units < best:
+            best = point.time_units
+            frontier.append(FrontierStep(point.work, point.time_units, point.code))
+    return frontier
+
+
+def min_time_for_budget(
+    frontier: Sequence[FrontierStep], work_budget: float
+) -> FrontierStep | None:
+    """Best achievable step within the Work budget (None if unattainable).
+
+    E.g. the paper's reading of Figure 8(b): "for a work limit of 40 units,
+    the minimal response time can be obtained with PS*100%"; and "no
+    implementation can guarantee a work limit of 25 units with schemas of
+    8 rows" — the None case.
+    """
+    best: FrontierStep | None = None
+    for step in frontier:
+        if step.work <= work_budget:
+            best = step
+        else:
+            break
+    return best

@@ -1,0 +1,183 @@
+"""The analytical model for finite database resources (section 5, Eq. 1-6).
+
+Variables (per the paper):
+
+* ``Th`` — throughput: decision-flow instances processed per second;
+* ``Work`` — units of processing per instance;
+* ``TimeInUnits`` — response time of an instance in units of processing;
+* ``UnitTime`` — database response time per unit of processing (ms);
+* ``Lmpl`` — per-instance multiprogramming level;
+* ``Impl`` — instances in process in parallel;
+* ``Gmpl`` — database multiprogramming level;
+* ``Db``   — the empirical Gmpl → UnitTime function (Figure 9a).
+
+The equations::
+
+    (1) TimeInSeconds = TimeInUnits · UnitTime
+    (2) Impl          = Th · TimeInSeconds            (Little's law)
+    (3) Lmpl · TimeInSeconds = Work · UnitTime
+    (4) UnitTime      = Db(Gmpl)
+    (5) Gmpl          = Impl · Lmpl = Th · Work · UnitTime
+    (6) UnitTime      = Db(Th · Work · UnitTime)
+
+Equation (6) is a fixpoint in UnitTime; it has a solution exactly when the
+offered load fits under the database's saturation throughput.  Its two
+applications (both implemented here):
+
+* given a target throughput, the **maximum Work** per instance for which
+  (6) is solvable — the feasibility bound of Figure 9(b);
+* given a strategy's (Work, TimeInUnits) profile, the **predicted
+  TimeInSeconds** = TimeInUnits · UnitTime, used to pick the best
+  execution strategy for the current load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.simdb.profiler import DbFunction
+
+__all__ = ["ModelSolution", "AnalyticalModel"]
+
+_MS_PER_S = 1000.0
+
+
+@dataclass(frozen=True)
+class ModelSolution:
+    """A solution of Equation (6) for one operating point."""
+
+    throughput_per_s: float
+    work_units: float
+    unit_time_ms: float
+    gmpl: float
+    extrapolated: bool  # Gmpl beyond the profiled range of Db
+
+    def time_in_seconds(self, time_in_units: float) -> float:
+        """Equation (1): predicted response time in seconds."""
+        return time_in_units * self.unit_time_ms / _MS_PER_S
+
+    def lmpl(self, time_in_units: float) -> float:
+        """Per-instance multiprogramming level (from Eq. 3 with Eq. 1)."""
+        return self.work_units / time_in_units if time_in_units > 0 else 0.0
+
+    def impl(self, time_in_units: float) -> float:
+        """Instances in parallel (Eq. 2)."""
+        return self.throughput_per_s * self.time_in_seconds(time_in_units)
+
+
+class AnalyticalModel:
+    """Equation (1)-(6) calculator over an empirical Db function."""
+
+    def __init__(self, db: DbFunction):
+        self.db = db
+
+    # -- Equation (6) -----------------------------------------------------
+
+    def solve(self, throughput_per_s: float, work_units: float) -> ModelSolution | None:
+        """Solve UnitTime = Db(Th·Work·UnitTime); None when saturated.
+
+        Th·Work·UnitTime has UnitTime in *seconds* inside the Gmpl product
+        (Gmpl is dimensionless), so the fixpoint reads
+        ``u = Db(Th · W · u / 1000)`` with u in milliseconds.
+        """
+        if throughput_per_s < 0 or work_units < 0:
+            raise ModelError("throughput and work must be non-negative")
+        load = throughput_per_s * work_units / _MS_PER_S  # Gmpl per ms of UnitTime
+        if load == 0:
+            unit_time = self.db(0.0)
+            return ModelSolution(throughput_per_s, work_units, unit_time, 0.0, False)
+
+        # Saturation test: beyond the profiled range Db grows with the tail
+        # slope s, so u = Db(load·u) eventually requires s·load < 1.
+        if self.db.tail_slope * load >= 1.0:
+            return None
+
+        def gap(u: float) -> float:
+            return self.db(load * u) - u
+
+        low = self.db(0.0)
+        if gap(low) <= 0:
+            unit_time = low
+        else:
+            high = low
+            for _ in range(200):
+                high *= 2.0
+                if gap(high) <= 0:
+                    break
+            else:  # pragma: no cover - guarded by the slope test above
+                return None
+            for _ in range(100):
+                mid = 0.5 * (low + high)
+                if gap(mid) > 0:
+                    low = mid
+                else:
+                    high = mid
+            unit_time = high
+        gmpl = load * unit_time
+        return ModelSolution(
+            throughput_per_s,
+            work_units,
+            unit_time,
+            gmpl,
+            extrapolated=gmpl > self.db.max_gmpl,
+        )
+
+    def unit_time(self, throughput_per_s: float, work_units: float) -> float | None:
+        """UnitTime (ms) at the operating point, or None if saturated."""
+        solution = self.solve(throughput_per_s, work_units)
+        return solution.unit_time_ms if solution is not None else None
+
+    # -- feasibility bound -------------------------------------------------
+
+    def max_work(self, throughput_per_s: float, precision: float = 1e-3) -> float:
+        """Largest Work per instance for which Eq. (6) has a solution.
+
+        This is the paper's "upper bound on the amount of work that can be
+        performed for each decision flow instance" at a given throughput.
+        Infinite when the Db tail is flat (a database that never saturates).
+        """
+        if throughput_per_s <= 0:
+            return float("inf")
+        slope = self.db.tail_slope
+        if slope <= 0:
+            return float("inf")
+        bound = _MS_PER_S / (throughput_per_s * slope)
+        # The supremum itself is unattainable (UnitTime diverges); report
+        # the last solvable value under the requested precision.
+        low, high = 0.0, bound
+        while high - low > precision:
+            mid = 0.5 * (low + high)
+            if self.solve(throughput_per_s, mid) is not None:
+                low = mid
+            else:
+                high = mid
+        return low
+
+    def max_throughput(self, work_units: float, precision: float = 1e-4) -> float:
+        """Largest sustainable throughput for instances of the given Work."""
+        if work_units <= 0:
+            return float("inf")
+        slope = self.db.tail_slope
+        if slope <= 0:
+            return float("inf")
+        bound = _MS_PER_S / (work_units * slope)
+        low, high = 0.0, bound
+        while high - low > precision:
+            mid = 0.5 * (low + high)
+            if self.solve(mid, work_units) is not None:
+                low = mid
+            else:
+                high = mid
+        return low
+
+    # -- Equation (1) --------------------------------------------------------
+
+    def predict_seconds(
+        self, throughput_per_s: float, work_units: float, time_in_units: float
+    ) -> float | None:
+        """Predicted TimeInSeconds for a strategy profile; None if saturated."""
+        solution = self.solve(throughput_per_s, work_units)
+        if solution is None:
+            return None
+        return solution.time_in_seconds(time_in_units)

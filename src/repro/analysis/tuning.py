@@ -1,0 +1,90 @@
+"""Strategy tuning for a target throughput (the Figure 9(b) procedure).
+
+Given (i) strategy profiles (Work, TimeInUnits) measured on the ideal
+database, (ii) the empirical Db function of the production database, and
+(iii) a target throughput, predict each strategy's TimeInSeconds via the
+analytical model and pick the minimum — the paper's two-step prescription:
+
+1. Equation (6) bounds the Work affordable at the target throughput;
+2. among strategies within the bound, the predicted response time
+   ``TimeInUnits × UnitTime`` selects the winner (their Figure 9(b)
+   operating point selects PC*100%, within 10% of measurement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.guidelines import StrategyPoint
+from repro.analysis.model import AnalyticalModel
+from repro.simdb.profiler import DbFunction
+
+__all__ = ["StrategyPrediction", "TuningReport", "tune"]
+
+
+@dataclass(frozen=True)
+class StrategyPrediction:
+    """Model outputs for one strategy at the target throughput."""
+
+    code: str
+    work: float
+    time_units: float
+    unit_time_ms: float | None        # None: Eq. (6) has no solution (saturated)
+    predicted_seconds: float | None
+    gmpl: float | None
+
+    @property
+    def feasible(self) -> bool:
+        return self.predicted_seconds is not None
+
+
+@dataclass(frozen=True)
+class TuningReport:
+    """All predictions plus the recommended strategy."""
+
+    throughput_per_s: float
+    max_work: float
+    predictions: tuple[StrategyPrediction, ...]
+
+    @property
+    def best(self) -> StrategyPrediction | None:
+        feasible = [p for p in self.predictions if p.feasible]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: (p.predicted_seconds, p.code))
+
+    def feasible_codes(self) -> tuple[str, ...]:
+        return tuple(p.code for p in self.predictions if p.feasible)
+
+
+def tune(
+    points: Iterable[StrategyPoint],
+    db: DbFunction,
+    throughput_per_s: float,
+) -> TuningReport:
+    """Predict response times for every strategy profile and rank them."""
+    model = AnalyticalModel(db)
+    predictions: list[StrategyPrediction] = []
+    for point in sorted(points, key=lambda p: p.code):
+        solution = model.solve(throughput_per_s, point.work)
+        if solution is None:
+            predictions.append(
+                StrategyPrediction(point.code, point.work, point.time_units, None, None, None)
+            )
+        else:
+            predictions.append(
+                StrategyPrediction(
+                    point.code,
+                    point.work,
+                    point.time_units,
+                    solution.unit_time_ms,
+                    solution.time_in_seconds(point.time_units),
+                    solution.gmpl,
+                )
+            )
+    return TuningReport(
+        throughput_per_s=throughput_per_s,
+        max_work=model.max_work(throughput_per_s),
+        predictions=tuple(predictions),
+    )

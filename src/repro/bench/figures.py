@@ -1,0 +1,703 @@
+"""Experiment definitions: one function per table/figure of section 5.
+
+Each function runs the paper's experiment on our substrate and returns a
+:class:`FigureResult` whose rows mirror the figure's series.  The
+benchmark targets under ``benchmarks/`` are thin wrappers that execute
+these functions and print the result; EXPERIMENTS.md records paper-vs-
+measured shape comparisons.
+
+Two constants are illegible in the source scan and are set here (their
+values only shift curves, not orderings): Figure 7 and Figure 8(b) use
+``%enabled = 50``; Figure 9(b) uses ``%enabled = 25`` so that the
+parallel strategies' Work fits under the calibrated database's saturation
+bound at the studied throughput of 10 instances/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.guidelines import guideline_frontier, min_time_for_budget
+from repro.analysis.tuning import tune
+from repro.bench.report import ascii_chart, format_table
+from repro.bench.runner import (
+    evaluate_code,
+    evaluate_codes,
+    measure_open_system,
+    strategy_points,
+)
+from repro.simdb.database import DbParams
+from repro.simdb.profiler import DbFunction, profile_database
+from repro.workload.generator import generate_pattern
+from repro.workload.params import TABLE1_ROWS, PatternParams
+
+__all__ = [
+    "FigureResult",
+    "table1",
+    "fig5a",
+    "fig5b",
+    "fig6a",
+    "fig6b",
+    "fig7a",
+    "fig7b",
+    "fig8a",
+    "fig8b",
+    "fig9a",
+    "fig9b",
+    "ablation_halt_policy",
+    "ablation_cancel_unneeded",
+    "ablation_profile_mode",
+    "ablation_sharing",
+]
+
+DEFAULT_SEEDS = tuple(range(10))
+
+#: The full strategy grid used to build guideline maps (P option only —
+#: N strategies are dominated, as Figure 5 shows).
+GUIDELINE_GRID = tuple(
+    f"P{s}{h}{p}" for s in "SC" for h in "EC" for p in (0, 25, 50, 75, 100)
+)
+
+
+@dataclass
+class FigureResult:
+    """Rows + rendering of one reproduced table/figure."""
+
+    figure_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: list[str] = field(default_factory=list)
+    chart: str | None = None
+    floatfmt: str = ".1f"
+
+    def render(self) -> str:
+        parts = [format_table(self.headers, self.rows, self.floatfmt, title=f"{self.figure_id}: {self.title}")]
+        if self.chart:
+            parts.append(self.chart)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+
+def _series_chart(rows, codes, title, x_label, y_label, value_offset=1):
+    series = {
+        code: [(row[0], row[value_offset + index]) for row in rows]
+        for index, code in enumerate(codes)
+    }
+    return ascii_chart(series, title=title, x_label=x_label, y_label=y_label)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — simulation parameters
+# ---------------------------------------------------------------------------
+
+
+def table1() -> FigureResult:
+    """Table 1: simulation parameters (workload + database defaults)."""
+    db = DbParams()
+    rows = [list(row) for row in TABLE1_ROWS]
+    return FigureResult(
+        figure_id="Table 1",
+        title="Simulation parameters",
+        headers=["Parameter", "Range", "Description"],
+        rows=rows,
+        notes=[
+            f"database defaults in code: num_cpus={db.num_cpus}, num_disks={db.num_disks}, "
+            f"unit_cpu_cost={db.unit_cpu_cost}, unit_io_cost={db.unit_io_cost}, "
+            f"%IO_hit={db.pct_io_hit:g}, IO_delay={db.io_delay_ms:g}ms "
+            f"(+ calibration constant cpu_ms={db.cpu_ms:g}ms, not in Table 1)",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — minimizing work (sequential, conservative)
+# ---------------------------------------------------------------------------
+
+_FIG5_CODES = ("PCC0", "PCE0", "NCC0", "NCE0")
+
+
+def fig5a(seeds: Sequence[int] = DEFAULT_SEEDS) -> FigureResult:
+    """Figure 5(a): Work vs %enabled for *C*0 strategies (nb_rows = 4)."""
+    rows = []
+    for enabled in range(10, 101, 10):
+        params = PatternParams(nb_rows=4, pct_enabled=enabled)
+        results = evaluate_codes(params, _FIG5_CODES, seeds)
+        rows.append([enabled] + [results[c].mean_work for c in _FIG5_CODES])
+    chart = _series_chart(rows, _FIG5_CODES, "Work vs %enabled", "%enabled", "Work")
+    return FigureResult(
+        figure_id="Fig 5(a)",
+        title="Work vs %enabled (nb_rows=4, sequential conservative strategies)",
+        headers=["%enabled", *_FIG5_CODES],
+        rows=rows,
+        chart=chart,
+        notes=[
+            "expected shape: two clusters (P vs N); N roughly linear in %enabled; "
+            "P's extra savings largest at low %enabled (paper: ~60% at 10%)",
+        ],
+    )
+
+
+def fig5b(seeds: Sequence[int] = DEFAULT_SEEDS) -> FigureResult:
+    """Figure 5(b): Work vs nb_rows for *C*0 strategies (%enabled = 75)."""
+    rows = []
+    for nb_rows in range(2, 9):
+        params = PatternParams(nb_rows=nb_rows, pct_enabled=75)
+        results = evaluate_codes(params, _FIG5_CODES, seeds)
+        rows.append([nb_rows] + [results[c].mean_work for c in _FIG5_CODES])
+    chart = _series_chart(rows, _FIG5_CODES, "Work vs nb_rows", "nb_rows", "Work")
+    return FigureResult(
+        figure_id="Fig 5(b)",
+        title="Work vs nb_rows (%enabled=75, sequential conservative strategies)",
+        headers=["nb_rows", *_FIG5_CODES],
+        rows=rows,
+        chart=chart,
+        notes=["expected shape: P cluster below N cluster across all row counts"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — minimizing response time (max parallelism, S vs C)
+# ---------------------------------------------------------------------------
+
+_FIG6_CODES = ("PC*100", "PS*100", "PCE0")
+
+
+def _fig6_rows(seeds: Sequence[int]):
+    time_rows, work_rows = [], []
+    for enabled in range(10, 101, 10):
+        params = PatternParams(nb_rows=4, pct_enabled=enabled)
+        results = evaluate_codes(params, _FIG6_CODES, seeds)
+        time_rows.append([enabled] + [results[c].mean_time_units for c in _FIG6_CODES])
+        work_rows.append([enabled] + [results[c].mean_work for c in _FIG6_CODES])
+    return time_rows, work_rows
+
+
+def fig6a(seeds: Sequence[int] = DEFAULT_SEEDS) -> FigureResult:
+    """Figure 6(a): TimeInUnits vs %enabled (nb_rows = 4)."""
+    time_rows, _ = _fig6_rows(seeds)
+    chart = _series_chart(time_rows, _FIG6_CODES, "TimeInUnits vs %enabled", "%enabled", "T")
+    return FigureResult(
+        figure_id="Fig 6(a)",
+        title="TimeInUnits vs %enabled (nb_rows=4)",
+        headers=["%enabled", *_FIG6_CODES],
+        rows=time_rows,
+        chart=chart,
+        notes=[
+            "expected shape: full parallelism well below PCE0 (paper: ~60% lower at "
+            "%enabled=25); PS*100 at or slightly below PC*100",
+        ],
+    )
+
+
+def fig6b(seeds: Sequence[int] = DEFAULT_SEEDS) -> FigureResult:
+    """Figure 6(b): Work vs %enabled for the same strategies."""
+    _, work_rows = _fig6_rows(seeds)
+    chart = _series_chart(work_rows, _FIG6_CODES, "Work vs %enabled", "%enabled", "Work")
+    return FigureResult(
+        figure_id="Fig 6(b)",
+        title="Work vs %enabled (nb_rows=4)",
+        headers=["%enabled", *_FIG6_CODES],
+        rows=work_rows,
+        chart=chart,
+        notes=[
+            "expected shape: PS*100 pays a work premium over PC*100, shrinking as "
+            "%enabled grows; PC*100 close to PCE0",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — effect of the degree of parallelism
+# ---------------------------------------------------------------------------
+
+_FIG7_FAMILIES = ("PCC", "PCE", "PSC", "PSE")
+FIG7_PCT_ENABLED = 50.0  # illegible in the source scan; see module docstring
+
+
+def _fig7_rows(seeds: Sequence[int], pct_enabled: float):
+    time_rows, work_rows = [], []
+    params = PatternParams(nb_rows=4, pct_enabled=pct_enabled)
+    for permitted in (0, 20, 40, 60, 80, 100):
+        codes = [f"{family}{permitted}" for family in _FIG7_FAMILIES]
+        results = evaluate_codes(params, codes, seeds)
+        time_rows.append([permitted] + [results[c].mean_time_units for c in codes])
+        work_rows.append([permitted] + [results[c].mean_work for c in codes])
+    return time_rows, work_rows
+
+
+def fig7a(
+    seeds: Sequence[int] = DEFAULT_SEEDS, pct_enabled: float = FIG7_PCT_ENABLED
+) -> FigureResult:
+    """Figure 7(a): TimeInUnits vs %Permitted for the four P families."""
+    time_rows, _ = _fig7_rows(seeds, pct_enabled)
+    chart = _series_chart(
+        time_rows, _FIG7_FAMILIES, "TimeInUnits vs %Permitted", "%Permitted", "T"
+    )
+    return FigureResult(
+        figure_id="Fig 7(a)",
+        title=f"TimeInUnits vs %Permitted (nb_rows=4, %enabled={pct_enabled:g})",
+        headers=["%Permitted", *(f"{f}*" for f in _FIG7_FAMILIES)],
+        rows=time_rows,
+        chart=chart,
+        notes=[
+            "expected shape: Earliest (P*E*) below Cheapest (P*C*) throughout, "
+            "largest gaps at mid parallelism",
+        ],
+    )
+
+
+def fig7b(
+    seeds: Sequence[int] = DEFAULT_SEEDS, pct_enabled: float = FIG7_PCT_ENABLED
+) -> FigureResult:
+    """Figure 7(b): Work vs %Permitted for the four P families."""
+    _, work_rows = _fig7_rows(seeds, pct_enabled)
+    chart = _series_chart(
+        work_rows, _FIG7_FAMILIES, "Work vs %Permitted", "%Permitted", "Work"
+    )
+    return FigureResult(
+        figure_id="Fig 7(b)",
+        title=f"Work vs %Permitted (nb_rows=4, %enabled={pct_enabled:g})",
+        headers=["%Permitted", *(f"{f}*" for f in _FIG7_FAMILIES)],
+        rows=work_rows,
+        chart=chart,
+        notes=[
+            "expected shape: Earliest and Cheapest consume about the same work; "
+            "speculative families sit above conservative ones",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — guideline maps (minT vs Work)
+# ---------------------------------------------------------------------------
+
+
+def _guideline_rows(sweep_name, sweep_values, params_for, seeds):
+    rows, all_steps = [], {}
+    for value in sweep_values:
+        results = evaluate_codes(params_for(value), GUIDELINE_GRID, seeds)
+        frontier = guideline_frontier(strategy_points(results))
+        all_steps[value] = frontier
+        for step in frontier:
+            rows.append([value, step.work, step.time_units, step.code])
+    return rows, all_steps
+
+
+def fig8a(seeds: Sequence[int] = DEFAULT_SEEDS) -> FigureResult:
+    """Figure 8(a): guideline map minT vs Work, %enabled ∈ {10,25,50,75,100}."""
+    values = (10, 25, 50, 75, 100)
+    rows, steps = _guideline_rows(
+        "%enabled", values, lambda v: PatternParams(nb_rows=4, pct_enabled=v), seeds
+    )
+    chart = ascii_chart(
+        {f"%en={v}": [(s.work, s.time_units) for s in steps[v]] for v in values},
+        title="minT vs Work (frontier steps)",
+        x_label="Work",
+        y_label="minT",
+    )
+    return FigureResult(
+        figure_id="Fig 8(a)",
+        title="Guideline map: minT vs Work while %enabled varies (nb_rows=4)",
+        headers=["%enabled", "Work", "minT", "strategy"],
+        rows=rows,
+        chart=chart,
+        notes=["each row is one Pareto step: spending >= Work buys response time minT"],
+    )
+
+
+FIG8B_PCT_ENABLED = 50.0  # illegible in the source scan; see module docstring
+
+
+def fig8b(
+    seeds: Sequence[int] = DEFAULT_SEEDS, pct_enabled: float = FIG8B_PCT_ENABLED
+) -> FigureResult:
+    """Figure 8(b): guideline map minT vs Work, nb_rows ∈ {1,2,4,8,16}."""
+    values = (1, 2, 4, 8, 16)
+    rows, steps = _guideline_rows(
+        "nb_rows",
+        values,
+        lambda v: PatternParams(nb_rows=v, pct_enabled=pct_enabled),
+        seeds,
+    )
+    chart = ascii_chart(
+        {f"rows={v}": [(s.work, s.time_units) for s in steps[v]] for v in values},
+        title="minT vs Work (frontier steps)",
+        x_label="Work",
+        y_label="minT",
+    )
+    return FigureResult(
+        figure_id="Fig 8(b)",
+        title=f"Guideline map: minT vs Work while nb_rows varies (%enabled={pct_enabled:g})",
+        headers=["nb_rows", "Work", "minT", "strategy"],
+        rows=rows,
+        chart=chart,
+        notes=[
+            "more rows = smaller diameter = more parallelism: minT at high budget drops "
+            "with nb_rows, while the minimum feasible Work stays similar",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — bounded resources: Db profile and the analytical model
+# ---------------------------------------------------------------------------
+
+
+def fig9a(
+    gmpl_levels: Sequence[int] = (1, 2, 4, 6, 8, 12, 16, 20, 25, 30, 35),
+    completions_per_level: int = 2000,
+    seed: int = 0,
+) -> FigureResult:
+    """Figure 9(a): UnitTime (ms) vs Gmpl for the simulated database."""
+    db = profile_database(
+        DbParams(), gmpl_levels, completions_per_level, warmup=200, seed=seed
+    )
+    rows = [[g, t] for g, t in db.points]
+    chart = ascii_chart(
+        {"Db": [(g, t) for g, t in db.points]},
+        title="UnitTime vs Gmpl",
+        x_label="Gmpl",
+        y_label="ms",
+    )
+    return FigureResult(
+        figure_id="Fig 9(a)",
+        title="Empirical Db function of the simulated database",
+        headers=["Gmpl", "UnitTime_ms"],
+        rows=rows,
+        chart=chart,
+        floatfmt=".2f",
+        notes=[
+            "expected shape: ~flat near 10ms at low load, then linear growth as the "
+            "4 CPUs saturate (paper's figure spans ~10-100ms over Gmpl 0-35)",
+        ],
+    )
+
+
+FIG9B_CODES = ("PCE0", "PCC0", "PCE80", "PC*100", "PSE40", "PSE80", "PSE100")
+FIG9B_THROUGHPUT = 10.0
+FIG9B_PCT_ENABLED = 25.0
+
+
+def fig9b(
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    throughput_per_s: float = FIG9B_THROUGHPUT,
+    n_instances: int = 300,
+    warmup_instances: int = 60,
+    profile_completions: int = 1500,
+    db_function: DbFunction | None = None,
+    measurement_seeds: Sequence[int] = (0, 1, 2),
+) -> FigureResult:
+    """Figure 9(b): predicted vs measured response time per strategy.
+
+    Graph (a) of the paper's figure is the UnitTime from Eq. (6) at the
+    strategy's Work, (b) the TimeInUnits from the guideline profile,
+    (c) their product (predicted ms), (d) the measured ms from an
+    open-system run at the target throughput (averaged over arrival
+    seeds).  The Db function is profiled in *open* mode, which captures
+    the queueing variance an open system actually sees.
+    """
+    params = PatternParams(nb_rows=4, pct_enabled=FIG9B_PCT_ENABLED)
+    if db_function is None:
+        db_function = profile_database(
+            DbParams(),
+            completions_per_level=profile_completions,
+            warmup=150,
+            mode="open",
+        )
+    results = evaluate_codes(params, FIG9B_CODES, seeds)
+    report = tune(strategy_points(results), db_function, throughput_per_s)
+    predictions = {p.code: p for p in report.predictions}
+
+    pattern = generate_pattern(params.with_seed(seeds[0]))
+    rows = []
+    for code in FIG9B_CODES:
+        prediction = predictions[code]
+        measured_ms = None
+        error_pct = None
+        if prediction.feasible:
+            measurements = [
+                measure_open_system(
+                    pattern,
+                    code,
+                    throughput_per_s,
+                    n_instances=n_instances,
+                    warmup_instances=warmup_instances,
+                    seed=measurement_seed,
+                )
+                for measurement_seed in measurement_seeds
+            ]
+            measured_ms = sum(m.mean_ms for m in measurements) / len(measurements)
+            predicted_ms = prediction.predicted_seconds * 1000.0
+            error_pct = abs(predicted_ms - measured_ms) / measured_ms * 100.0
+        rows.append(
+            [
+                code,
+                prediction.work,
+                prediction.time_units,
+                prediction.unit_time_ms,
+                prediction.predicted_seconds * 1000.0 if prediction.feasible else None,
+                measured_ms,
+                error_pct,
+            ]
+        )
+    best = report.best
+    notes = [
+        f"throughput {throughput_per_s:g}/s; Eq.(6) max Work = {report.max_work:.1f} units",
+        "'-' = saturated: Equation (6) has no solution at this Work",
+    ]
+    if best is not None:
+        notes.append(
+            f"model recommends {best.code} at {best.predicted_seconds * 1000.0:.0f} ms"
+        )
+    return FigureResult(
+        figure_id="Fig 9(b)",
+        title=f"Analytical model vs measurement (%enabled={FIG9B_PCT_ENABLED:g}, nb_rows=4)",
+        headers=[
+            "strategy",
+            "Work",
+            "TimeInUnits",
+            "UnitTime_ms",
+            "predicted_ms",
+            "measured_ms",
+            "err_%",
+        ],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations (beyond the paper's figures)
+# ---------------------------------------------------------------------------
+
+
+def ablation_halt_policy(seeds: Sequence[int] = DEFAULT_SEEDS) -> FigureResult:
+    """Work impact of halting in-flight queries at instance completion."""
+    params = PatternParams(nb_rows=4, pct_enabled=50)
+    rows = []
+    for code in ("PSE100", "PSC100", "PCE100"):
+        cancel = evaluate_code(params, code, seeds, halt_policy="cancel")
+        drain = evaluate_code(params, code, seeds, halt_policy="drain")
+        rows.append(
+            [code, cancel.mean_work, drain.mean_work, drain.mean_work - cancel.mean_work]
+        )
+    return FigureResult(
+        figure_id="Ablation A1",
+        title="Halt policy: cancel in-flight at completion vs drain",
+        headers=["strategy", "Work(cancel)", "Work(drain)", "delta"],
+        rows=rows,
+        notes=[
+            "the paper's semantics allows halting as soon as targets are stable; "
+            "draining measures how much work that cutoff saves",
+            "finding: the delta is ~0 on Table-1 patterns — the target closes "
+            "every path, so nothing is left in flight when it stabilizes; the "
+            "real work-savings channel is unneeded-pruning (ablation A2), not "
+            "completion-time cancellation",
+        ],
+    )
+
+
+def ablation_profile_mode(
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    throughput_per_s: float = FIG9B_THROUGHPUT,
+    n_instances: int = 260,
+    profile_completions: int = 1500,
+) -> FigureResult:
+    """Closed- vs open-loop Db profiling: analytical prediction accuracy.
+
+    The paper determines Db empirically but does not say how the load was
+    held; a closed loop (fixed Gmpl) misses the queueing variance an open
+    system sees, so its predictions are systematically optimistic.  This
+    ablation quantifies the gap on moderately loaded strategies.
+    """
+    params = PatternParams(nb_rows=4, pct_enabled=FIG9B_PCT_ENABLED)
+    codes = ("PCE0", "PCC0", "PC*100")
+    closed_db = profile_database(
+        DbParams(), completions_per_level=profile_completions, warmup=150, mode="closed"
+    )
+    open_db = profile_database(
+        DbParams(), completions_per_level=profile_completions, warmup=150, mode="open"
+    )
+    results = evaluate_codes(params, codes, seeds)
+    points = strategy_points(results)
+    closed_predictions = {p.code: p for p in tune(points, closed_db, throughput_per_s).predictions}
+    open_predictions = {p.code: p for p in tune(points, open_db, throughput_per_s).predictions}
+
+    pattern = generate_pattern(params.with_seed(seeds[0]))
+    rows = []
+    for code in codes:
+        measurements = [
+            measure_open_system(
+                pattern, code, throughput_per_s, n_instances=n_instances, seed=s
+            )
+            for s in (0, 1, 2)
+        ]
+        measured_ms = sum(m.mean_ms for m in measurements) / len(measurements)
+        closed_ms = closed_predictions[code].predicted_seconds * 1000.0
+        open_ms = open_predictions[code].predicted_seconds * 1000.0
+        rows.append(
+            [
+                code,
+                measured_ms,
+                closed_ms,
+                abs(closed_ms - measured_ms) / measured_ms * 100.0,
+                open_ms,
+                abs(open_ms - measured_ms) / measured_ms * 100.0,
+            ]
+        )
+    return FigureResult(
+        figure_id="Ablation A3",
+        title="Db profiling mode and analytical-model accuracy",
+        headers=["strategy", "measured_ms", "closed_ms", "closed_err_%", "open_ms", "open_err_%"],
+        rows=rows,
+        notes=["open-loop profiling should cut the prediction error roughly in half"],
+    )
+
+
+def ablation_sharing(
+    n_instances: int = 200,
+    arrival_rate_per_s: float = 12.0,
+    profile_counts: Sequence[int] = (1, 4, 16, 64),
+    seed: int = 0,
+) -> FigureResult:
+    """Result sharing across instances with overlapping data (paper §6).
+
+    A personalization flow whose queries are keyed by the customer profile
+    runs under Poisson arrivals; customers repeat (``profiles`` distinct
+    ones).  Sharing answers repeated queries from the shared result table,
+    cutting database units — the effect shrinks as the population of
+    distinct profiles grows.
+    """
+    from repro.core.engine import Engine
+    from repro.core.strategy import Strategy
+    from repro.simdb.des import Simulation
+    from repro.simdb.database import SimulatedDatabase
+    from repro.simdb.rng import derive_rng
+    from repro.core.attribute import Attribute
+    from repro.core.schema import DecisionFlowSchema
+    from repro.core.tasks import QueryTask
+
+    def personalization_schema() -> DecisionFlowSchema:
+        return DecisionFlowSchema(
+            [
+                Attribute("customer"),
+                Attribute(
+                    "profile",
+                    task=QueryTask(
+                        "q_profile", ("customer",), lambda v: f"p:{v['customer']}", 3
+                    ),
+                ),
+                Attribute(
+                    "segment",
+                    task=QueryTask(
+                        "q_segment", ("profile",), lambda v: hashable_bucket(v["profile"]), 2
+                    ),
+                ),
+                Attribute(
+                    "offers",
+                    task=QueryTask(
+                        "q_offers", ("segment",), lambda v: f"offers:{v['segment']}", 4
+                    ),
+                ),
+                # Catalog state is customer-independent: shared by everyone.
+                Attribute(
+                    "catalog", task=QueryTask("q_catalog", (), lambda v: "catalog", 2)
+                ),
+                Attribute(
+                    "page",
+                    task=QueryTask(
+                        "q_page", ("offers", "catalog"), lambda v: (v["offers"], v["catalog"]), 1
+                    ),
+                    is_target=True,
+                ),
+            ],
+            name="personalization",
+        )
+
+    def hashable_bucket(profile: str) -> str:
+        return f"seg{sum(map(ord, profile)) % 5}"
+
+    rows = []
+    for profiles in profile_counts:
+        per_mode: dict[bool, tuple[float, float]] = {}
+        for share in (False, True):
+            simulation = Simulation()
+            database = SimulatedDatabase(simulation, DbParams(), seed=seed)
+            engine = Engine(
+                personalization_schema(),
+                Strategy.parse("PCE100"),
+                database,
+                share_results=share,
+            )
+            arrival_rng = derive_rng(seed, "sharing-arrivals", profiles)
+            arrival_time = 0.0
+            instances = []
+            for _ in range(n_instances):
+                arrival_time += arrival_rng.expovariate(arrival_rate_per_s / 1000.0)
+                customer = f"c{arrival_rng.randrange(profiles)}"
+                instances.append(
+                    engine.submit_instance({"customer": customer}, at=arrival_time)
+                )
+            simulation.run()
+            mean_ms = sum(i.metrics.elapsed for i in instances) / n_instances
+            per_mode[share] = (database.total_units / n_instances, mean_ms)
+        rows.append(
+            [
+                profiles,
+                per_mode[False][0],
+                per_mode[True][0],
+                per_mode[False][1],
+                per_mode[True][1],
+            ]
+        )
+    return FigureResult(
+        figure_id="Ablation A4",
+        title=f"Result sharing under overlapping data ({n_instances} instances @ {arrival_rate_per_s:g}/s)",
+        headers=["profiles", "units/inst", "units/inst(shared)", "ms", "ms(shared)"],
+        rows=rows,
+        notes=[
+            "sharing cuts database units most when few distinct profiles recur; "
+            "the always-identical catalog query is shared at every population size",
+            "upper-bound effect: the table never expires entries, which is only "
+            "sound under the paper's fixed-data assumption — production use "
+            "needs TTL/invalidation, which would shrink these gains",
+        ],
+    )
+
+
+def ablation_cancel_unneeded(seeds: Sequence[int] = DEFAULT_SEEDS) -> FigureResult:
+    """Extension: cancelling in-flight queries detected unneeded (not in paper)."""
+    from repro.core.strategy import Strategy
+    from repro.bench.runner import run_pattern_once
+
+    params = PatternParams(nb_rows=4, pct_enabled=25)
+    rows = []
+    for code in ("PSE100", "PSE50", "PSC100"):
+        baseline_runs, cancel_runs = [], []
+        for seed in seeds:
+            pattern = generate_pattern(params.with_seed(seed))
+            baseline = run_pattern_once(pattern, Strategy.parse(code))
+            cancelling = run_pattern_once(
+                pattern, Strategy.parse(code, cancel_unneeded=True)
+            )
+            baseline_runs.append(baseline)
+            cancel_runs.append(cancelling)
+        rows.append(
+            [
+                code,
+                sum(m.work_units for m in baseline_runs) / len(baseline_runs),
+                sum(m.work_units for m in cancel_runs) / len(cancel_runs),
+                sum(m.elapsed for m in baseline_runs) / len(baseline_runs),
+                sum(m.elapsed for m in cancel_runs) / len(cancel_runs),
+            ]
+        )
+    return FigureResult(
+        figure_id="Ablation A2",
+        title="Cancelling unneeded in-flight queries (engine extension)",
+        headers=["strategy", "Work", "Work(+cancel)", "T", "T(+cancel)"],
+        rows=rows,
+        notes=["response time must not regress; work should drop for speculative runs"],
+    )

@@ -1,0 +1,112 @@
+"""Plain-text rendering of experiment results: tables and ASCII charts.
+
+The benchmark targets print the same rows/series the paper's figures
+report; these helpers keep that output readable in a terminal and in the
+captured ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_value", "format_table", "ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def format_value(value: object, floatfmt: str = ".1f") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    floatfmt: str = ".1f",
+    title: str | None = None,
+) -> str:
+    """A boxless, right-aligned monospace table."""
+    rendered = [[format_value(cell, floatfmt) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 68,
+    height: int = 18,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A rough scatter/line chart for eyeballing figure shapes in a terminal.
+
+    Each series gets a marker character; overlapping points show the later
+    series' marker.  Axes are linear and auto-scaled over all points.
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in values:
+            col = round((x - x_min) / x_span * (width - 1))
+            row = (height - 1) - round((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = format_value(y_max, ".4g")
+    bottom = format_value(y_min, ".4g")
+    label_width = max(len(top), len(bottom), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom.rjust(label_width)
+        elif row_index == height // 2:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + "  "
+        + format_value(x_min, ".4g")
+        + f" {x_label} ".center(width - 12)
+        + format_value(x_max, ".4g")
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * label_width + "  legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,205 @@
+"""Experiment runner shared by the benchmark suite and the examples.
+
+Two measurement modes, matching section 5:
+
+* :func:`evaluate_code` — *infinite resources*: one instance per seed on a
+  fresh :class:`IdealDatabase`; Work and TimeInUnits are averaged over
+  seeds.  Star codes ("PC*100") expand to both heuristics and average
+  over them, as the paper's figures do.
+* :func:`measure_open_system` — *bounded resources*: Poisson arrivals into
+  one engine sharing a :class:`SimulatedDatabase`; response times are
+  collected in steady state (TimeInSeconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, pstdev
+from typing import Sequence
+
+from repro.analysis.guidelines import StrategyPoint
+from repro.core.engine import Engine
+from repro.core.metrics import InstanceMetrics
+from repro.core.strategy import Strategy, expand_pattern
+from repro.errors import ExecutionError
+from repro.simdb.database import DbParams, IdealDatabase, SimulatedDatabase
+from repro.simdb.des import Simulation
+from repro.simdb.rng import derive_rng
+from repro.workload.generator import GeneratedPattern, generate_pattern
+from repro.workload.params import PatternParams
+
+__all__ = [
+    "RunPoint",
+    "StrategyResult",
+    "run_pattern_once",
+    "evaluate_code",
+    "evaluate_codes",
+    "strategy_points",
+    "OpenSystemResult",
+    "measure_open_system",
+]
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One instance execution on the ideal database."""
+
+    seed: int
+    code: str
+    work: int
+    time_units: float
+    speculative_wasted_units: int
+    unneeded_detected: int
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """Seed-averaged profile of one strategy code on one pattern family."""
+
+    code: str
+    mean_work: float
+    std_work: float
+    mean_time_units: float
+    std_time_units: float
+    runs: tuple[RunPoint, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.runs)
+
+
+def run_pattern_once(
+    pattern: GeneratedPattern,
+    strategy: Strategy,
+    halt_policy: str = "cancel",
+) -> InstanceMetrics:
+    """One instance on a fresh simulation + ideal database."""
+    simulation = Simulation()
+    engine = Engine(pattern.schema, strategy, IdealDatabase(simulation), halt_policy)
+    return engine.run_single(pattern.source_values)
+
+
+def evaluate_code(
+    params: PatternParams,
+    code: str,
+    seeds: Sequence[int] = tuple(range(10)),
+    halt_policy: str = "cancel",
+) -> StrategyResult:
+    """Average a (possibly starred) strategy code over pattern seeds."""
+    strategies = expand_pattern(code) if "*" in code else [Strategy.parse(code)]
+    runs: list[RunPoint] = []
+    for seed in seeds:
+        pattern = generate_pattern(params.with_seed(seed))
+        for strategy in strategies:
+            metrics = run_pattern_once(pattern, strategy, halt_policy)
+            runs.append(
+                RunPoint(
+                    seed=seed,
+                    code=strategy.code,
+                    work=metrics.work_units,
+                    time_units=metrics.elapsed,
+                    speculative_wasted_units=metrics.speculative_wasted_units,
+                    unneeded_detected=metrics.unneeded_detected,
+                )
+            )
+    works = [float(r.work) for r in runs]
+    times = [r.time_units for r in runs]
+    return StrategyResult(
+        code=code,
+        mean_work=mean(works),
+        std_work=pstdev(works) if len(works) > 1 else 0.0,
+        mean_time_units=mean(times),
+        std_time_units=pstdev(times) if len(times) > 1 else 0.0,
+        runs=tuple(runs),
+    )
+
+
+def evaluate_codes(
+    params: PatternParams,
+    codes: Sequence[str],
+    seeds: Sequence[int] = tuple(range(10)),
+    halt_policy: str = "cancel",
+) -> dict[str, StrategyResult]:
+    return {code: evaluate_code(params, code, seeds, halt_policy) for code in codes}
+
+
+def strategy_points(results: dict[str, StrategyResult]) -> list[StrategyPoint]:
+    """Convert runner results into analysis-layer strategy points."""
+    return [
+        StrategyPoint(code=r.code, work=r.mean_work, time_units=r.mean_time_units)
+        for r in results.values()
+    ]
+
+
+@dataclass(frozen=True)
+class OpenSystemResult:
+    """Steady-state measurement on the bounded-resource database."""
+
+    code: str
+    arrival_rate_per_s: float
+    completed: int
+    measured: int
+    mean_seconds: float
+    p95_seconds: float
+    mean_work: float
+    mean_gmpl: float
+    sim_ms: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean_seconds * 1000.0
+
+
+def measure_open_system(
+    pattern: GeneratedPattern,
+    code: str,
+    arrival_rate_per_s: float,
+    db_params: DbParams | None = None,
+    n_instances: int = 300,
+    warmup_instances: int = 50,
+    seed: int = 0,
+) -> OpenSystemResult:
+    """Poisson arrivals at the given rate into one engine + simulated DB.
+
+    The clock is in milliseconds.  The first ``warmup_instances`` completions
+    are discarded; remaining instances give the measured TimeInSeconds.
+    """
+    strategies = expand_pattern(code) if "*" in code else [Strategy.parse(code)]
+    # A starred code denotes a family with near-identical profiles (the
+    # paper plots them as one curve); measure its first member.
+    strategy = strategies[0]
+
+    simulation = Simulation()
+    database = SimulatedDatabase(simulation, db_params or DbParams(), seed=seed)
+    engine = Engine(pattern.schema, strategy, database)
+    arrival_rng = derive_rng(seed, "arrivals", code, arrival_rate_per_s)
+    rate_per_ms = arrival_rate_per_s / 1000.0
+
+    arrival_time = 0.0
+    instances = []
+    for _ in range(n_instances):
+        arrival_time += arrival_rng.expovariate(rate_per_ms)
+        instances.append(engine.submit_instance(pattern.source_values, at=arrival_time))
+    simulation.run()
+
+    finished = [inst.metrics for inst in instances if inst.done]
+    if len(finished) < n_instances:
+        raise ExecutionError(
+            f"open-system run stalled: {len(finished)}/{n_instances} instances finished"
+        )
+    # Steady state: order by completion and drop the warm-up prefix.
+    finished.sort(key=lambda m: m.finish_time)
+    measured = finished[warmup_instances:]
+    seconds = sorted(m.elapsed / 1000.0 for m in measured)
+    p95_index = min(len(seconds) - 1, int(0.95 * len(seconds)))
+    return OpenSystemResult(
+        code=code,
+        arrival_rate_per_s=arrival_rate_per_s,
+        completed=len(finished),
+        measured=len(measured),
+        mean_seconds=mean(seconds),
+        p95_seconds=seconds[p95_index],
+        mean_work=mean(float(m.work_units) for m in measured),
+        mean_gmpl=database.mean_gmpl(),
+        sim_ms=simulation.now,
+    )

@@ -1,0 +1,73 @@
+"""Attribute specifications.
+
+A decision flow is *attribute-centric* (section 2): the schema is a family
+of attributes, each non-source attribute produced by exactly one task and
+guarded by an enabling condition.  Source attributes carry the instance's
+input values; target attributes embody its output.
+"""
+
+from __future__ import annotations
+
+from repro.core.conditions import Condition, TRUE
+from repro.core.tasks import Task
+
+__all__ = ["Attribute", "source_attribute"]
+
+
+class Attribute:
+    """Specification of one attribute in a decision-flow schema.
+
+    * ``task is None`` marks a **source** attribute (value supplied at
+      instance start); source attributes must have the literal TRUE
+      condition.
+    * ``is_target`` marks a **target** attribute: execution of an instance
+      completes exactly when every target attribute is stable.
+    """
+
+    __slots__ = ("name", "task", "condition", "is_target", "doc")
+
+    def __init__(
+        self,
+        name: str,
+        task: Task | None = None,
+        condition: Condition = TRUE,
+        is_target: bool = False,
+        doc: str = "",
+    ):
+        if not name or not isinstance(name, str):
+            raise ValueError(f"attribute name must be a non-empty string, got {name!r}")
+        if not isinstance(condition, Condition):
+            raise TypeError(f"attribute {name!r}: condition must be a Condition")
+        self.name = name
+        self.task = task
+        self.condition = condition
+        self.is_target = bool(is_target)
+        self.doc = doc
+
+    @property
+    def is_source(self) -> bool:
+        return self.task is None
+
+    @property
+    def data_inputs(self) -> tuple[str, ...]:
+        """Attributes this attribute's task reads (empty for sources)."""
+        return self.task.inputs if self.task is not None else ()
+
+    @property
+    def condition_inputs(self) -> frozenset[str]:
+        """Attributes read by the enabling condition."""
+        return self.condition.refs()
+
+    @property
+    def cost(self) -> int:
+        """Units of processing of the producing query (0 for non-queries)."""
+        return self.task.cost if self.task is not None and self.task.is_query else 0
+
+    def __repr__(self) -> str:
+        kind = "source" if self.is_source else ("target" if self.is_target else "internal")
+        return f"<Attribute {self.name} ({kind})>"
+
+
+def source_attribute(name: str, doc: str = "") -> Attribute:
+    """Convenience constructor for a source attribute."""
+    return Attribute(name, task=None, condition=TRUE, is_target=False, doc=doc)

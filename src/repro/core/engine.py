@@ -1,0 +1,309 @@
+"""The decision-flow execution engine (architecture of Figure 2).
+
+The engine orchestrates, per the paper's execution algorithm (section 3):
+
+1. **Evaluation phase** — fold newly arrived values into the snapshot and
+   propagate consequences (delegated to :class:`InstanceRuntime.drain`);
+   exit the instance when every target attribute is stable.
+2. **Prequalifying phase** — build the candidate pool (options P/N, S/C).
+3. **Scheduling phase** — pick candidates by the heuristic (E/C) under
+   the %Permitted parallelism bound and dispatch their queries to the
+   database server.
+
+The engine is multi-instance: any number of flow instances share one
+database server (and its simulated clock), which is how the bounded-
+resource/throughput experiments of section 5 are run.
+
+On instance completion the engine *halts immediately* (as the paper's
+semantics allows once all targets are stable): in-flight queries are
+cancelled at their next unit boundary and the units already processed
+count toward Work.  Pass ``halt_policy="drain"`` to let them run to
+completion instead (the difference is examined by an ablation benchmark).
+
+Two engine-level extensions beyond the paper's experiments:
+
+* **failure tolerance** — a query the database reports as *failed* still
+  stabilizes its attribute, with an :class:`~repro.nulls.ExceptionValue`;
+  downstream tasks and conditions continue with incomplete information
+  ("e.g., if a database is down").
+* **result sharing** (``share_results=True``) — concurrent instances with
+  overlapping data share query results through a
+  :class:`~repro.core.sharing.ResultShare` (the paper's §6 future-work
+  direction): identical queries are answered from the table or joined to
+  the in-flight duplicate instead of re-hitting the database.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Mapping
+
+from repro.core.instance import InstanceRuntime
+from repro.core.metrics import InstanceMetrics
+from repro.core.scheduler import select_for_launch
+from repro.core.schema import DecisionFlowSchema
+from repro.core.sharing import ResultShare, UNSET, share_key
+from repro.core.state import Enablement
+from repro.core.strategy import Strategy
+from repro.errors import ExecutionError
+from repro.nulls import ExceptionValue
+from repro.simdb.database import DatabaseServer
+
+__all__ = ["Engine"]
+
+
+class _SharedWait:
+    """Placeholder in ``instance.inflight`` for a joined (shared) query."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple):
+        self.key = key
+
+    def cancel(self) -> None:  # waiters have nothing to cancel
+        return None
+
+
+class Engine:
+    """Executes decision-flow instances against a database server."""
+
+    def __init__(
+        self,
+        schema: DecisionFlowSchema,
+        strategy: Strategy,
+        database: DatabaseServer,
+        halt_policy: str = "cancel",
+        share_results: bool = False,
+    ):
+        if halt_policy not in ("cancel", "drain"):
+            raise ValueError(f"halt_policy must be 'cancel' or 'drain', got {halt_policy!r}")
+        self.schema = schema
+        self.strategy = strategy
+        self.database = database
+        self.sim = database.sim
+        self.halt_policy = halt_policy
+        self.share: ResultShare | None = ResultShare() if share_results else None
+        self.instances: list[InstanceRuntime] = []
+        self._id_seq = itertools.count(1)
+        self._on_complete: dict[str, Callable[[InstanceMetrics], None]] = {}
+        self._handle_key: dict[object, tuple] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def submit_instance(
+        self,
+        source_values: Mapping[str, object] | None = None,
+        at: float | None = None,
+        instance_id: str | None = None,
+        on_complete: Callable[[InstanceMetrics], None] | None = None,
+    ) -> InstanceRuntime:
+        """Create an instance and schedule its start (default: immediately)."""
+        start_time = self.sim.now if at is None else at
+        instance_id = instance_id or f"{self.schema.name}#{next(self._id_seq)}"
+        instance = InstanceRuntime(
+            self.schema,
+            self.strategy,
+            instance_id,
+            source_values or {},
+            start_time,
+        )
+        self.instances.append(instance)
+        if on_complete is not None:
+            self._on_complete[instance_id] = on_complete
+        self.sim.schedule_at(start_time, lambda: self._start(instance))
+        return instance
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the shared simulation clock."""
+        self.sim.run(until)
+
+    def run_single(self, source_values: Mapping[str, object] | None = None) -> InstanceMetrics:
+        """Convenience: execute one instance to completion and return metrics."""
+        instance = self.submit_instance(source_values)
+        self.sim.run()
+        if not instance.done:
+            unstable = [
+                t for t in self.schema.target_names if not instance.cells[t].stable
+            ]
+            raise ExecutionError(
+                f"instance {instance.instance_id} stalled; unstable targets: {unstable}"
+            )
+        return instance.metrics
+
+    # -- internal event handlers -----------------------------------------------
+
+    def _start(self, instance: InstanceRuntime) -> None:
+        instance.start()
+        self._after_event(instance)
+
+    def _after_event(self, instance: InstanceRuntime) -> None:
+        instance.drain()
+        if instance.targets_stable():
+            self._finish(instance)
+            return
+        if self.strategy.cancel_unneeded and instance.needed is not None:
+            for name, handle in list(instance.inflight.items()):
+                if instance.needed.is_unneeded(name) and not self._has_waiters(handle):
+                    handle.cancel()
+        for name in select_for_launch(instance):
+            self._launch(instance, name)
+
+    def _has_waiters(self, handle: object) -> bool:
+        if self.share is None:
+            return False
+        key = self._handle_key.get(handle)
+        return key is not None and self.share.waiter_count(key) > 0
+
+    def _launch(self, instance: InstanceRuntime, name: str) -> None:
+        spec = self.schema[name]
+        task = spec.task
+        # Inputs are stable by the READY invariant, and the paper's fixed-data
+        # assumption makes the result independent of *when* the query runs —
+        # this is what makes speculative execution (and result sharing) safe.
+        values = instance.stable_values(task.inputs)
+        speculative = instance.cells[name].enablement is Enablement.UNKNOWN
+        instance.launched.add(name)
+
+        key: tuple | None = None
+        if self.share is not None:
+            key = share_key(task.name, values)
+            cached = self.share.get(key)
+            if cached is not UNSET:
+                instance.metrics.shared_hits += 1
+                # Deliver asynchronously so state changes stay event-driven.
+                self.sim.schedule(0.0, lambda: self._shared_done(instance, name, cached))
+                return
+            if self.share.is_pending(key):
+                instance.metrics.shared_joins += 1
+                instance.inflight[name] = _SharedWait(key)
+                self.share.join(
+                    key, lambda value: self._shared_done(instance, name, value)
+                )
+                return
+            self.share.mark_pending(key)
+
+        value = task.compute(values)
+        instance.metrics.queries_launched += 1
+        if speculative:
+            instance.speculative_launch.add(name)
+            instance.metrics.speculative_launched += 1
+        handle = self.database.submit(
+            task.cost,
+            lambda processed, completed: self._query_done(
+                instance, name, value, key, processed, completed
+            ),
+        )
+        instance.inflight[name] = handle
+        if key is not None:
+            self._handle_key[handle] = key
+
+    def _query_done(
+        self,
+        instance: InstanceRuntime,
+        name: str,
+        value: object,
+        key: tuple | None,
+        processed: int,
+        completed: bool,
+    ) -> None:
+        handle = instance.inflight.pop(name, None)
+        if handle is not None:
+            self._handle_key.pop(handle, None)
+        instance.metrics.work_units += processed
+
+        if completed:
+            instance.metrics.queries_completed += 1
+            if handle is not None and getattr(handle, "failed", False):
+                instance.metrics.queries_failed += 1
+                value = ExceptionValue(f"query for {name!r} failed")
+        else:
+            instance.metrics.queries_cancelled += 1
+            if (
+                name in instance.speculative_launch
+                and instance.cells[name].enablement is Enablement.DISABLED
+            ):
+                instance.metrics.speculative_wasted_queries += 1
+                instance.metrics.speculative_wasted_units += processed
+
+        if completed and not instance.done:
+            accepted = instance.apply_query_result(name, value)
+            if not accepted:
+                instance.metrics.speculative_wasted_queries += 1
+                instance.metrics.speculative_wasted_units += processed
+        if not instance.done:
+            self._after_event(instance)
+        # Publish after the issuer's own advance: the issuer keeps ownership
+        # of downstream queries, and waiters join those instead of racing to
+        # issue them first.  Publishing happens even for finished instances —
+        # waiters from other instances may still be blocked on this key.
+        if key is not None:
+            self._resolve_share(instance, name, value, key, completed, handle)
+
+    def _resolve_share(
+        self,
+        instance: InstanceRuntime,
+        name: str,
+        value: object,
+        key: tuple,
+        completed: bool,
+        handle: object,
+    ) -> None:
+        assert self.share is not None
+        if completed:
+            failed = handle is not None and getattr(handle, "failed", False)
+            # Failures resolve current waiters but are not cached, so the
+            # next instance retries the query.
+            self.share.publish(key, value, cache=not failed)
+            return
+        # The issuer was cancelled; reissue on behalf of any waiters that
+        # joined before the cancellation took effect.
+        stranded = self.share.abandon(key)
+        if not stranded:
+            return
+        self.share.mark_pending(key)
+        for deliver in stranded:
+            self.share.join(key, deliver)
+        task = self.schema[name].task
+        holder: dict[str, object] = {}
+
+        def on_reissue(processed: int, done: bool) -> None:
+            reissued_handle = holder.get("handle")
+            failed = reissued_handle is not None and getattr(reissued_handle, "failed", False)
+            if done and not failed:
+                self.share.publish(key, value, cache=True)
+            else:
+                outcome = ExceptionValue(f"query for {name!r} failed") if failed else value
+                self.share.publish(key, outcome, cache=False)
+
+        holder["handle"] = self.database.submit(task.cost, on_reissue)
+
+    def _shared_done(self, instance: InstanceRuntime, name: str, value: object) -> None:
+        """A shared result (cache hit or resolved join) reaches an instance."""
+        instance.inflight.pop(name, None)
+        if instance.done:
+            return
+        # No database units were spent by this instance, so a later
+        # disabled-condition resolution must not book wasted work for it.
+        instance.speculative_launch.discard(name)
+        instance.apply_query_result(name, value)
+        self._after_event(instance)
+
+    def _finish(self, instance: InstanceRuntime) -> None:
+        instance.done = True
+        instance.metrics.finish_time = self.sim.now
+        instance.finalize_metrics()
+        if self.halt_policy == "cancel":
+            for handle in instance.inflight.values():
+                if not self._has_waiters(handle):
+                    handle.cancel()
+        callback = self._on_complete.pop(instance.instance_id, None)
+        if callback is not None:
+            callback(instance.metrics)
+
+    def __repr__(self) -> str:
+        done = sum(1 for i in self.instances if i.done)
+        shared = " shared" if self.share is not None else ""
+        return (
+            f"<Engine {self.schema.name!r} strategy={self.strategy.code}{shared} "
+            f"instances={done}/{len(self.instances)} done>"
+        )

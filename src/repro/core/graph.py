@@ -1,0 +1,153 @@
+"""Dependency graph of a decision-flow schema.
+
+The dependency graph (section 2) has a node per attribute and two kinds of
+edges: **data-flow** edges (A → B if A is an input of B's task) and
+**enabling-flow** edges (A → B if A occurs in B's enabling condition).
+A schema is *well-formed* iff this graph is acyclic; the graph also supplies
+the topological machinery used by the scheduler ("topologically-earliest
+first" ranks attributes by longest distance from the sources).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+from repro.core.attribute import Attribute
+from repro.errors import CycleError, UnknownAttributeError
+
+__all__ = ["EdgeKind", "DependencyGraph"]
+
+
+class EdgeKind:
+    DATA = "data"
+    ENABLING = "enabling"
+
+
+class DependencyGraph:
+    """Immutable dependency graph over a set of attributes.
+
+    Exposes, per attribute: data inputs/consumers, condition (enabling)
+    inputs/consumers, a deterministic topological order, and the *depth*
+    (longest path from any attribute with no predecessors) used by the
+    topologically-earliest-first scheduling heuristic.
+    """
+
+    def __init__(self, attributes: Mapping[str, Attribute]):
+        self._names = list(attributes)
+        name_set = set(self._names)
+        self.data_inputs: dict[str, tuple[str, ...]] = {}
+        self.cond_inputs: dict[str, frozenset[str]] = {}
+        self.data_consumers: dict[str, list[str]] = {name: [] for name in self._names}
+        self.enabling_consumers: dict[str, list[str]] = {name: [] for name in self._names}
+
+        for name, spec in attributes.items():
+            unknown = (set(spec.data_inputs) | set(spec.condition_inputs)) - name_set
+            if unknown:
+                raise UnknownAttributeError(
+                    f"attribute {name!r} references undefined attributes: {sorted(unknown)}"
+                )
+            self.data_inputs[name] = tuple(dict.fromkeys(spec.data_inputs))
+            self.cond_inputs[name] = frozenset(spec.condition_inputs)
+            for parent in self.data_inputs[name]:
+                self.data_consumers[parent].append(name)
+            for parent in sorted(self.cond_inputs[name]):
+                self.enabling_consumers[parent].append(name)
+
+        self.parents: dict[str, frozenset[str]] = {
+            name: frozenset(self.data_inputs[name]) | self.cond_inputs[name]
+            for name in self._names
+        }
+        self.children: dict[str, frozenset[str]] = {
+            name: frozenset(self.data_consumers[name]) | frozenset(self.enabling_consumers[name])
+            for name in self._names
+        }
+
+        self.topo_order: tuple[str, ...] = self._topological_sort()
+        self.topo_index: dict[str, int] = {
+            name: index for index, name in enumerate(self.topo_order)
+        }
+        self.depth: dict[str, int] = self._longest_path_depths()
+
+    def _topological_sort(self) -> tuple[str, ...]:
+        """Kahn's algorithm; ties broken by schema declaration order."""
+        indegree = {name: len(self.parents[name]) for name in self._names}
+        position = {name: index for index, name in enumerate(self._names)}
+        ready = deque(sorted((n for n in self._names if indegree[n] == 0), key=position.get))
+        order: list[str] = []
+        while ready:
+            name = ready.popleft()
+            order.append(name)
+            newly_ready = []
+            for child in self.children[name]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    newly_ready.append(child)
+            for child in sorted(newly_ready, key=position.get):
+                ready.append(child)
+        if len(order) != len(self._names):
+            cycle = self._find_cycle({n for n in self._names if indegree[n] > 0})
+            raise CycleError(
+                "schema dependency graph is cyclic: " + " -> ".join(cycle)
+            )
+        return tuple(order)
+
+    def _find_cycle(self, suspects: set[str]) -> list[str]:
+        """Return one concrete cycle among the nodes left by Kahn's algorithm."""
+        start = sorted(suspects)[0]
+        path: list[str] = []
+        seen: dict[str, int] = {}
+        node = start
+        while node not in seen:
+            seen[node] = len(path)
+            path.append(node)
+            node = sorted(p for p in self.parents[node] if p in suspects)[0]
+        return path[seen[node]:] + [node]
+
+    def _longest_path_depths(self) -> dict[str, int]:
+        depth: dict[str, int] = {}
+        for name in self.topo_order:
+            parents = self.parents[name]
+            depth[name] = 1 + max((depth[p] for p in parents), default=-1)
+        return depth
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._names)
+
+    def edges(self) -> Iterable[tuple[str, str, str]]:
+        """Yield (parent, child, kind) for every dependency edge."""
+        for child in self._names:
+            for parent in self.data_inputs[child]:
+                yield parent, child, EdgeKind.DATA
+            for parent in sorted(self.cond_inputs[child]):
+                yield parent, child, EdgeKind.ENABLING
+
+    def edge_count(self) -> int:
+        return sum(1 for _ in self.edges())
+
+    def diameter(self) -> int:
+        """Longest path length in the graph (in edges)."""
+        return max(self.depth.values(), default=0)
+
+    def ancestors(self, name: str) -> frozenset[str]:
+        """All attributes reachable backward from *name* (excluding it)."""
+        seen: set[str] = set()
+        frontier = list(self.parents[name])
+        while frontier:
+            node = frontier.pop()
+            if node not in seen:
+                seen.add(node)
+                frontier.extend(self.parents[node])
+        return frozenset(seen)
+
+    def descendants(self, name: str) -> frozenset[str]:
+        """All attributes reachable forward from *name* (excluding it)."""
+        seen: set[str] = set()
+        frontier = list(self.children[name])
+        while frontier:
+            node = frontier.pop()
+            if node not in seen:
+                seen.add(node)
+                frontier.extend(self.children[node])
+        return frozenset(seen)

@@ -1,0 +1,107 @@
+"""Per-instance performance metrics.
+
+The paper's three measures (section 5):
+
+* **TimeInUnits** — response time of an instance in units of processing,
+  used with the ideal (unbounded-resource) database where one unit takes
+  exactly one tick of simulated time.
+* **TimeInSeconds** — wall-clock response time on the bounded-resource
+  simulated database (our simulated milliseconds / 1000).
+* **Work** — total units of processing the database performed for the
+  instance (speculative and unneeded work included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean, pstdev
+from typing import Iterable, Sequence
+
+__all__ = ["InstanceMetrics", "MetricsSummary", "summarize"]
+
+
+@dataclass
+class InstanceMetrics:
+    """Counters for one decision-flow instance execution."""
+
+    instance_id: str
+    start_time: float
+    finish_time: float | None = None
+    work_units: int = 0
+    queries_launched: int = 0
+    queries_completed: int = 0
+    queries_cancelled: int = 0
+    queries_failed: int = 0
+    shared_hits: int = 0
+    shared_joins: int = 0
+    speculative_launched: int = 0
+    speculative_wasted_queries: int = 0
+    speculative_wasted_units: int = 0
+    synthesis_executed: int = 0
+    unneeded_detected: int = 0
+    unneeded_cost_avoided: int = 0
+    attrs_value: int = 0
+    attrs_disabled: int = 0
+    attrs_unstable: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Response time in raw simulated time (units or ms, per database)."""
+        if self.finish_time is None:
+            raise ValueError(f"instance {self.instance_id} has not finished")
+        return self.finish_time - self.start_time
+
+    def time_in_units(self, unit_duration: float = 1.0) -> float:
+        """TimeInUnits: response time divided by the ideal unit duration."""
+        return self.elapsed / unit_duration
+
+    def time_in_seconds(self, ms_per_time_unit: float = 1.0) -> float:
+        """TimeInSeconds: response time when the clock is in milliseconds."""
+        return self.elapsed * ms_per_time_unit / 1000.0
+
+
+@dataclass
+class MetricsSummary:
+    """Aggregates over a set of finished instances."""
+
+    count: int
+    mean_work: float
+    std_work: float
+    mean_elapsed: float
+    std_elapsed: float
+    mean_speculative_wasted_units: float
+    mean_unneeded_detected: float
+    total_work: int = 0
+    mean_queries_launched: float = 0.0
+
+    def mean_time_in_units(self, unit_duration: float = 1.0) -> float:
+        return self.mean_elapsed / unit_duration
+
+    def mean_time_in_seconds(self) -> float:
+        return self.mean_elapsed / 1000.0
+
+
+def summarize(metrics: Iterable[InstanceMetrics]) -> MetricsSummary:
+    """Summarize finished instances; raises on an empty or unfinished set."""
+    finished: Sequence[InstanceMetrics] = [m for m in metrics if m.done]
+    if not finished:
+        raise ValueError("no finished instances to summarize")
+    works = [float(m.work_units) for m in finished]
+    elapsed = [m.elapsed for m in finished]
+    return MetricsSummary(
+        count=len(finished),
+        mean_work=mean(works),
+        std_work=pstdev(works) if len(works) > 1 else 0.0,
+        mean_elapsed=mean(elapsed),
+        std_elapsed=pstdev(elapsed) if len(elapsed) > 1 else 0.0,
+        mean_speculative_wasted_units=mean(
+            float(m.speculative_wasted_units) for m in finished
+        ),
+        mean_unneeded_detected=mean(float(m.unneeded_detected) for m in finished),
+        total_work=int(sum(works)),
+        mean_queries_launched=mean(float(m.queries_launched) for m in finished),
+    )

@@ -1,0 +1,94 @@
+"""Modular (user-facing) decision flows and their flattening.
+
+The model presented to users is modular, "to support scalability and levels
+of abstraction" (section 2): tasks are grouped into modules, and a module
+carries its own enabling condition.  For execution the schema is
+*flattened*: the enabling condition of a module is AND-ed into the enabling
+condition of each task and submodule within it, which gives the engine more
+freedom in task ordering.  Figure 1(b) of the paper is the flattened form
+of Figure 1(a).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.core.attribute import Attribute
+from repro.core.conditions import Condition, TRUE, conjoin
+from repro.core.schema import DecisionFlowSchema
+from repro.errors import SchemaError
+
+__all__ = ["Module", "flatten"]
+
+Member = Union[Attribute, "Module"]
+
+
+class Module:
+    """A named group of attributes and submodules with a shared condition."""
+
+    __slots__ = ("name", "condition", "members", "doc")
+
+    def __init__(
+        self,
+        name: str,
+        members: Iterable[Member] = (),
+        condition: Condition = TRUE,
+        doc: str = "",
+    ):
+        self.name = name
+        self.condition = condition
+        self.members: list[Member] = list(members)
+        self.doc = doc
+
+    def add(self, member: Member) -> Member:
+        """Append a member (attribute or submodule); returns it for chaining."""
+        self.members.append(member)
+        return member
+
+    def walk(self, prefix: Condition = TRUE):
+        """Yield (attribute, effective_condition) over the module tree.
+
+        ``effective_condition`` is the attribute's own condition AND-ed with
+        the conditions of every enclosing module — the flattening rule.
+        """
+        scope = conjoin(prefix, self.condition)
+        for member in self.members:
+            if isinstance(member, Module):
+                yield from member.walk(scope)
+            elif isinstance(member, Attribute):
+                yield member, conjoin(scope, member.condition)
+            else:
+                raise SchemaError(
+                    f"module {self.name!r} contains a non-member object: {member!r}"
+                )
+
+    def attribute_names(self) -> list[str]:
+        return [attribute.name for attribute, _ in self.walk()]
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name!r} members={len(self.members)}>"
+
+
+def flatten(root: Module, name: str | None = None) -> DecisionFlowSchema:
+    """Flatten a modular decision flow into an executable schema.
+
+    Source attributes must appear in scopes whose effective condition is
+    the literal TRUE (a conditional source makes no sense — its value is
+    given, not computed).
+    """
+    flattened: list[Attribute] = []
+    for attribute, condition in root.walk():
+        if attribute.is_source and condition is not attribute.condition and condition != TRUE:
+            raise SchemaError(
+                f"source attribute {attribute.name!r} sits inside a conditional module"
+            )
+        flattened.append(
+            Attribute(
+                name=attribute.name,
+                task=attribute.task,
+                condition=condition,
+                is_target=attribute.is_target,
+                doc=attribute.doc,
+            )
+        )
+    return DecisionFlowSchema(flattened, name=name or root.name)

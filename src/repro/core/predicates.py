@@ -1,0 +1,206 @@
+"""Leaf predicates for enabling conditions.
+
+Predicates follow SQL-like null semantics: any comparison whose operand is
+the null value ⊥ (a DISABLED attribute) evaluates to false; only the
+explicit :class:`IsNull` test is true on ⊥.  This matches the paper's
+requirement that tasks and conditions cope with ⊥ inputs — e.g. the
+condition ``give_promo(s)? = true`` of Figure 1 is false when
+``give_promo(s)?`` is disabled.
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from typing import Callable, Mapping, Sequence
+
+from repro.core.conditions import Condition, Resolver, UNRESOLVED
+from repro.core.tri import Tri, from_bool
+from repro.nulls import NULL, ExceptionValue
+
+__all__ = ["Op", "AttrRef", "Comparison", "IsNull", "IsException", "UserPredicate", "attr"]
+
+
+class Op(enum.Enum):
+    """Comparison operators usable in :class:`Comparison` predicates."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    IN = "in"
+
+    @property
+    def fn(self) -> Callable[[object, object], bool]:
+        return _OP_FUNCTIONS[self]
+
+
+_OP_FUNCTIONS: dict[Op, Callable[[object, object], bool]] = {
+    Op.EQ: operator.eq,
+    Op.NE: operator.ne,
+    Op.LT: operator.lt,
+    Op.LE: operator.le,
+    Op.GT: operator.gt,
+    Op.GE: operator.ge,
+    Op.IN: lambda a, b: a in b,
+}
+
+
+class AttrRef:
+    """Reference to another attribute used as the right operand of a comparison."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AttrRef) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("AttrRef", self.name))
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+
+def attr(name: str) -> AttrRef:
+    """Convenience constructor for :class:`AttrRef`."""
+    return AttrRef(name)
+
+
+class Comparison(Condition):
+    """``left <op> right`` where *left* is an attribute and *right* a constant
+    or another attribute.
+
+    UNKNOWN while any referenced attribute is unresolved; FALSE when any
+    resolved operand is ⊥.
+    """
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left: str, op: Op, right: object):
+        self.left = left
+        self.op = op
+        self.right = right
+
+    def refs(self) -> frozenset[str]:
+        if isinstance(self.right, AttrRef):
+            return frozenset((self.left, self.right.name))
+        return frozenset((self.left,))
+
+    def eval_tri(self, resolve: Resolver) -> Tri:
+        left_value = resolve(self.left)
+        if left_value is UNRESOLVED:
+            return Tri.UNKNOWN
+        if isinstance(self.right, AttrRef):
+            right_value = resolve(self.right.name)
+            if right_value is UNRESOLVED:
+                return Tri.UNKNOWN
+        else:
+            right_value = self.right
+        if left_value is NULL or right_value is NULL:
+            return Tri.FALSE
+        if isinstance(left_value, ExceptionValue) or isinstance(right_value, ExceptionValue):
+            # Comparisons over failed evaluations are false, like ⊥; use
+            # IsException to branch on outages explicitly.
+            return Tri.FALSE
+        return from_bool(self.op.fn(left_value, right_value))
+
+    def _key(self) -> tuple:
+        right = self.right
+        # Unhashable constant operands (e.g. lists for IN) are keyed by repr.
+        try:
+            hash(right)
+        except TypeError:
+            right = repr(right)
+        return (self.left, self.op, right)
+
+    def __repr__(self) -> str:
+        return f"({self.left} {self.op.value} {self.right!r})"
+
+
+class IsNull(Condition):
+    """True iff the referenced attribute is DISABLED (its value is ⊥)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def refs(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def eval_tri(self, resolve: Resolver) -> Tri:
+        value = resolve(self.name)
+        if value is UNRESOLVED:
+            return Tri.UNKNOWN
+        return from_bool(value is NULL)
+
+    def _key(self) -> tuple:
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return f"({self.name} is null)"
+
+
+class IsException(Condition):
+    """True iff the referenced attribute's evaluation failed (EXC value)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def refs(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def eval_tri(self, resolve: Resolver) -> Tri:
+        value = resolve(self.name)
+        if value is UNRESOLVED:
+            return Tri.UNKNOWN
+        return from_bool(isinstance(value, ExceptionValue))
+
+    def _key(self) -> tuple:
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return f"({self.name} is exception)"
+
+
+class UserPredicate(Condition):
+    """Arbitrary boolean function over a fixed set of attributes.
+
+    The function receives a mapping from attribute name to stable value
+    (possibly ⊥) and must return a boolean.  It is evaluated only once all
+    referenced attributes are stable, so it contributes nothing to eager
+    partial evaluation — use comparisons and null-tests when early
+    resolution matters.
+    """
+
+    __slots__ = ("name", "_refs", "fn")
+
+    def __init__(self, name: str, refs: Sequence[str], fn: Callable[[Mapping[str, object]], bool]):
+        self.name = name
+        self._refs = tuple(refs)
+        self.fn = fn
+
+    def refs(self) -> frozenset[str]:
+        return frozenset(self._refs)
+
+    def eval_tri(self, resolve: Resolver) -> Tri:
+        values: dict[str, object] = {}
+        for ref in self._refs:
+            value = resolve(ref)
+            if value is UNRESOLVED:
+                return Tri.UNKNOWN
+            values[ref] = value
+        return from_bool(bool(self.fn(values)))
+
+    def _key(self) -> tuple:
+        return (self.name, self._refs, id(self.fn))
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self._refs)})"

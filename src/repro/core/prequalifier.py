@@ -1,0 +1,37 @@
+"""The prequalifier: building the candidate task pool (section 3/4).
+
+The prequalifier maintains, per flow instance, the pool of query tasks
+eligible for execution:
+
+* under **Conservative** (option C) only READY+ENABLED attributes qualify;
+* under **Speculative** (option S) READY attributes qualify too — they may
+  be executed before their enabling condition is known;
+* under **Propagation** (option P) attributes detected *unneeded* by
+  backward propagation are removed from the pool.
+
+Synthesis tasks never enter the pool — the engine executes them inline.
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import InstanceRuntime
+
+__all__ = ["candidate_pool"]
+
+
+def candidate_pool(instance: InstanceRuntime) -> list[str]:
+    """Names of query attributes currently eligible for launch.
+
+    Returned in schema declaration order; the scheduler applies the
+    heuristic ordering and the %Permitted cut.
+    """
+    pool: list[str] = []
+    for name in instance.schema.non_source_names:
+        spec = instance.schema[name]
+        if spec.task is None or not spec.task.is_query:
+            continue
+        if name in instance.launched:
+            continue
+        if instance._is_executable(name):
+            pool.append(name)
+    return pool

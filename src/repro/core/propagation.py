@@ -1,0 +1,114 @@
+"""The Propagation Algorithm: incremental detection of unneeded attributes.
+
+Section 4 of the paper combines *forward propagation* (eagerly resolving
+enabling conditions from the attribute values and DISABLED facts known so
+far — handled by the Kleene evaluation in the instance runtime) with
+*backward propagation*: inferring that an attribute's value is not needed
+for the instance to complete, even though it is or may become enabled.
+
+This module implements backward propagation as a monotone, counter-based
+dead-edge analysis.  Every dependency edge (parent → child, data or
+enabling) starts *alive* and dies exactly once, when its reason for
+existing disappears:
+
+* the child **stabilizes** (VALUE or DISABLED) — both kinds die;
+* the child's **condition resolves** — its enabling in-edges die;
+* the child's value is **computed** (speculatively) — its data in-edges die;
+* the child becomes **unneeded** — all its in-edges die.
+
+An attribute becomes *unneeded* when its last live out-edge dies (targets
+carry one extra, external out-edge that dies on stabilization, so a live
+target keeps its ancestors needed).  Each edge is touched a constant
+number of times, so the total cost over an instance is linear in the size
+of the decision flow — matching the paper's claim for its
+Propagation_Algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import DependencyGraph, EdgeKind
+from repro.core.schema import DecisionFlowSchema
+
+__all__ = ["NeededTracker"]
+
+
+class NeededTracker:
+    """Tracks which attributes are still needed for instance completion."""
+
+    __slots__ = ("_alive", "_live_out", "_external", "unneeded", "_schema")
+
+    def __init__(self, schema: DecisionFlowSchema):
+        self._schema = schema
+        graph: DependencyGraph = schema.graph
+        self._alive: dict[tuple[str, str, str], bool] = {}
+        self._live_out: dict[str, int] = {name: 0 for name in graph.names}
+        self.unneeded: set[str] = set()
+
+        for parent, child, kind in graph.edges():
+            self._alive[(parent, child, kind)] = True
+            self._live_out[parent] += 1
+
+        # Each target has one external consumer (the caller of the flow),
+        # which keeps the target and its ancestors needed until it is stable.
+        self._external: set[str] = set(schema.target_names)
+        for name in self._external:
+            self._live_out[name] += 1
+
+        # Attributes with no live path to a target are unneeded from the start.
+        for name in graph.names:
+            if self._live_out[name] == 0:
+                self._mark_unneeded(name)
+
+    # -- event entry points ----------------------------------------------
+
+    def on_stabilized(self, name: str) -> None:
+        """The attribute reached VALUE or DISABLED: all its in-edges die."""
+        if name in self._external:
+            self._external.discard(name)
+            self._decrement(name)
+        self._kill_in_edges(name, kinds=(EdgeKind.DATA, EdgeKind.ENABLING))
+
+    def on_condition_resolved(self, name: str) -> None:
+        """The enabling condition of *name* is decided: enabling in-edges die."""
+        self._kill_in_edges(name, kinds=(EdgeKind.ENABLING,))
+
+    def on_computed(self, name: str) -> None:
+        """The value of *name* was computed (speculatively): data in-edges die."""
+        self._kill_in_edges(name, kinds=(EdgeKind.DATA,))
+
+    def is_unneeded(self, name: str) -> bool:
+        return name in self.unneeded
+
+    # -- internals ---------------------------------------------------------
+
+    def _kill_in_edges(self, child: str, kinds: tuple[str, ...]) -> None:
+        graph = self._schema.graph
+        if EdgeKind.DATA in kinds:
+            for parent in graph.data_inputs[child]:
+                self._kill(parent, child, EdgeKind.DATA)
+        if EdgeKind.ENABLING in kinds:
+            for parent in graph.cond_inputs[child]:
+                self._kill(parent, child, EdgeKind.ENABLING)
+
+    def _kill(self, parent: str, child: str, kind: str) -> None:
+        key = (parent, child, kind)
+        if self._alive.get(key):
+            self._alive[key] = False
+            self._decrement(parent)
+
+    def _decrement(self, name: str) -> None:
+        self._live_out[name] -= 1
+        if self._live_out[name] == 0:
+            self._mark_unneeded(name)
+
+    def _mark_unneeded(self, name: str) -> None:
+        if name in self.unneeded:
+            return
+        self.unneeded.add(name)
+        # Nothing downstream needs *name*, so nothing *name* consumes is
+        # needed on its account: cascade by killing its in-edges.
+        self._kill_in_edges(name, kinds=(EdgeKind.DATA, EdgeKind.ENABLING))
+
+    def live_out_degree(self, name: str) -> int:
+        """Remaining live out-edges (diagnostics and tests)."""
+        return self._live_out[name]

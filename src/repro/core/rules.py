@@ -1,0 +1,141 @@
+"""Business-rule synthesis tasks (the Vortex "generalized business rules").
+
+The decision-flow model of [HLS+99a] lets a synthesis attribute be defined
+by a set of rules, each of the form *if condition then contribute value*,
+whose fired contributions are merged by a *combining policy*.  The paper's
+Figure-1 "decision" module (estimate expendable income, build the promo
+hit list, decide whether to give promos) is naturally expressed this way.
+
+Rule conditions are ordinary :class:`~repro.core.conditions.Condition`
+objects; at synthesis time all inputs are stable, so they evaluate
+two-valued.  Contributions may be constants or functions of the input
+values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.core.conditions import Condition, TRUE, resolver_from_mapping
+from repro.core.tasks import SynthesisTask
+from repro.nulls import NULL
+
+__all__ = ["Rule", "CombiningPolicy", "RuleSetTask", "rule_set"]
+
+
+class Rule:
+    """One business rule: ``if condition then contribute value``."""
+
+    __slots__ = ("name", "condition", "contribution")
+
+    def __init__(
+        self,
+        name: str,
+        condition: Condition = TRUE,
+        contribution: object | Callable[[Mapping[str, object]], object] = None,
+    ):
+        self.name = name
+        self.condition = condition
+        self.contribution = contribution
+
+    def fires(self, values: Mapping[str, object]) -> bool:
+        """Whether the rule's condition holds over the given stable values."""
+        return self.condition.eval_bool(resolver_from_mapping(values))
+
+    def contribute(self, values: Mapping[str, object]) -> object:
+        if callable(self.contribution):
+            return self.contribution(values)
+        return self.contribution
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.name}: if {self.condition!r}>"
+
+
+class CombiningPolicy:
+    """Named policies that merge the contributions of fired rules."""
+
+    _REGISTRY: dict[str, Callable[[list[object]], object]] = {}
+
+    @classmethod
+    def register(cls, name: str, fn: Callable[[list[object]], object]) -> None:
+        cls._REGISTRY[name] = fn
+
+    @classmethod
+    def get(cls, name: str) -> Callable[[list[object]], object]:
+        try:
+            return cls._REGISTRY[name]
+        except KeyError:
+            known = ", ".join(sorted(cls._REGISTRY))
+            raise KeyError(f"unknown combining policy {name!r} (known: {known})") from None
+
+    @classmethod
+    def names(cls) -> list[str]:
+        return sorted(cls._REGISTRY)
+
+
+CombiningPolicy.register("collect", lambda contributions: list(contributions))
+CombiningPolicy.register("first", lambda contributions: contributions[0])
+CombiningPolicy.register("last", lambda contributions: contributions[-1])
+CombiningPolicy.register("sum", lambda contributions: sum(contributions))
+CombiningPolicy.register("max", lambda contributions: max(contributions))
+CombiningPolicy.register("min", lambda contributions: min(contributions))
+CombiningPolicy.register("any", lambda contributions: any(contributions))
+CombiningPolicy.register("all", lambda contributions: all(contributions))
+
+
+class RuleSetTask(SynthesisTask):
+    """A synthesis task defined by a rule set and a combining policy.
+
+    When no rule fires, the task returns ``default`` (⊥ unless overridden);
+    downstream conditions can detect this with ``IsNull``-style tests on
+    the *value* via comparisons, or the flow can route around it.
+    """
+
+    __slots__ = ("rules", "policy_name", "default")
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        rules: Sequence[Rule],
+        policy: str = "collect",
+        default: object = NULL,
+    ):
+        self.rules = tuple(rules)
+        self.policy_name = policy
+        self.default = default
+        combine = CombiningPolicy.get(policy)
+        missing = {
+            ref
+            for rule in self.rules
+            for ref in rule.condition.refs()
+            if ref not in set(inputs)
+        }
+        if missing:
+            raise ValueError(
+                f"rule set {name!r} references attributes not in inputs: {sorted(missing)}"
+            )
+
+        def fn(values: Mapping[str, object]) -> object:
+            contributions = [
+                rule.contribute(values) for rule in self.rules if rule.fires(values)
+            ]
+            if not contributions:
+                return self.default
+            return combine(contributions)
+
+        super().__init__(name, inputs, fn)
+
+    def __repr__(self) -> str:
+        return f"<RuleSetTask {self.name} rules={len(self.rules)} policy={self.policy_name}>"
+
+
+def rule_set(
+    name: str,
+    inputs: Sequence[str],
+    rules: Sequence[Rule],
+    policy: str = "collect",
+    default: object = NULL,
+) -> RuleSetTask:
+    """Convenience constructor for :class:`RuleSetTask`."""
+    return RuleSetTask(name, inputs, rules, policy, default)

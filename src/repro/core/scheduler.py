@@ -1,0 +1,56 @@
+"""The task scheduler: heuristic ordering and the %Permitted cut (section 4).
+
+Given the candidate pool, the scheduler selects which queries to send to
+the database:
+
+* **topologically-earliest first** (option E) — prefer attributes closest
+  to the sources (smallest longest-path depth in the dependency graph).
+  Early results feed forward propagation, which uncovers eligible and
+  DISABLED attributes sooner and seeds backward propagation.
+* **cheapest first** (option C) — prefer the shortest estimated execution
+  duration (the query's cost in units); results return sooner, and a
+  misfired speculative query wastes less.
+
+The **%Permitted** parallelism option bounds how much of the pool runs at
+once: the per-instance in-flight target is ``max(1, ceil(p/100 · (|pool| +
+inflight)))``, so p=0 is strictly sequential (the paper's "no parallelism",
+with the guarantee that at least one task is always selected) and p=100
+launches the entire pool.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.instance import InstanceRuntime
+from repro.core.prequalifier import candidate_pool
+
+__all__ = ["rank_key", "select_for_launch"]
+
+
+def rank_key(instance: InstanceRuntime, name: str):
+    """Sort key implementing the strategy's scheduling heuristic.
+
+    Ties break on topological index, then name, so runs are deterministic.
+    """
+    graph = instance.schema.graph
+    if instance.strategy.heuristic == "earliest":
+        primary = graph.depth[name]
+    else:
+        primary = instance.schema[name].cost
+    return (primary, graph.topo_index[name], name)
+
+
+def select_for_launch(instance: InstanceRuntime) -> list[str]:
+    """The scheduling phase: choose pool members to dispatch right now."""
+    pool = candidate_pool(instance)
+    if not pool:
+        return []
+    inflight = len(instance.inflight)
+    total = len(pool) + inflight
+    target = max(1, math.ceil(instance.strategy.permitted / 100.0 * total))
+    slots = target - inflight
+    if slots <= 0:
+        return []
+    pool.sort(key=lambda name: rank_key(instance, name))
+    return pool[:slots]

@@ -1,0 +1,145 @@
+"""Declarative semantics: the unique complete snapshot.
+
+A *complete snapshot* (section 2) maps every non-source attribute to a
+state in {VALUE, DISABLED} and a value (the task's value, or ⊥ when
+DISABLED), such that an attribute is VALUE exactly when its enabling
+condition evaluates to true over the snapshot.  Acyclicity guarantees the
+snapshot is unique for given source values; an execution is *correct* iff
+the states and values it produces for the target attributes agree with it.
+
+This module is the reference evaluator used to verify the optimized engine
+(the paper proves its optimizations correct against this semantics; we
+test ours against it, including under Hypothesis-generated schemas).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.conditions import UNRESOLVED
+from repro.core.schema import DecisionFlowSchema
+from repro.core.state import AttributeState
+from repro.errors import ExecutionError
+from repro.nulls import NULL
+
+__all__ = ["CompleteSnapshot", "evaluate_schema", "check_against_snapshot"]
+
+
+class CompleteSnapshot:
+    """The unique complete snapshot of a schema for given source values."""
+
+    __slots__ = ("schema", "states", "values")
+
+    def __init__(
+        self,
+        schema: DecisionFlowSchema,
+        states: dict[str, AttributeState],
+        values: dict[str, object],
+    ):
+        self.schema = schema
+        self.states = states
+        self.values = values
+
+    def enabled_names(self) -> tuple[str, ...]:
+        return tuple(n for n, s in self.states.items() if s is AttributeState.VALUE)
+
+    def disabled_names(self) -> tuple[str, ...]:
+        return tuple(n for n, s in self.states.items() if s is AttributeState.DISABLED)
+
+    def enabled_fraction(self, names: tuple[str, ...] | None = None) -> float:
+        """Fraction of *names* (default: non-source attributes) that are enabled."""
+        names = names if names is not None else self.schema.non_source_names
+        if not names:
+            return 0.0
+        enabled = sum(1 for n in names if self.states[n] is AttributeState.VALUE)
+        return enabled / len(names)
+
+    def target_values(self) -> dict[str, object]:
+        return {n: self.values[n] for n in self.schema.target_names}
+
+    def needed_cost(self) -> int:
+        """Total query cost of enabled attributes (lower bound intuition only)."""
+        return sum(
+            self.schema[n].cost
+            for n, s in self.states.items()
+            if s is AttributeState.VALUE
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompleteSnapshot {self.schema.name!r} "
+            f"enabled={len(self.enabled_names())} disabled={len(self.disabled_names())}>"
+        )
+
+
+def evaluate_schema(
+    schema: DecisionFlowSchema, source_values: Mapping[str, object]
+) -> CompleteSnapshot:
+    """Compute the unique complete snapshot by one pass in topological order."""
+    missing = set(schema.source_names) - set(source_values)
+    if missing:
+        raise ExecutionError(f"missing source values: {sorted(missing)}")
+    extra = set(source_values) - set(schema.source_names)
+    if extra:
+        raise ExecutionError(f"values supplied for non-source attributes: {sorted(extra)}")
+
+    states: dict[str, AttributeState] = {}
+    values: dict[str, object] = {}
+
+    def resolve(name: str) -> object:
+        return values.get(name, UNRESOLVED)
+
+    for name in schema.graph.topo_order:
+        spec = schema[name]
+        if spec.is_source:
+            states[name] = AttributeState.VALUE
+            values[name] = source_values[name]
+            continue
+        # Topological order guarantees every referenced attribute is already
+        # assigned, so two-valued evaluation cannot raise.
+        if spec.condition.eval_bool(resolve):
+            states[name] = AttributeState.VALUE
+            values[name] = spec.task.compute(values)
+        else:
+            states[name] = AttributeState.DISABLED
+            values[name] = NULL
+
+    return CompleteSnapshot(schema, states, values)
+
+
+def check_against_snapshot(
+    snapshot: CompleteSnapshot,
+    observed_states: Mapping[str, AttributeState],
+    observed_values: Mapping[str, object],
+    require_targets: bool = True,
+) -> list[str]:
+    """Check an observed (partial) execution outcome against the snapshot.
+
+    Returns a list of human-readable violations (empty = correct).  Only
+    attributes present in *observed_states* are compared — the semantics
+    deems states/values of unevaluated attributes irrelevant — except that
+    with ``require_targets`` every target must have been observed stable.
+    """
+    violations: list[str] = []
+    for name, state in observed_states.items():
+        if not state.stable:
+            continue
+        expected_state = snapshot.states[name]
+        if state is not expected_state:
+            violations.append(
+                f"{name}: observed {state.value}, snapshot says {expected_state.value}"
+            )
+            continue
+        if state is AttributeState.VALUE:
+            observed = observed_values.get(name, UNRESOLVED)
+            expected = snapshot.values[name]
+            if observed != expected:
+                violations.append(
+                    f"{name}: observed value {observed!r}, snapshot says {expected!r}"
+                )
+    if require_targets:
+        for name in snapshot.schema.target_names:
+            state = observed_states.get(name)
+            if state is None or not state.stable:
+                violations.append(f"target {name} did not stabilize")
+    return violations

@@ -1,0 +1,230 @@
+"""Attribute states and the runtime state automaton (Figure 3 of the paper).
+
+An attribute's runtime state is the product of two independent dimensions:
+
+* **readiness** — have the data inputs of its task stabilized, and has the
+  task's value been computed?  PENDING → READY → COMPUTED, one way.
+* **enablement** — what is known about its enabling condition?
+  UNKNOWN → ENABLED or UNKNOWN → DISABLED, one way.
+
+The seven states of the paper's finite-state automaton are derived from the
+pair, which makes illegal histories unrepresentable: the paper's partial
+order (e.g. READY ⊑ COMPUTED) falls out of the one-way dimension moves.
+
+=============  ==========  ===========
+derived state  readiness   enablement
+=============  ==========  ===========
+UNINITIALIZED  PENDING     UNKNOWN
+READY          READY       UNKNOWN
+COMPUTED       COMPUTED    UNKNOWN
+ENABLED        PENDING     ENABLED
+READY_ENABLED  READY       ENABLED
+VALUE          COMPUTED    ENABLED
+DISABLED       any         DISABLED
+=============  ==========  ===========
+
+VALUE and DISABLED are the terminal ("stable") states.  A DISABLED
+attribute takes the null value ⊥ regardless of any speculatively computed
+value.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import IllegalTransitionError
+from repro.nulls import NULL
+
+__all__ = [
+    "Readiness",
+    "Enablement",
+    "AttributeState",
+    "derive_state",
+    "legal_successors",
+    "AttributeCell",
+]
+
+
+class Readiness(enum.Enum):
+    PENDING = 0
+    READY = 1
+    COMPUTED = 2
+
+
+class Enablement(enum.Enum):
+    UNKNOWN = 0
+    ENABLED = 1
+    DISABLED = 2
+
+
+class AttributeState(enum.Enum):
+    """The seven states of the paper's Figure-3 automaton."""
+
+    UNINITIALIZED = "UNINITIALIZED"
+    READY = "READY"
+    COMPUTED = "COMPUTED"
+    ENABLED = "ENABLED"
+    READY_ENABLED = "READY+ENABLED"
+    VALUE = "VALUE"
+    DISABLED = "DISABLED"
+
+    @property
+    def stable(self) -> bool:
+        """Terminal states: the attribute's value will never change again."""
+        return self in (AttributeState.VALUE, AttributeState.DISABLED)
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+def derive_state(readiness: Readiness, enablement: Enablement) -> AttributeState:
+    """Map a (readiness, enablement) pair to the derived Figure-3 state."""
+    if enablement is Enablement.DISABLED:
+        return AttributeState.DISABLED
+    if enablement is Enablement.ENABLED:
+        return {
+            Readiness.PENDING: AttributeState.ENABLED,
+            Readiness.READY: AttributeState.READY_ENABLED,
+            Readiness.COMPUTED: AttributeState.VALUE,
+        }[readiness]
+    return {
+        Readiness.PENDING: AttributeState.UNINITIALIZED,
+        Readiness.READY: AttributeState.READY,
+        Readiness.COMPUTED: AttributeState.COMPUTED,
+    }[readiness]
+
+
+def _reachable_pairs(readiness: Readiness, enablement: Enablement):
+    """Pairs reachable from the given pair in one dimension step."""
+    if readiness is Readiness.PENDING:
+        yield Readiness.READY, enablement
+    elif readiness is Readiness.READY:
+        yield Readiness.COMPUTED, enablement
+    if enablement is Enablement.UNKNOWN:
+        yield readiness, Enablement.ENABLED
+        yield readiness, Enablement.DISABLED
+
+
+def legal_successors(state: AttributeState) -> frozenset[AttributeState]:
+    """Derived states reachable from *state* in one or more dimension moves.
+
+    This is the transition relation of the paper's automaton (Fig. 3),
+    closed under multi-step moves that may look atomic to an observer
+    (e.g. an UNINITIALIZED attribute whose condition resolves in the same
+    event that stabilizes its last input appears to jump straight to
+    READY+ENABLED).
+    """
+    pairs = {
+        (readiness, enablement)
+        for readiness in Readiness
+        for enablement in Enablement
+        if derive_state(readiness, enablement) is state
+    }
+    seen: set[tuple[Readiness, Enablement]] = set()
+    frontier = set(pairs)
+    while frontier:
+        current = frontier.pop()
+        for nxt in _reachable_pairs(*current):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.add(nxt)
+    return frozenset(derive_state(r, e) for r, e in seen) - {state}
+
+
+class AttributeCell:
+    """Mutable runtime record of a single attribute in one flow instance.
+
+    The cell enforces the automaton: each mutator performs exactly one
+    one-way dimension move and raises :class:`IllegalTransitionError`
+    otherwise.  Values: when the state is VALUE the cell holds the task's
+    value; when DISABLED the observable value is ⊥ (a speculatively
+    computed value, if any, is retained for diagnostics only).
+    """
+
+    __slots__ = ("name", "readiness", "enablement", "_value", "is_source")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.readiness = Readiness.PENDING
+        self.enablement = Enablement.UNKNOWN
+        self._value: object = None
+        self.is_source = False
+
+    @classmethod
+    def source(cls, name: str, value: object) -> "AttributeCell":
+        """A source attribute: starts stable in state VALUE."""
+        cell = cls(name)
+        cell.readiness = Readiness.COMPUTED
+        cell.enablement = Enablement.ENABLED
+        cell._value = value
+        cell.is_source = True
+        return cell
+
+    @property
+    def state(self) -> AttributeState:
+        return derive_state(self.readiness, self.enablement)
+
+    @property
+    def stable(self) -> bool:
+        return self.state.stable
+
+    @property
+    def value(self) -> object:
+        """Observable value: task value if VALUE, ⊥ if DISABLED.
+
+        Raises ValueError in non-stable states — callers must check
+        :attr:`stable` first (this catches engine bugs early).
+        """
+        state = self.state
+        if state is AttributeState.VALUE:
+            return self._value
+        if state is AttributeState.DISABLED:
+            return NULL
+        raise ValueError(f"attribute {self.name!r} is not stable (state {state})")
+
+    @property
+    def speculative_value(self) -> object:
+        """The computed value regardless of enablement (diagnostics only)."""
+        if self.readiness is not Readiness.COMPUTED:
+            raise ValueError(f"attribute {self.name!r} has no computed value")
+        return self._value
+
+    def mark_ready(self) -> AttributeState:
+        """All data inputs stabilized (PENDING → READY)."""
+        if self.readiness is not Readiness.PENDING:
+            raise IllegalTransitionError(
+                f"{self.name}: mark_ready in readiness {self.readiness}"
+            )
+        self.readiness = Readiness.READY
+        return self.state
+
+    def set_computed(self, value: object) -> AttributeState:
+        """The task produced a value (READY → COMPUTED)."""
+        if self.readiness is not Readiness.READY:
+            raise IllegalTransitionError(
+                f"{self.name}: set_computed in readiness {self.readiness}"
+            )
+        self.readiness = Readiness.COMPUTED
+        self._value = value
+        return self.state
+
+    def mark_enabled(self) -> AttributeState:
+        """The enabling condition resolved to true (UNKNOWN → ENABLED)."""
+        if self.enablement is not Enablement.UNKNOWN:
+            raise IllegalTransitionError(
+                f"{self.name}: mark_enabled in enablement {self.enablement}"
+            )
+        self.enablement = Enablement.ENABLED
+        return self.state
+
+    def mark_disabled(self) -> AttributeState:
+        """The enabling condition resolved to false (UNKNOWN → DISABLED)."""
+        if self.enablement is not Enablement.UNKNOWN:
+            raise IllegalTransitionError(
+                f"{self.name}: mark_disabled in enablement {self.enablement}"
+            )
+        self.enablement = Enablement.DISABLED
+        return self.state
+
+    def __repr__(self) -> str:
+        return f"<AttributeCell {self.name} {self.state.value}>"

@@ -1,0 +1,141 @@
+"""Execution strategies: the four optimization options of section 5.
+
+A strategy is written as in the paper, e.g. ``PSE80``:
+
+* ``P`` / ``N`` — Propagation Algorithm on (eager condition evaluation,
+  forward/backward propagation, unneeded elimination) vs Naive.
+* ``S`` / ``C`` — Speculative (READY attributes enter the candidate pool)
+  vs Conservative (only READY+ENABLED).
+* ``E`` / ``C`` — scheduling heuristic: topologically-Earliest first vs
+  Cheapest first.
+* ``%Permitted`` ∈ [0, 100] — the percentage of candidate attributes
+  selected for execution; 0 means strictly sequential (at least one task
+  is always selected), 100 launches every candidate.
+
+``PC*100`` -style patterns (with ``*`` for "either heuristic") expand via
+:func:`expand_pattern`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import StrategyError
+
+__all__ = ["Strategy", "expand_pattern", "ALL_STRATEGY_CODES"]
+
+_STRATEGY_RE = re.compile(r"^([PN])([SC])([EC])(\d{1,3})%?$")
+
+#: The 2×2×2 option codes (parallelism supplied separately).
+ALL_STRATEGY_CODES = tuple(
+    p + s + h for p in "PN" for s in "SC" for h in "EC"
+)
+
+
+class Strategy:
+    """An immutable execution strategy (option combination)."""
+
+    __slots__ = ("propagation", "speculative", "heuristic", "permitted", "cancel_unneeded")
+
+    def __init__(
+        self,
+        propagation: bool = True,
+        speculative: bool = False,
+        heuristic: str = "earliest",
+        permitted: int = 0,
+        cancel_unneeded: bool = False,
+    ):
+        if heuristic not in ("earliest", "cheapest"):
+            raise StrategyError(f"unknown heuristic {heuristic!r}")
+        permitted = int(permitted)
+        if not 0 <= permitted <= 100:
+            raise StrategyError(f"%Permitted must be in [0, 100], got {permitted}")
+        self.propagation = bool(propagation)
+        self.speculative = bool(speculative)
+        self.heuristic = heuristic
+        self.permitted = permitted
+        # Extension (not in the paper): cancel in-flight queries whose
+        # attribute became unneeded.  Exercised by the ablation benchmark.
+        self.cancel_unneeded = bool(cancel_unneeded)
+
+    @classmethod
+    def parse(cls, code: str, cancel_unneeded: bool = False) -> "Strategy":
+        """Parse a paper-style strategy code such as ``"PSE80"`` or ``"NCC0%"``."""
+        match = _STRATEGY_RE.match(code.strip())
+        if not match:
+            raise StrategyError(
+                f"bad strategy code {code!r} (expected e.g. 'PSE80' or 'NCC0')"
+            )
+        p, s, h, permitted = match.groups()
+        if int(permitted) > 100:
+            raise StrategyError(f"%Permitted must be in [0, 100], got {permitted}")
+        return cls(
+            propagation=(p == "P"),
+            speculative=(s == "S"),
+            heuristic="earliest" if h == "E" else "cheapest",
+            permitted=int(permitted),
+            cancel_unneeded=cancel_unneeded,
+        )
+
+    @property
+    def code(self) -> str:
+        """The paper-style code, e.g. ``"PSE80"``."""
+        return (
+            ("P" if self.propagation else "N")
+            + ("S" if self.speculative else "C")
+            + ("E" if self.heuristic == "earliest" else "C")
+            + str(self.permitted)
+        )
+
+    def with_permitted(self, permitted: int) -> "Strategy":
+        return Strategy(
+            self.propagation, self.speculative, self.heuristic, permitted, self.cancel_unneeded
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Strategy) and (
+            self.propagation,
+            self.speculative,
+            self.heuristic,
+            self.permitted,
+            self.cancel_unneeded,
+        ) == (
+            other.propagation,
+            other.speculative,
+            other.heuristic,
+            other.permitted,
+            other.cancel_unneeded,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.propagation, self.speculative, self.heuristic, self.permitted, self.cancel_unneeded))
+
+    def __repr__(self) -> str:
+        suffix = "+cancel" if self.cancel_unneeded else ""
+        return f"<Strategy {self.code}{suffix}>"
+
+
+def expand_pattern(pattern: str, permitted: int | None = None) -> list[Strategy]:
+    """Expand a pattern with ``*`` wildcards into concrete strategies.
+
+    ``expand_pattern("PC*100")`` → ``[PCE100, PCC100]``;
+    ``expand_pattern("P**", permitted=80)`` → the four P strategies at 80%.
+    Patterns may or may not carry a trailing parallelism figure; if absent,
+    *permitted* must be given.
+    """
+    match = re.match(r"^([PN*])([SC*])([EC*])(\d{1,3})?%?$", pattern.strip())
+    if not match:
+        raise StrategyError(f"bad strategy pattern {pattern!r}")
+    p_options = "PN" if match.group(1) == "*" else match.group(1)
+    s_options = "SC" if match.group(2) == "*" else match.group(2)
+    h_options = "EC" if match.group(3) == "*" else match.group(3)
+    if match.group(4) is not None:
+        permitted = int(match.group(4))
+    if permitted is None:
+        raise StrategyError(f"pattern {pattern!r} has no %Permitted and none was given")
+    return [
+        Strategy.parse(f"{p}{s}{h}{permitted}")
+        for p in p_options
+        for s in s_options
+        for h in h_options
+    ]

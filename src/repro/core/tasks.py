@@ -1,0 +1,129 @@
+"""Tasks: the units of computation that produce attribute values.
+
+The paper distinguishes *foreign tasks* (external to the engine — here,
+database queries with a cost in units of processing) and *synthesis tasks*
+(user-defined functions or business-rule sets evaluated inside the engine;
+see :mod:`repro.core.rules`).  As in the paper, each task produces exactly
+one attribute value.
+
+Tasks must be able to execute even when some inputs hold the null value ⊥
+(their producing attribute was DISABLED); the supplied function receives
+⊥ like any other value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+__all__ = ["Task", "SynthesisTask", "QueryTask", "constant", "query", "synthesize"]
+
+
+class Task:
+    """Base class for tasks.  ``inputs`` are the data-input attribute names."""
+
+    __slots__ = ("name", "inputs")
+
+    def __init__(self, name: str, inputs: Sequence[str]):
+        self.name = name
+        self.inputs = tuple(inputs)
+        if len(set(self.inputs)) != len(self.inputs):
+            raise ValueError(f"task {name!r} has duplicate inputs: {self.inputs}")
+
+    def compute(self, values: Mapping[str, object]) -> object:
+        """Produce the attribute value from stable input values."""
+        raise NotImplementedError
+
+    @property
+    def is_query(self) -> bool:
+        return isinstance(self, QueryTask)
+
+
+class SynthesisTask(Task):
+    """An in-engine task: a user-defined function over its inputs.
+
+    Synthesis tasks consume no database resources; the engine executes
+    them inline in zero simulated time as soon as they are eligible.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, name: str, inputs: Sequence[str], fn: Callable[[Mapping[str, object]], object]):
+        super().__init__(name, inputs)
+        self.fn = fn
+
+    def compute(self, values: Mapping[str, object]) -> object:
+        return self.fn({name: values[name] for name in self.inputs})
+
+    def __repr__(self) -> str:
+        return f"<SynthesisTask {self.name}({', '.join(self.inputs)})>"
+
+
+class QueryTask(Task):
+    """A foreign task: a database query with a cost in units of processing.
+
+    ``fn`` models the query's result as a function of the (stable) input
+    values — deterministic per the paper's fixed-data assumption, which is
+    what makes speculative execution safe.  ``cost`` is the number of units
+    of processing the database performs to answer the query (Table 1:
+    ``module_cost``, uniform in [1, 5] for generated workloads).
+    """
+
+    __slots__ = ("fn", "cost", "description")
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        fn: Callable[[Mapping[str, object]], object],
+        cost: int,
+        description: str = "",
+    ):
+        super().__init__(name, inputs)
+        if cost < 1:
+            raise ValueError(f"query task {name!r} must have cost >= 1, got {cost}")
+        self.fn = fn
+        self.cost = int(cost)
+        self.description = description
+
+    def compute(self, values: Mapping[str, object]) -> object:
+        return self.fn({name: values[name] for name in self.inputs})
+
+    def __repr__(self) -> str:
+        return f"<QueryTask {self.name} cost={self.cost}>"
+
+
+def constant(value: object) -> Callable[[Mapping[str, object]], object]:
+    """A task function returning a fixed value regardless of inputs.
+
+    The value is exposed as ``fn.constant_value`` so constant tasks are
+    introspectable (the schema serializer uses this).
+    """
+
+    def fn(values: Mapping[str, object]) -> object:
+        return value
+
+    fn.constant_value = value  # type: ignore[attr-defined]
+    return fn
+
+
+def query(
+    name: str,
+    inputs: Sequence[str] = (),
+    cost: int = 1,
+    fn: Callable[[Mapping[str, object]], object] | None = None,
+    value: object = None,
+    description: str = "",
+) -> QueryTask:
+    """Convenience constructor: pass either ``fn`` or a constant ``value``."""
+    if fn is None:
+        fn = constant(value)
+    return QueryTask(name, inputs, fn, cost, description)
+
+
+def synthesize(
+    name: str,
+    inputs: Sequence[str],
+    fn: Callable[[Mapping[str, object]], object],
+) -> SynthesisTask:
+    """Convenience constructor for :class:`SynthesisTask`."""
+    return SynthesisTask(name, inputs, fn)

@@ -1,0 +1,82 @@
+"""Kleene three-valued logic used for eager evaluation of enabling conditions.
+
+Partial evaluation of enabling conditions (section 4 of the paper) works on
+three truth values: a condition whose inputs are not all stable may already
+be known TRUE (some disjunct is true) or FALSE (some conjunct is false), or
+still UNKNOWN.  This module provides the truth values and the Kleene
+connectives over them.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Tri", "tri_and", "tri_or", "tri_not", "tri_all", "tri_any", "from_bool"]
+
+
+class Tri(enum.Enum):
+    """A Kleene truth value."""
+
+    FALSE = 0
+    UNKNOWN = 1
+    TRUE = 2
+
+    @property
+    def known(self) -> bool:
+        """True iff this value is decided (TRUE or FALSE)."""
+        return self is not Tri.UNKNOWN
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def from_bool(value: bool) -> Tri:
+    """Lift a Python boolean into the three-valued domain."""
+    return Tri.TRUE if value else Tri.FALSE
+
+
+def tri_not(a: Tri) -> Tri:
+    """Kleene negation."""
+    if a is Tri.TRUE:
+        return Tri.FALSE
+    if a is Tri.FALSE:
+        return Tri.TRUE
+    return Tri.UNKNOWN
+
+
+def tri_and(a: Tri, b: Tri) -> Tri:
+    """Kleene conjunction: FALSE dominates, UNKNOWN absorbs TRUE."""
+    if a is Tri.FALSE or b is Tri.FALSE:
+        return Tri.FALSE
+    if a is Tri.UNKNOWN or b is Tri.UNKNOWN:
+        return Tri.UNKNOWN
+    return Tri.TRUE
+
+
+def tri_or(a: Tri, b: Tri) -> Tri:
+    """Kleene disjunction: TRUE dominates, UNKNOWN absorbs FALSE."""
+    if a is Tri.TRUE or b is Tri.TRUE:
+        return Tri.TRUE
+    if a is Tri.UNKNOWN or b is Tri.UNKNOWN:
+        return Tri.UNKNOWN
+    return Tri.FALSE
+
+
+def tri_all(values) -> Tri:
+    """Kleene conjunction over an iterable (TRUE on empty input)."""
+    result = Tri.TRUE
+    for value in values:
+        result = tri_and(result, value)
+        if result is Tri.FALSE:
+            return Tri.FALSE
+    return result
+
+
+def tri_any(values) -> Tri:
+    """Kleene disjunction over an iterable (FALSE on empty input)."""
+    result = Tri.FALSE
+    for value in values:
+        result = tri_or(result, value)
+        if result is Tri.TRUE:
+            return Tri.TRUE
+    return result

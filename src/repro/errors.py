@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "CycleError",
+    "UnknownAttributeError",
+    "ExecutionError",
+    "IllegalTransitionError",
+    "SimulationError",
+    "StrategyError",
+    "ModelError",
+    "GenerationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SchemaError(ReproError):
+    """A decision-flow schema is malformed."""
+
+
+class CycleError(SchemaError):
+    """The dependency graph of a schema is cyclic (not well-formed)."""
+
+
+class UnknownAttributeError(SchemaError):
+    """A task or condition references an attribute the schema does not define."""
+
+
+class ExecutionError(ReproError):
+    """The execution engine reached an inconsistent state."""
+
+
+class IllegalTransitionError(ExecutionError):
+    """An attribute attempted a transition the Fig.-3 automaton forbids."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel was misused."""
+
+
+class StrategyError(ReproError):
+    """An execution-strategy string or combination is invalid."""
+
+
+class ModelError(ReproError):
+    """The analytical model could not be applied (e.g. saturated database)."""
+
+
+class GenerationError(ReproError):
+    """The workload generator was given unsatisfiable parameters."""

@@ -1,0 +1,88 @@
+"""Distinguished values: the null ⊥ of DISABLED attributes and exceptions.
+
+The decision-flow model (Hull et al., ICDE 2000, section 2) requires every
+disabled attribute to take a distinguished *null* value, written ⊥, that is
+different from every ordinary value a task could produce (including Python's
+``None``, which a user-defined task may legitimately return).  Tasks must be
+able to execute even when some of their inputs are ⊥, and predicates over ⊥
+follow SQL-like semantics: every comparison involving ⊥ is false, and only
+the explicit ``IsNull`` test is true.
+
+The paper additionally notes (after [HLS+99a]) that *exception values* are
+distinguished from ordinary values: "a decision may have to be made with
+incomplete information, e.g., if a database is down".  A foreign task whose
+query fails still stabilizes its attribute — with an
+:class:`ExceptionValue` carrying the failure reason.  Comparisons over an
+exception are false (like ⊥), but ``IsNull`` is false too; the dedicated
+``IsException`` predicate detects them, so flows can route around outages
+explicitly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NULL", "NullType", "is_null", "ExceptionValue", "is_exception"]
+
+
+class NullType:
+    """Singleton type of the null value ⊥.
+
+    A dedicated singleton (rather than ``None``) keeps "the attribute was
+    disabled" distinguishable from "the task returned None".
+    """
+
+    _instance: "NullType | None" = None
+
+    def __new__(cls) -> "NullType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        # Pickling must preserve the singleton property.
+        return (NullType, ())
+
+
+#: The unique null value ⊥.
+NULL = NullType()
+
+
+def is_null(value: object) -> bool:
+    """Return True iff *value* is the null value ⊥."""
+    return value is NULL
+
+
+class ExceptionValue:
+    """Value of an attribute whose foreign task failed (e.g. database down).
+
+    Unlike ⊥ (which means "disabled"), an exception means "enabled, but
+    the evaluation failed".  The attribute is stable; downstream tasks
+    receive the exception like any other value and must cope with it.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str = ""):
+        self.reason = reason
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ExceptionValue) and other.reason == self.reason
+
+    def __hash__(self) -> int:
+        return hash(("ExceptionValue", self.reason))
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"EXC({self.reason})" if self.reason else "EXC"
+
+
+def is_exception(value: object) -> bool:
+    """Return True iff *value* is an exception value."""
+    return isinstance(value, ExceptionValue)

@@ -1,0 +1,23 @@
+"""Simulated database substrate: DES kernel, service queues, DB servers."""
+
+from repro.simdb.database import DatabaseServer, DbParams, IdealDatabase, SimulatedDatabase
+from repro.simdb.des import Event, Simulation
+from repro.simdb.profiler import DbFunction, profile_database
+from repro.simdb.query import QueryHandle
+from repro.simdb.resource import ServiceCenter
+from repro.simdb.rng import derive_rng, exponential
+
+__all__ = [
+    "Simulation",
+    "Event",
+    "ServiceCenter",
+    "QueryHandle",
+    "DatabaseServer",
+    "IdealDatabase",
+    "SimulatedDatabase",
+    "DbParams",
+    "DbFunction",
+    "profile_database",
+    "derive_rng",
+    "exponential",
+]

@@ -1,0 +1,198 @@
+"""Database servers: the external systems that execute foreign tasks.
+
+Two implementations of the same submit/complete interface:
+
+* :class:`IdealDatabase` — the *unbounded resources* setting of section 5:
+  every unit of processing takes exactly one tick of simulated time and
+  any number of units proceed in parallel.  Response times read off this
+  database are the paper's **TimeInUnits**.
+* :class:`SimulatedDatabase` — the *bounded resources* setting: a physical
+  model in the style of [ACL87] with ``num_cpus`` CPU servers and
+  ``num_disks`` disk servers behind FCFS queues.  Each unit of processing
+  fetches ``unit_io_cost`` pages (each hits the buffer with probability
+  ``%IO_hit``, otherwise pays ``IO_delay`` on a disk) and then consumes
+  ``unit_cpu_cost`` quanta of CPU.  The clock is in milliseconds; response
+  times are the paper's **TimeInSeconds** after division by 1000.
+
+Both track Gmpl — the database multiprogramming level, i.e. the number of
+queries with a unit in process — as a time-weighted average, which the
+analytical model of section 5 consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simdb.des import Simulation
+from repro.simdb.query import CompletionCallback, QueryHandle
+from repro.simdb.rng import derive_rng
+
+__all__ = ["DbParams", "DatabaseServer", "IdealDatabase", "SimulatedDatabase"]
+
+
+@dataclass(frozen=True)
+class DbParams:
+    """Physical parameters of the simulated database (Table 1, last rows).
+
+    ``cpu_ms`` is a calibration constant not in Table 1: the wall-clock
+    duration of one CPU quantum.  The default (8 ms) makes the Db curve
+    span roughly 10–100 ms over Gmpl 0–35, the range of the paper's
+    Figure 9(a).
+    """
+
+    num_cpus: int = 4
+    num_disks: int = 10
+    unit_cpu_cost: int = 1
+    unit_io_cost: int = 1
+    pct_io_hit: float = 50.0
+    io_delay_ms: float = 5.0
+    cpu_ms: float = 8.0
+    #: probability that a query errors at completion (failure injection for
+    #: the paper's "database is down" scenario); work is still consumed.
+    failure_prob: float = 0.0
+
+    def expected_unit_service_ms(self) -> float:
+        """Mean resource demand of one unit at zero contention."""
+        miss = 1.0 - self.pct_io_hit / 100.0
+        return self.unit_cpu_cost * self.cpu_ms + self.unit_io_cost * miss * self.io_delay_ms
+
+    def max_unit_throughput_per_ms(self) -> float:
+        """Saturation throughput in units per millisecond (bottleneck law)."""
+        cpu_capacity = self.num_cpus / (self.unit_cpu_cost * self.cpu_ms)
+        miss = 1.0 - self.pct_io_hit / 100.0
+        disk_demand = self.unit_io_cost * miss * self.io_delay_ms
+        disk_capacity = self.num_disks / disk_demand if disk_demand > 0 else float("inf")
+        return min(cpu_capacity, disk_capacity)
+
+
+class DatabaseServer:
+    """Common bookkeeping: Gmpl tracking, work accounting, failure draws."""
+
+    def __init__(self, sim: Simulation, failure_prob: float = 0.0, seed: int = 0):
+        if not 0.0 <= failure_prob <= 1.0:
+            raise ValueError(f"failure_prob must be in [0, 1], got {failure_prob}")
+        self.sim = sim
+        self._query_seq = 0
+        self.total_units = 0
+        self.queries_completed = 0
+        self.queries_cancelled = 0
+        self.queries_failed = 0
+        self.failure_prob = failure_prob
+        self._failure_rng = derive_rng(seed, "db-failures")
+        self._active = 0
+        self._gmpl_integral = 0.0
+        self._gmpl_last_change = sim.now
+
+    # -- Gmpl accounting ----------------------------------------------------
+
+    def _change_active(self, delta: int) -> None:
+        now = self.sim.now
+        self._gmpl_integral += self._active * (now - self._gmpl_last_change)
+        self._gmpl_last_change = now
+        self._active += delta
+
+    @property
+    def gmpl(self) -> int:
+        """Current multiprogramming level (queries with a unit in process)."""
+        return self._active
+
+    def mean_gmpl(self, since: float = 0.0) -> float:
+        """Time-weighted mean Gmpl from *since* until now."""
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        integral = self._gmpl_integral + self._active * (self.sim.now - self._gmpl_last_change)
+        return integral / elapsed
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, cost: int, on_complete: CompletionCallback) -> QueryHandle:
+        """Dispatch a query of *cost* units; *on_complete* fires once."""
+        if cost < 1:
+            raise ValueError(f"query cost must be >= 1, got {cost}")
+        self._query_seq += 1
+        handle = QueryHandle(self._query_seq, cost, self.sim.now)
+        self._change_active(+1)
+        self._start_unit(handle, on_complete)
+        return handle
+
+    def _start_unit(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+        raise NotImplementedError
+
+    def _unit_finished(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+        handle.processed += 1
+        self.total_units += 1
+        if handle.processed >= handle.cost:
+            self._finish(handle, on_complete, completed=True)
+        elif handle.cancel_requested:
+            self._finish(handle, on_complete, completed=False)
+        else:
+            self._start_unit(handle, on_complete)
+
+    def _finish(self, handle: QueryHandle, on_complete: CompletionCallback, completed: bool) -> None:
+        handle.finished = True
+        self._change_active(-1)
+        if completed:
+            self.queries_completed += 1
+            if self.failure_prob > 0 and self._failure_rng.random() < self.failure_prob:
+                # The database did the work but the query errored (timeout,
+                # deadlock victim, replica down): the caller sees a failure.
+                handle.failed = True
+                self.queries_failed += 1
+        else:
+            self.queries_cancelled += 1
+        on_complete(handle.processed, completed)
+
+
+class IdealDatabase(DatabaseServer):
+    """Unbounded resources: one unit of processing per tick, full parallelism."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        unit_duration: float = 1.0,
+        failure_prob: float = 0.0,
+        seed: int = 0,
+    ):
+        super().__init__(sim, failure_prob, seed)
+        if unit_duration <= 0:
+            raise ValueError(f"unit_duration must be positive, got {unit_duration}")
+        self.unit_duration = unit_duration
+
+    def _start_unit(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+        self.sim.schedule(self.unit_duration, lambda: self._unit_finished(handle, on_complete))
+
+
+class SimulatedDatabase(DatabaseServer):
+    """Bounded resources: CPU and disk service queues per [ACL87]."""
+
+    def __init__(self, sim: Simulation, params: DbParams | None = None, seed: int = 0):
+        params = params or DbParams()
+        super().__init__(sim, params.failure_prob, seed)
+        # Imported here to avoid a hard dependency for IdealDatabase users.
+        from repro.simdb.resource import ServiceCenter
+
+        self.params = params
+        self.cpus = ServiceCenter(sim, self.params.num_cpus, "cpus")
+        self.disks = ServiceCenter(sim, self.params.num_disks, "disks")
+        self._rng = derive_rng(seed, "simdb", "buffer")
+
+    def _start_unit(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+        self._fetch_pages(handle, on_complete, remaining=self.params.unit_io_cost)
+
+    def _fetch_pages(self, handle: QueryHandle, on_complete: CompletionCallback, remaining: int) -> None:
+        if remaining <= 0:
+            self.cpus.request(
+                self.params.unit_cpu_cost * self.params.cpu_ms,
+                lambda: self._unit_finished(handle, on_complete),
+            )
+            return
+        hit = self._rng.random() < self.params.pct_io_hit / 100.0
+        if hit:
+            # Buffer hit: no disk visit; continue with the next page now.
+            self._fetch_pages(handle, on_complete, remaining - 1)
+        else:
+            self.disks.request(
+                self.params.io_delay_ms,
+                lambda: self._fetch_pages(handle, on_complete, remaining - 1),
+            )

@@ -1,0 +1,110 @@
+"""Deterministic discrete-event simulation kernel.
+
+This replaces CSIM 18, the commercial simulation library the paper used to
+simulate the external database server.  It is a classic event calendar:
+callbacks scheduled at simulated times, executed in (time, sequence) order,
+so simultaneous events run in scheduling order and every run is exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Simulation"]
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6g} seq={self.seq}{flag}>"
+
+
+class Simulation:
+    """An event calendar with a monotone clock.
+
+    The time base is abstract: the decision-flow experiments use
+    *units of processing* on the ideal database and *milliseconds* on the
+    simulated database.  Nothing in the kernel cares.
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._events_executed = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule *fn* to run *delay* time from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule *fn* at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now is {self.now})"
+            )
+        event = Event(time, next(self._seq), fn)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_executed += 1
+            event.fn()
+            return True
+        return False
+
+    def run(self, until: float | None = None) -> None:
+        """Run events until the calendar drains or the clock passes *until*."""
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None and until > self.now:
+            self.now = until
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still scheduled."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    def __repr__(self) -> str:
+        return f"<Simulation now={self.now:.6g} pending={self.pending}>"

@@ -1,0 +1,51 @@
+"""Query handles exchanged between the engine and a database server."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["QueryHandle", "CompletionCallback"]
+
+#: ``on_complete(processed_units, completed)`` — *completed* is False when
+#: the query was cancelled; *processed_units* counts the units of
+#: processing the database actually performed either way.
+CompletionCallback = Callable[[int, bool], None]
+
+
+class QueryHandle:
+    """One query dispatched to a database server.
+
+    Cancellation is cooperative and takes effect at the next unit boundary:
+    the unit currently in service (or already queued at a resource) still
+    completes and counts as work — you cannot un-spend database resources.
+    """
+
+    __slots__ = (
+        "query_id",
+        "cost",
+        "processed",
+        "finished",
+        "cancel_requested",
+        "submit_time",
+        "failed",
+    )
+
+    def __init__(self, query_id: int, cost: int, submit_time: float):
+        self.query_id = query_id
+        self.cost = cost
+        self.processed = 0
+        self.finished = False
+        self.cancel_requested = False
+        self.submit_time = submit_time
+        #: set by the database when the query errored after doing its work
+        #: (failure injection: "if a database is down")
+        self.failed = False
+
+    def cancel(self) -> None:
+        """Request cancellation (no-op if already finished)."""
+        if not self.finished:
+            self.cancel_requested = True
+
+    def __repr__(self) -> str:
+        status = "done" if self.finished else ("cancelling" if self.cancel_requested else "running")
+        return f"<QueryHandle #{self.query_id} {self.processed}/{self.cost}u {status}>"

@@ -1,0 +1,89 @@
+"""Multi-server FCFS service centers (CPUs and disks of the database).
+
+The paper simulates the database "using a physical model similar to
+[ACL87] where disks and CPUs are simulated using service queues".  A
+:class:`ServiceCenter` models *k* identical servers in front of one FCFS
+queue; jobs request a service time and get a callback on completion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.simdb.des import Simulation
+
+__all__ = ["ServiceCenter"]
+
+
+class ServiceCenter:
+    """*k* identical servers sharing one FCFS queue on a simulation clock."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "servers",
+        "_busy",
+        "_queue",
+        "completions",
+        "busy_time",
+        "_waiting_area_peak",
+    )
+
+    def __init__(self, sim: Simulation, servers: int, name: str = "center"):
+        if servers < 1:
+            raise ValueError(f"service center needs >= 1 server, got {servers}")
+        self.sim = sim
+        self.name = name
+        self.servers = servers
+        self._busy = 0
+        self._queue: deque[tuple[float, Callable[[], None]]] = deque()
+        self.completions = 0
+        self.busy_time = 0.0
+        self._waiting_area_peak = 0
+
+    def request(self, service_time: float, on_done: Callable[[], None]) -> None:
+        """Enqueue a job needing *service_time*; *on_done* fires at completion."""
+        if service_time < 0:
+            raise ValueError(f"negative service time {service_time}")
+        if self._busy < self.servers:
+            self._start(service_time, on_done)
+        else:
+            self._queue.append((service_time, on_done))
+            self._waiting_area_peak = max(self._waiting_area_peak, len(self._queue))
+
+    def _start(self, service_time: float, on_done: Callable[[], None]) -> None:
+        self._busy += 1
+        self.busy_time += service_time
+
+        def finish() -> None:
+            self._busy -= 1
+            self.completions += 1
+            if self._queue:
+                next_service, next_done = self._queue.popleft()
+                self._start(next_service, next_done)
+            on_done()
+
+        self.sim.schedule(service_time, finish)
+
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def peak_queue(self) -> int:
+        return self._waiting_area_peak
+
+    def utilization(self, elapsed: float | None = None) -> float:
+        """Mean fraction of server capacity in use over *elapsed* time."""
+        elapsed = self.sim.now if elapsed is None else elapsed
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.servers)
+
+    def __repr__(self) -> str:
+        return f"<ServiceCenter {self.name} busy={self._busy}/{self.servers} queued={self.queued}>"

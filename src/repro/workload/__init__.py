@@ -1,0 +1,17 @@
+"""Synthetic workloads: Table-1 parameterized decision-flow patterns."""
+
+from repro.workload.generator import GeneratedPattern, generate_pattern
+from repro.workload.params import PatternParams, TABLE1_ROWS
+from repro.workload.skeleton import SOURCE, TARGET, Skeleton, build_skeleton, node_name
+
+__all__ = [
+    "PatternParams",
+    "TABLE1_ROWS",
+    "Skeleton",
+    "build_skeleton",
+    "node_name",
+    "SOURCE",
+    "TARGET",
+    "GeneratedPattern",
+    "generate_pattern",
+]

@@ -1,0 +1,259 @@
+"""Schema-pattern generator (section 5, "Experiment Environment").
+
+The generator turns :class:`~repro.workload.params.PatternParams` into an
+executable :class:`~repro.core.schema.DecisionFlowSchema` with a *known*
+complete snapshot:
+
+1. build the rows × columns dataflow skeleton, then add or delete data
+   edges per ``%added_data_edges`` / ``%data_hop``;
+2. fix every query's return payload (an integer in [0, 100)) — the
+   paper's fixed-data assumption makes query results deterministic, so
+   payloads may be chosen at generation time;
+3. choose the set of *potential enablers* (``%enabler`` of attributes; the
+   source is always one, mirroring Figure 1 where input attributes feed
+   conditions);
+4. pick exactly ``round(%enabled · nb_nodes)`` internal nodes to be
+   enabled in the final snapshot, then walk nodes in topological order and
+   **construct** each enabling condition — a conjunction or disjunction of
+   1–4 comparison/null-test predicates over in-hop enablers — whose final
+   truth value equals the chosen outcome.  (A predicate's final truth is
+   computable at generation time because enabler payloads and outcomes
+   are already fixed.)
+
+Step 4 is what makes ``%enabled`` exact rather than statistical: the
+generated schema's complete snapshot has precisely the requested fraction
+of enabled internal nodes, which the generator verifies before returning.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.attribute import Attribute
+from repro.core.conditions import TRUE, And, Condition, Literal, Or
+from repro.core.predicates import Comparison, IsNull, Op
+from repro.core.schema import DecisionFlowSchema
+from repro.core.snapshot import CompleteSnapshot, evaluate_schema
+from repro.core.state import AttributeState
+from repro.core.tasks import QueryTask, constant
+from repro.errors import GenerationError
+from repro.simdb.rng import derive_rng
+from repro.workload.params import PatternParams
+from repro.workload.skeleton import SOURCE, TARGET, Skeleton, build_skeleton
+
+__all__ = ["GeneratedPattern", "generate_pattern"]
+
+_PAYLOAD_RANGE = 100  # payloads are integers in [0, _PAYLOAD_RANGE)
+
+
+@dataclass
+class GeneratedPattern:
+    """A generated schema plus everything needed to execute and verify it."""
+
+    schema: DecisionFlowSchema
+    params: PatternParams
+    source_values: dict[str, object]
+    expected: CompleteSnapshot
+    enablers: frozenset[str]
+    ncols: int
+
+    @property
+    def enabled_internal_count(self) -> int:
+        return sum(
+            1
+            for name in self.schema.internal_names
+            if self.expected.states[name] is AttributeState.VALUE
+        )
+
+    def enabled_cost(self) -> int:
+        """Total query cost of attributes enabled in the complete snapshot."""
+        return self.expected.needed_cost()
+
+
+def _hop_limit(pct: float, ncols: int) -> int:
+    return max(1, round(pct / 100.0 * ncols))
+
+
+def _adjust_data_edges(skeleton: Skeleton, params: PatternParams, rng: random.Random) -> None:
+    """Add or delete data edges per %added_data_edges (negative = delete)."""
+    count = round(abs(params.pct_added_data_edges) / 100.0 * len(skeleton.data_edges))
+    if count == 0:
+        return
+    hop = _hop_limit(params.pct_data_hop, skeleton.ncols)
+    if params.pct_added_data_edges > 0:
+        internals = skeleton.internal_names
+        candidates = [
+            (a, b)
+            for a in internals
+            for b in internals
+            if 0 < skeleton.column[b] - skeleton.column[a] <= hop
+            and (a, b) not in skeleton.data_edges
+        ]
+        for edge in rng.sample(candidates, min(count, len(candidates))):
+            skeleton.data_edges.add(edge)
+    else:
+        # Only consecutive-in-row internal edges are candidates for deletion:
+        # removing source/target edges would change the pattern's endpoints.
+        removable = sorted(
+            (a, b)
+            for a, b in skeleton.data_edges
+            if a != SOURCE and b != TARGET
+        )
+        for edge in rng.sample(removable, min(count, len(removable))):
+            skeleton.data_edges.remove(edge)
+
+
+def _predicate(
+    enabler: str,
+    enabler_payload: int,
+    enabler_enabled: bool,
+    want_true: bool,
+    rng: random.Random,
+) -> Condition:
+    """A comparison/null-test over *enabler* with a known final truth value.
+
+    The enabler's final state (VALUE with its payload, or DISABLED = ⊥)
+    is known at generation time; pick an operator/threshold accordingly.
+    Comparisons on ⊥ are false; IsNull on ⊥ is true.
+    """
+    if enabler_enabled:
+        value = enabler_payload
+        if want_true:
+            if rng.random() < 0.5:
+                return Comparison(enabler, Op.GE, rng.randint(0, value))
+            return Comparison(enabler, Op.LE, rng.randint(value, _PAYLOAD_RANGE - 1))
+        if rng.random() < 0.5:
+            return Comparison(enabler, Op.GT, rng.randint(value, _PAYLOAD_RANGE - 1))
+        return IsNull(enabler)
+    if want_true:
+        return IsNull(enabler)
+    return Comparison(enabler, Op.GE, rng.randint(0, _PAYLOAD_RANGE - 1))
+
+
+def _build_condition(
+    node: str,
+    candidates: list[str],
+    payloads: dict[str, int],
+    outcomes: dict[str, bool],
+    want_enabled: bool,
+    params: PatternParams,
+    rng: random.Random,
+) -> Condition:
+    """An enabling condition over *candidates* with final truth *want_enabled*."""
+    upper = min(params.max_pred, len(candidates))
+    lower = min(params.min_pred, upper)
+    k = rng.randint(lower, upper) if upper > 0 else 0
+    if k == 0:
+        return Literal(want_enabled)
+    chosen = rng.sample(candidates, k)
+    conjunction = rng.random() < 0.5
+
+    if conjunction:
+        # AND: all true for a true outcome; otherwise force >= 1 false.
+        truths = [True] * k if want_enabled else _with_forced(k, False, rng)
+    else:
+        # OR: all false for a false outcome; otherwise force >= 1 true.
+        truths = [False] * k if not want_enabled else _with_forced(k, True, rng)
+
+    predicates = [
+        _predicate(enabler, payloads[enabler], outcomes[enabler], truth, rng)
+        for enabler, truth in zip(chosen, truths)
+    ]
+    if k == 1:
+        return predicates[0]
+    return And(*predicates) if conjunction else Or(*predicates)
+
+
+def _with_forced(k: int, forced: bool, rng: random.Random) -> list[bool]:
+    """k random booleans with at least one equal to *forced*."""
+    truths = [rng.random() < 0.5 for _ in range(k)]
+    truths[rng.randrange(k)] = forced
+    return truths
+
+
+def generate_pattern(params: PatternParams) -> GeneratedPattern:
+    """Generate a schema pattern; deterministic in ``params`` (incl. seed)."""
+    structure_rng = derive_rng(params.seed, "structure", params.nb_nodes, params.nb_rows)
+    payload_rng = derive_rng(params.seed, "payloads")
+    cost_rng = derive_rng(params.seed, "costs")
+    enabler_rng = derive_rng(params.seed, "enablers")
+    outcome_rng = derive_rng(params.seed, "outcomes", params.pct_enabled)
+    condition_rng = derive_rng(params.seed, "conditions", params.pct_enabled)
+
+    skeleton = build_skeleton(params.nb_nodes, params.nb_rows)
+    _adjust_data_edges(skeleton, params, structure_rng)
+    internals = skeleton.internal_names
+
+    payloads = {name: payload_rng.randint(0, _PAYLOAD_RANGE - 1) for name in [SOURCE, *internals, TARGET]}
+    costs = {name: cost_rng.randint(params.min_cost, params.max_cost) for name in [*internals, TARGET]}
+
+    # Potential enablers: %enabler of the internal nodes, plus the source.
+    enabler_count = round(params.pct_enabler / 100.0 * len(internals))
+    enablers = set(enabler_rng.sample(internals, min(enabler_count, len(internals))))
+    enablers.add(SOURCE)
+
+    # Exactly round(%enabled · nb_nodes) internal nodes end up enabled.
+    enabled_count = round(params.pct_enabled / 100.0 * len(internals))
+    enabled_set = set(outcome_rng.sample(internals, enabled_count))
+    outcomes: dict[str, bool] = {SOURCE: True}
+    for name in internals:
+        outcomes[name] = name in enabled_set
+    outcomes[TARGET] = True
+
+    hop = _hop_limit(params.pct_enabling_hop, skeleton.ncols)
+    enablers_by_column = sorted(enablers, key=lambda e: (skeleton.column[e], e))
+
+    attributes: list[Attribute] = [Attribute(SOURCE, task=None)]
+    for name in internals:
+        col = skeleton.column[name]
+        candidates = [
+            e for e in enablers_by_column if 0 < col - skeleton.column[e] <= hop
+        ]
+        condition = _build_condition(
+            name, candidates, payloads, outcomes, outcomes[name], params, condition_rng
+        )
+        task = QueryTask(
+            name=f"q_{name}",
+            inputs=skeleton.data_inputs(name),
+            fn=constant(payloads[name]),
+            cost=costs[name],
+            description=f"synthetic query for {name}",
+        )
+        attributes.append(Attribute(name, task=task, condition=condition))
+
+    target_task = QueryTask(
+        name=f"q_{TARGET}",
+        inputs=skeleton.data_inputs(TARGET),
+        fn=constant(payloads[TARGET]),
+        cost=costs[TARGET],
+        description="synthetic target query",
+    )
+    attributes.append(Attribute(TARGET, task=target_task, condition=TRUE, is_target=True))
+
+    schema = DecisionFlowSchema(
+        attributes,
+        name=f"pattern(n={params.nb_nodes},r={params.nb_rows},"
+        f"e={params.pct_enabled:g},seed={params.seed})",
+    )
+    source_values = {SOURCE: payloads[SOURCE]}
+    expected = evaluate_schema(schema, source_values)
+
+    # The construction guarantees the snapshot matches the chosen outcomes;
+    # verify to catch generator bugs immediately.
+    for name in internals:
+        actual = expected.states[name] is AttributeState.VALUE
+        if actual != outcomes[name]:
+            raise GenerationError(
+                f"engineered outcome mismatch at {name}: wanted "
+                f"{'enabled' if outcomes[name] else 'disabled'}, snapshot disagrees"
+            )
+
+    return GeneratedPattern(
+        schema=schema,
+        params=params,
+        source_values=source_values,
+        expected=expected,
+        enablers=frozenset(enablers),
+        ncols=skeleton.ncols,
+    )

@@ -1,0 +1,92 @@
+"""Workload-generator parameters (Table 1 of the paper).
+
+One :class:`PatternParams` instance describes a decision-flow *pattern*:
+the experiments of section 5 sweep ``nb_rows`` (which controls the
+schema's diameter and hence its potential parallelism) and ``%enabled``
+(the fraction of enabling conditions that are true at the end of an
+execution, which controls how much work can be saved).
+
+The database-side rows of Table 1 live in
+:class:`repro.simdb.database.DbParams`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import GenerationError
+
+__all__ = ["PatternParams", "TABLE1_ROWS"]
+
+
+@dataclass(frozen=True)
+class PatternParams:
+    """Schema-pattern parameters, with Table 1's defaults/ranges."""
+
+    nb_nodes: int = 64            # number of internal nodes
+    nb_rows: int = 4              # number of schema rows, in [1, 16]
+    pct_enabled: float = 50.0     # % of internal nodes enabled at the end, [10, 100]
+    pct_enabler: float = 50.0     # % of potential enablers
+    pct_enabling_hop: float = 50.0  # max enabling-edge hop, % of total columns
+    min_pred: int = 1             # min predicates per enabling condition
+    max_pred: int = 4             # max predicates per enabling condition
+    pct_added_data_edges: float = 0.0  # % data edges added(+)/deleted(-), [-25, 25]
+    pct_data_hop: float = 50.0    # max data-edge hop, % of total columns
+    min_cost: int = 1             # module (query) cost, units of processing
+    max_cost: int = 5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.nb_nodes < 1:
+            raise GenerationError(f"nb_nodes must be >= 1, got {self.nb_nodes}")
+        if not 1 <= self.nb_rows <= self.nb_nodes:
+            raise GenerationError(
+                f"nb_rows must be in [1, nb_nodes={self.nb_nodes}], got {self.nb_rows}"
+            )
+        if not 0.0 <= self.pct_enabled <= 100.0:
+            raise GenerationError(f"pct_enabled out of [0, 100]: {self.pct_enabled}")
+        if not 0.0 <= self.pct_enabler <= 100.0:
+            raise GenerationError(f"pct_enabler out of [0, 100]: {self.pct_enabler}")
+        if not 0.0 <= self.pct_enabling_hop <= 100.0:
+            raise GenerationError(f"pct_enabling_hop out of [0, 100]: {self.pct_enabling_hop}")
+        if not 0.0 <= self.pct_data_hop <= 100.0:
+            raise GenerationError(f"pct_data_hop out of [0, 100]: {self.pct_data_hop}")
+        if not 0 <= self.min_pred <= self.max_pred:
+            raise GenerationError(
+                f"need 0 <= min_pred <= max_pred, got [{self.min_pred}, {self.max_pred}]"
+            )
+        if not -100.0 <= self.pct_added_data_edges <= 100.0:
+            raise GenerationError(
+                f"pct_added_data_edges out of [-100, 100]: {self.pct_added_data_edges}"
+            )
+        if not 1 <= self.min_cost <= self.max_cost:
+            raise GenerationError(
+                f"need 1 <= min_cost <= max_cost, got [{self.min_cost}, {self.max_cost}]"
+            )
+
+    def with_seed(self, seed: int) -> "PatternParams":
+        return replace(self, seed=seed)
+
+    def replace(self, **changes) -> "PatternParams":
+        return replace(self, **changes)
+
+
+#: Table 1 as printable rows: (parameter, range/default, description).
+TABLE1_ROWS = (
+    ("nb_nodes", "64", "# of internal nodes"),
+    ("nb_rows", "[1,16]", "# of schema rows"),
+    ("%enabled", "[10,100]", "% of enabled nodes"),
+    ("%enabler", "50", "% of potential enablers"),
+    ("%enabling_hop", "50", "max enabling edge hop (as % of total # of columns)"),
+    ("Min_pred", "1", "min # of predicates per enabling condition"),
+    ("Max_pred", "4", "max # of predicates per enabling condition"),
+    ("%added_data_edges", "[-25,+25]", "% of data edges added to skeleton"),
+    ("%data_hop", "50", "max data edge hop (as % of total # of columns)"),
+    ("module_cost", "[1,5]", "units of cost for executing a module"),
+    ("num_CPUs", "4", "# of CPUs in the database"),
+    ("num_disks", "10", "# of disks in the database"),
+    ("unit_CPU_cost", "1", "# of units of CPU per execution unit"),
+    ("unit_IO_cost", "1", "# of IO pages per unit execution"),
+    ("%IO_hit", "50", "probability of IO page hit in buffer"),
+    ("IO_delay", "5", "IO delay in msecs."),
+)

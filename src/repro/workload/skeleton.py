@@ -1,0 +1,87 @@
+"""Dataflow skeletons: the rows × columns grid underlying schema patterns.
+
+Section 5: "the skeleton contains one source attribute, one target
+attribute, and nb_nodes internal attributes... the source attribute is an
+input attribute of the first nodes of all the rows; each internal node is
+an input attribute of its successor in the same row; the last nodes of all
+the rows are inputs of the target attribute."  Varying ``nb_rows`` for
+fixed ``nb_nodes`` varies the schema diameter nb_nodes/nb_rows, and hence
+the parallelism available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SOURCE", "TARGET", "Skeleton", "build_skeleton", "node_name"]
+
+SOURCE = "src"
+TARGET = "tgt"
+
+
+def node_name(row: int, col: int) -> str:
+    """Name of the internal node at (row, col), both 0-based."""
+    return f"n{row}_{col}"
+
+
+@dataclass
+class Skeleton:
+    """A dataflow skeleton: the grid plus its data edges."""
+
+    nb_nodes: int
+    nb_rows: int
+    rows: list[list[str]]
+    column: dict[str, int]          # SOURCE → 0, internal → 1.., TARGET → ncols+1
+    data_edges: set[tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def ncols(self) -> int:
+        """Number of internal columns (the paper's nb_nodes/nb_rows diameter)."""
+        return max(len(row) for row in self.rows)
+
+    @property
+    def internal_names(self) -> list[str]:
+        """Internal node names in (column, row) order — a topological order."""
+        ordered = []
+        for col in range(self.ncols):
+            for row in self.rows:
+                if col < len(row):
+                    ordered.append(row[col])
+        return ordered
+
+    def data_inputs(self, name: str) -> list[str]:
+        """Data inputs of *name*, deterministically ordered."""
+        parents = [a for a, b in self.data_edges if b == name]
+        parents.sort(key=lambda a: (self.column[a], a))
+        return parents
+
+
+def build_skeleton(nb_nodes: int, nb_rows: int) -> Skeleton:
+    """Build the skeleton grid for ``nb_nodes`` internal nodes in ``nb_rows`` rows.
+
+    When ``nb_rows`` does not divide ``nb_nodes`` the nodes spread as
+    evenly as possible (row lengths differ by at most one), so sweeps like
+    Figure 5(b)'s nb_rows ∈ 2..8 over 64 nodes are well defined.
+    """
+    base, extra = divmod(nb_nodes, nb_rows)
+    rows: list[list[str]] = []
+    for row_index in range(nb_rows):
+        length = base + (1 if row_index < extra else 0)
+        rows.append([node_name(row_index, col) for col in range(length)])
+
+    column: dict[str, int] = {SOURCE: 0}
+    for row in rows:
+        for col, name in enumerate(row):
+            column[name] = col + 1
+    ncols = max(len(row) for row in rows)
+    column[TARGET] = ncols + 1
+
+    skeleton = Skeleton(nb_nodes=nb_nodes, nb_rows=nb_rows, rows=rows, column=column)
+    for row in rows:
+        if not row:
+            continue
+        skeleton.data_edges.add((SOURCE, row[0]))
+        for left, right in zip(row, row[1:]):
+            skeleton.data_edges.add((left, right))
+        skeleton.data_edges.add((row[-1], TARGET))
+    return skeleton

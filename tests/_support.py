@@ -1,0 +1,87 @@
+"""Shared builders for the test suite."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro import (
+    Attribute,
+    Comparison,
+    DecisionFlowSchema,
+    Engine,
+    IdealDatabase,
+    NULL,
+    Op,
+    QueryTask,
+    Simulation,
+    Strategy,
+    SynthesisTask,
+)
+from repro.core.tasks import constant
+
+
+def q(name: str, inputs: Sequence[str] = (), value: object = None, cost: int = 1, fn=None) -> QueryTask:
+    """Shorthand query-task builder."""
+    return QueryTask(f"q_{name}", inputs, fn or constant(value), cost)
+
+
+def syn(name: str, inputs: Sequence[str], fn) -> SynthesisTask:
+    return SynthesisTask(f"s_{name}", inputs, fn)
+
+
+def add_inputs(values: Mapping[str, object]) -> object:
+    """Sum numeric inputs, treating ⊥ as 0 (tasks must cope with ⊥)."""
+    return sum(v for v in values.values() if v is not NULL and isinstance(v, (int, float)))
+
+
+def diamond_schema() -> tuple[DecisionFlowSchema, dict[str, object]]:
+    """source s → a (always), b (only if s > 10) → target t = a + b.
+
+    With s = 5 the b branch is disabled and t sees ⊥ for it.
+    """
+    attributes = [
+        Attribute("s"),
+        Attribute("a", task=q("a", inputs=("s",), value=1, cost=2)),
+        Attribute(
+            "b",
+            task=q("b", inputs=("s",), value=10, cost=3),
+            condition=Comparison("s", Op.GT, 10),
+        ),
+        Attribute(
+            "t",
+            task=SynthesisTask("t_sum", ("a", "b"), add_inputs),
+            is_target=True,
+        ),
+    ]
+    return DecisionFlowSchema(attributes, name="diamond"), {"s": 5}
+
+
+def chain_schema(length: int = 4, cost: int = 1) -> tuple[DecisionFlowSchema, dict[str, object]]:
+    """source → c1 → c2 → ... → c<length> (target), all query tasks."""
+    attributes = [Attribute("s")]
+    previous = "s"
+    for index in range(1, length + 1):
+        name = f"c{index}"
+        attributes.append(
+            Attribute(
+                name,
+                task=q(name, inputs=(previous,), value=index, cost=cost),
+                is_target=(index == length),
+            )
+        )
+        previous = name
+    return DecisionFlowSchema(attributes, name=f"chain{length}"), {"s": 0}
+
+
+def run_engine(
+    schema: DecisionFlowSchema,
+    code: str,
+    source_values: Mapping[str, object],
+    halt_policy: str = "cancel",
+):
+    """Run one instance on a fresh ideal database; returns (metrics, instance)."""
+    simulation = Simulation()
+    engine = Engine(schema, Strategy.parse(code), IdealDatabase(simulation), halt_policy)
+    instance = engine.submit_instance(source_values)
+    simulation.run()
+    return instance.metrics, instance

@@ -1,0 +1,79 @@
+"""Guideline maps: Pareto frontiers of (Work, minT)."""
+
+from repro.analysis.guidelines import (
+    FrontierStep,
+    StrategyPoint,
+    guideline_frontier,
+    min_time_for_budget,
+)
+
+
+def points(*triples):
+    return [StrategyPoint(code, work, time) for code, work, time in triples]
+
+
+class TestFrontier:
+    def test_dominated_points_dropped(self):
+        frontier = guideline_frontier(
+            points(("slow", 10.0, 100.0), ("bad", 20.0, 120.0), ("fast", 30.0, 50.0))
+        )
+        assert [s.code for s in frontier] == ["slow", "fast"]
+
+    def test_sorted_by_work(self):
+        frontier = guideline_frontier(
+            points(("c", 30.0, 40.0), ("a", 10.0, 100.0), ("b", 20.0, 60.0))
+        )
+        assert [s.work for s in frontier] == [10.0, 20.0, 30.0]
+        assert [s.time_units for s in frontier] == [100.0, 60.0, 40.0]
+
+    def test_ties_prefer_less_work_then_code(self):
+        frontier = guideline_frontier(
+            points(("z", 10.0, 50.0), ("a", 10.0, 50.0), ("expensive", 20.0, 50.0))
+        )
+        assert len(frontier) == 1
+        assert frontier[0].code == "a"
+
+    def test_single_point(self):
+        frontier = guideline_frontier(points(("only", 5.0, 9.0)))
+        assert frontier == [FrontierStep(5.0, 9.0, "only")]
+
+    def test_empty(self):
+        assert guideline_frontier([]) == []
+
+    def test_strictly_decreasing_times(self):
+        frontier = guideline_frontier(
+            points(
+                ("a", 10.0, 100.0),
+                ("b", 15.0, 100.0),   # same time, more work → dropped
+                ("c", 20.0, 80.0),
+                ("d", 25.0, 80.0),    # dropped
+                ("e", 30.0, 10.0),
+            )
+        )
+        times = [s.time_units for s in frontier]
+        assert times == sorted(times, reverse=True)
+        assert len(set(times)) == len(times)
+
+
+class TestBudgetReading:
+    def frontier(self):
+        return guideline_frontier(
+            points(("seq", 10.0, 100.0), ("mid", 20.0, 60.0), ("par", 40.0, 20.0))
+        )
+
+    def test_generous_budget_gets_best(self):
+        step = min_time_for_budget(self.frontier(), 100.0)
+        assert step.code == "par"
+
+    def test_tight_budget_gets_cheapest(self):
+        step = min_time_for_budget(self.frontier(), 12.0)
+        assert step.code == "seq"
+
+    def test_exact_boundary_included(self):
+        step = min_time_for_budget(self.frontier(), 20.0)
+        assert step.code == "mid"
+
+    def test_infeasible_budget_returns_none(self):
+        # The paper's "no implementation can guarantee a work limit of 25
+        # units with schemas of 8 rows" case.
+        assert min_time_for_budget(self.frontier(), 5.0) is None

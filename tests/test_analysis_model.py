@@ -1,0 +1,116 @@
+"""The analytical model: Equations (1)-(6)."""
+
+import pytest
+
+from repro.analysis.model import AnalyticalModel
+from repro.errors import ModelError
+from repro.simdb.profiler import DbFunction
+
+
+def constant_db(unit_time=10.0):
+    return DbFunction(((1.0, unit_time), (100.0, unit_time)))
+
+
+def linear_db(intercept=10.0, slope=2.0, max_gmpl=50.0):
+    return DbFunction(((0.0, intercept), (max_gmpl, intercept + slope * max_gmpl)))
+
+
+class TestFixpoint:
+    def test_constant_db_gives_constant_unit_time(self):
+        model = AnalyticalModel(constant_db(10.0))
+        assert model.unit_time(20.0, 30.0) == pytest.approx(10.0)
+
+    def test_linear_db_matches_closed_form(self):
+        # u = a + b·(Th·W/1000)·u  ⇒  u = a / (1 - b·load)
+        model = AnalyticalModel(linear_db(intercept=10.0, slope=2.0))
+        throughput, work = 10.0, 20.0
+        load = throughput * work / 1000.0  # 0.2
+        expected = 10.0 / (1 - 2.0 * load)  # 16.666...
+        assert model.unit_time(throughput, work) == pytest.approx(expected, rel=1e-6)
+
+    def test_solution_reports_gmpl(self):
+        model = AnalyticalModel(linear_db())
+        solution = model.solve(10.0, 20.0)
+        assert solution.gmpl == pytest.approx(
+            10.0 * 20.0 * solution.unit_time_ms / 1000.0
+        )
+        assert not solution.extrapolated
+
+    def test_saturation_returns_none(self):
+        # slope·load >= 1 ⇒ no fixpoint: slope 2, need Th·W >= 500.
+        model = AnalyticalModel(linear_db(slope=2.0))
+        assert model.solve(10.0, 50.0) is None
+        assert model.unit_time(10.0, 50.0) is None
+
+    def test_zero_load(self):
+        model = AnalyticalModel(linear_db(intercept=10.0))
+        solution = model.solve(0.0, 100.0)
+        assert solution.unit_time_ms == pytest.approx(10.0)
+        assert solution.gmpl == 0.0
+
+    def test_negative_inputs_rejected(self):
+        model = AnalyticalModel(constant_db())
+        with pytest.raises(ModelError):
+            model.solve(-1.0, 10.0)
+
+
+class TestBounds:
+    def test_max_work_near_closed_form(self):
+        # Existence bound: slope·Th·W/1000 < 1 ⇒ W < 1000/(Th·slope) = 50.
+        model = AnalyticalModel(linear_db(slope=2.0))
+        assert model.max_work(10.0) == pytest.approx(50.0, abs=0.1)
+
+    def test_max_work_monotone_in_throughput(self):
+        model = AnalyticalModel(linear_db(slope=2.0))
+        assert model.max_work(20.0) < model.max_work(10.0)
+
+    def test_max_work_infinite_for_flat_db(self):
+        model = AnalyticalModel(constant_db())
+        assert model.max_work(10.0) == float("inf")
+
+    def test_max_throughput_inverse_relationship(self):
+        model = AnalyticalModel(linear_db(slope=2.0))
+        # Th_max(W) · W ≈ 1000/slope = 500.
+        assert model.max_throughput(25.0) * 25.0 == pytest.approx(500.0, rel=0.01)
+
+    def test_zero_throughput_or_work(self):
+        model = AnalyticalModel(linear_db())
+        assert model.max_work(0.0) == float("inf")
+        assert model.max_throughput(0.0) == float("inf")
+
+    def test_solutions_exist_up_to_the_bound(self):
+        model = AnalyticalModel(linear_db(slope=2.0))
+        bound = model.max_work(10.0)
+        assert model.solve(10.0, bound * 0.99) is not None
+        assert model.solve(10.0, bound * 1.05) is None
+
+
+class TestPredictions:
+    def test_equation_1(self):
+        model = AnalyticalModel(constant_db(10.0))
+        # TimeInSeconds = TimeInUnits × UnitTime = 30 × 10ms = 0.3 s.
+        assert model.predict_seconds(10.0, 20.0, 30.0) == pytest.approx(0.3)
+
+    def test_predict_none_when_saturated(self):
+        model = AnalyticalModel(linear_db(slope=2.0))
+        assert model.predict_seconds(10.0, 60.0, 30.0) is None
+
+    def test_solution_accessors(self):
+        model = AnalyticalModel(constant_db(10.0))
+        solution = model.solve(10.0, 20.0)
+        time_units = 5.0
+        # Eq (3): Lmpl = Work / TimeInUnits.
+        assert solution.lmpl(time_units) == pytest.approx(4.0)
+        # Eq (2): Impl = Th × TimeInSeconds = 10 × 0.05 = 0.5.
+        assert solution.impl(time_units) == pytest.approx(0.5)
+        # Eq (5): Gmpl = Impl × Lmpl.
+        assert solution.gmpl == pytest.approx(
+            solution.impl(time_units) * solution.lmpl(time_units)
+        )
+
+    def test_extrapolation_flagged(self):
+        db = DbFunction(((1.0, 10.0), (2.0, 12.0)))  # tiny profiled range
+        model = AnalyticalModel(db)
+        solution = model.solve(10.0, 40.0)
+        assert solution is not None
+        assert solution.extrapolated

@@ -1,0 +1,57 @@
+"""Strategy tuning against a Db function (the Figure 9(b) procedure)."""
+
+import pytest
+
+from repro.analysis.guidelines import StrategyPoint
+from repro.analysis.tuning import tune
+from repro.simdb.profiler import DbFunction
+
+
+def linear_db():
+    return DbFunction(((0.0, 10.0), (50.0, 110.0)))  # slope 2 ms/Gmpl
+
+
+def profile():
+    return [
+        StrategyPoint("PCE0", work=20.0, time_units=20.0),
+        StrategyPoint("PC*100", work=22.0, time_units=8.0),
+        StrategyPoint("PSE100", work=90.0, time_units=7.0),  # saturates
+    ]
+
+
+class TestTune:
+    def test_feasibility_split(self):
+        report = tune(profile(), linear_db(), throughput_per_s=10.0)
+        by_code = {p.code: p for p in report.predictions}
+        assert by_code["PCE0"].feasible
+        assert by_code["PC*100"].feasible
+        assert not by_code["PSE100"].feasible  # 10/s × 90u × slope 2 ⇒ no fixpoint
+        assert report.feasible_codes() == ("PC*100", "PCE0")
+
+    def test_best_minimizes_predicted_seconds(self):
+        report = tune(profile(), linear_db(), throughput_per_s=10.0)
+        assert report.best.code == "PC*100"  # 8 units × ~unit time beats 20 ×
+
+    def test_predicted_seconds_formula(self):
+        report = tune(profile(), linear_db(), throughput_per_s=10.0)
+        prediction = next(p for p in report.predictions if p.code == "PCE0")
+        assert prediction.predicted_seconds == pytest.approx(
+            prediction.time_units * prediction.unit_time_ms / 1000.0
+        )
+        assert prediction.gmpl is not None
+
+    def test_max_work_reported(self):
+        report = tune(profile(), linear_db(), throughput_per_s=10.0)
+        # slope 2: W_max = 1000/(10×2) = 50.
+        assert report.max_work == pytest.approx(50.0, abs=0.1)
+
+    def test_all_saturated_returns_no_best(self):
+        heavy = [StrategyPoint("X", 90.0, 5.0), StrategyPoint("Y", 99.0, 4.0)]
+        report = tune(heavy, linear_db(), throughput_per_s=10.0)
+        assert report.best is None
+        assert report.feasible_codes() == ()
+
+    def test_predictions_sorted_by_code(self):
+        report = tune(profile(), linear_db(), throughput_per_s=10.0)
+        codes = [p.code for p in report.predictions]
+        assert codes == sorted(codes)

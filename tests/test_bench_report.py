@@ -1,0 +1,68 @@
+"""Plain-text reporting: tables and ASCII charts."""
+
+from repro.bench.report import ascii_chart, format_table, format_value
+
+
+class TestFormatValue:
+    def test_none_is_dash(self):
+        assert format_value(None) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_formatting(self):
+        assert format_value(3.14159) == "3.1"
+        assert format_value(3.14159, ".3f") == "3.142"
+
+    def test_nan_and_inf(self):
+        assert format_value(float("nan")) == "-"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("-inf")) == "-inf"
+
+    def test_plain_values(self):
+        assert format_value(42) == "42"
+        assert format_value("PCE0") == "PCE0"
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["name", "work"], [["PCE0", 12.5], ["NCE0", 30.0]])
+        assert "name" in text and "work" in text
+        assert "PCE0" in text and "12.5" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_alignment_is_consistent(self):
+        text = format_table(["x", "longheader"], [[1, 2], [100, 200]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular output
+
+
+class TestAsciiChart:
+    def test_markers_and_legend(self):
+        chart = ascii_chart({"up": [(0, 0), (1, 1)], "down": [(0, 1), (1, 0)]})
+        assert "legend:" in chart
+        assert "o=up" in chart and "x=down" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart({"s": [(0, 5), (10, 15)]}, x_label="Work", y_label="T")
+        assert "Work" in chart
+        assert "15" in chart and "5" in chart
+
+    def test_empty_series(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart({"flat": [(0, 7), (1, 7), (2, 7)]})
+        assert "o" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart({"dot": [(5, 5)]})
+        assert "o" in chart
+
+    def test_title_first_line(self):
+        chart = ascii_chart({"s": [(0, 1)]}, title="Shape")
+        assert chart.splitlines()[0] == "Shape"

@@ -1,0 +1,85 @@
+"""Experiment runner: seed averaging, star expansion, open-system runs."""
+
+import pytest
+
+from repro import PatternParams, Strategy
+from repro.bench.runner import (
+    evaluate_code,
+    evaluate_codes,
+    measure_open_system,
+    run_pattern_once,
+    strategy_points,
+)
+from repro.workload.generator import generate_pattern
+
+SMALL = PatternParams(nb_nodes=12, nb_rows=3, pct_enabled=50)
+
+
+class TestEvaluate:
+    def test_run_pattern_once(self):
+        pattern = generate_pattern(SMALL.with_seed(0))
+        metrics = run_pattern_once(pattern, Strategy.parse("PCE0"))
+        assert metrics.done
+        assert metrics.work_units > 0
+        assert metrics.elapsed == metrics.work_units  # sequential on ideal DB
+
+    def test_seed_averaging(self):
+        result = evaluate_code(SMALL, "PCE0", seeds=(0, 1, 2))
+        assert result.n == 3
+        assert result.mean_work == pytest.approx(
+            sum(r.work for r in result.runs) / 3
+        )
+
+    def test_star_code_runs_both_heuristics(self):
+        result = evaluate_code(SMALL, "PC*100", seeds=(0, 1))
+        assert result.n == 4  # 2 seeds × {PCE100, PCC100}
+        assert {r.code for r in result.runs} == {"PCE100", "PCC100"}
+        assert result.code == "PC*100"
+
+    def test_evaluate_codes_keys(self):
+        results = evaluate_codes(SMALL, ("PCE0", "NCE0"), seeds=(0,))
+        assert set(results) == {"PCE0", "NCE0"}
+
+    def test_strategy_points_conversion(self):
+        results = evaluate_codes(SMALL, ("PCE0",), seeds=(0,))
+        points = strategy_points(results)
+        assert points[0].code == "PCE0"
+        assert points[0].work == results["PCE0"].mean_work
+
+    def test_propagation_never_does_more_work_sequentially(self):
+        # Averaged over seeds, P ≤ N for conservative sequential runs —
+        # the paper's Figure 5 headline, at test scale.
+        p = evaluate_code(SMALL, "PCE0", seeds=range(6))
+        n = evaluate_code(SMALL, "NCE0", seeds=range(6))
+        assert p.mean_work <= n.mean_work + 1e-9
+
+
+class TestOpenSystem:
+    def test_measurement_basics(self):
+        pattern = generate_pattern(PatternParams(nb_nodes=8, nb_rows=2, pct_enabled=50, seed=0))
+        result = measure_open_system(
+            pattern,
+            "PCE100",
+            arrival_rate_per_s=20.0,
+            n_instances=40,
+            warmup_instances=10,
+            seed=1,
+        )
+        assert result.completed == 40
+        assert result.measured == 30
+        assert result.mean_seconds > 0
+        assert result.p95_seconds >= result.mean_seconds * 0.5
+        assert result.mean_gmpl > 0
+        assert result.mean_ms == pytest.approx(result.mean_seconds * 1000.0)
+
+    def test_heavier_load_is_slower(self):
+        pattern = generate_pattern(PatternParams(nb_nodes=8, nb_rows=2, pct_enabled=100, seed=0))
+        light = measure_open_system(pattern, "PCE0", 2.0, n_instances=60, warmup_instances=10)
+        heavy = measure_open_system(pattern, "PCE0", 18.0, n_instances=60, warmup_instances=10)
+        assert heavy.mean_seconds > light.mean_seconds
+
+    def test_deterministic_per_seed(self):
+        pattern = generate_pattern(PatternParams(nb_nodes=8, nb_rows=2, pct_enabled=50, seed=0))
+        a = measure_open_system(pattern, "PCE100", 10.0, n_instances=30, warmup_instances=5, seed=3)
+        b = measure_open_system(pattern, "PCE100", 10.0, n_instances=30, warmup_instances=5, seed=3)
+        assert a.mean_seconds == b.mean_seconds

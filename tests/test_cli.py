@@ -1,0 +1,46 @@
+"""The python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, build_parser, main
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_descriptions_shown(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "Figure 5(a)" in out
+
+
+class TestRun:
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Simulation parameters" in out
+
+    def test_run_fig5a_with_one_seed(self, capsys):
+        assert main(["run", "fig5a", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 5(a)" in out
+        assert "PCC0" in out
+
+    def test_out_directory_written(self, tmp_path, capsys):
+        main(["run", "table1", "--out", str(tmp_path)])
+        capsys.readouterr()
+        written = list(tmp_path.glob("*.txt"))
+        assert len(written) == 1
+        assert "Simulation parameters" in written[0].read_text()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

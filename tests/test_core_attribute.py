@@ -1,0 +1,46 @@
+"""Attribute specifications."""
+
+import pytest
+
+from repro import Attribute, Comparison, Op, TRUE, source_attribute
+from tests._support import q, syn
+
+
+class TestAttribute:
+    def test_source(self):
+        spec = source_attribute("s", doc="the input")
+        assert spec.is_source
+        assert spec.data_inputs == ()
+        assert spec.condition_inputs == frozenset()
+        assert spec.cost == 0
+        assert spec.doc == "the input"
+
+    def test_internal_query(self):
+        spec = Attribute("a", task=q("a", inputs=("s",), cost=3), condition=Comparison("s", Op.GT, 0))
+        assert not spec.is_source
+        assert spec.data_inputs == ("s",)
+        assert spec.condition_inputs == {"s"}
+        assert spec.cost == 3
+
+    def test_synthesis_has_zero_cost(self):
+        spec = Attribute("a", task=syn("a", ("s",), lambda v: 0))
+        assert spec.cost == 0
+
+    def test_default_condition_is_true(self):
+        spec = Attribute("a", task=q("a"))
+        assert spec.condition is TRUE
+
+    def test_bad_name(self):
+        with pytest.raises(ValueError):
+            Attribute("")
+        with pytest.raises(ValueError):
+            Attribute(None)  # type: ignore[arg-type]
+
+    def test_bad_condition_type(self):
+        with pytest.raises(TypeError):
+            Attribute("a", task=q("a"), condition="s > 0")  # type: ignore[arg-type]
+
+    def test_repr_mentions_kind(self):
+        assert "(source)" in repr(Attribute("s"))
+        assert "(target)" in repr(Attribute("t", task=q("t"), is_target=True))
+        assert "(internal)" in repr(Attribute("a", task=q("a")))

@@ -1,0 +1,215 @@
+"""Engine correctness against the declarative semantics (property-based).
+
+The paper proves its optimizations correct w.r.t. the unique complete
+snapshot; here Hypothesis generates arbitrary well-formed decision flows
+and arbitrary strategies, and we check that the optimized engine's
+terminal snapshot is *compatible* with the reference evaluator:
+
+* every stabilized attribute has the snapshot's state and value;
+* every target attribute stabilizes;
+* conservative strategies never execute a disabled attribute;
+* work never exceeds the schema's total query cost;
+* attributes left unstable under option P are semantically irrelevant:
+  perturbing their task results does not change any target value.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ALL_STRATEGY_CODES,
+    Attribute,
+    AttributeState,
+    Comparison,
+    DecisionFlowSchema,
+    IsNull,
+    NULL,
+    Op,
+    check_against_snapshot,
+    evaluate_schema,
+)
+from repro.core.tasks import QueryTask
+from tests._support import run_engine
+
+# ---------------------------------------------------------------------------
+# Schema generator: layered DAGs with data and enabling edges
+# ---------------------------------------------------------------------------
+
+
+def _task_fn(salt):
+    def fn(values):
+        total = salt
+        for value in values.values():
+            if value is not NULL and isinstance(value, int):
+                total += value
+        return total % 97
+
+    return fn
+
+
+@st.composite
+def random_schemas(draw):
+    layer_sizes = draw(st.lists(st.integers(1, 3), min_size=1, max_size=4))
+    names = ["src"]
+    attributes = [Attribute("src")]
+    ops = [Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE]
+
+    counter = 0
+    for size in layer_sizes:
+        layer = []
+        for _ in range(size):
+            name = f"n{counter}"
+            counter += 1
+            inputs = draw(
+                st.lists(st.sampled_from(names), unique=True, min_size=1, max_size=3)
+            )
+            salt = draw(st.integers(0, 96))
+            cost = draw(st.integers(1, 3))
+            condition_kind = draw(st.sampled_from(["true", "cmp", "null", "and", "or"]))
+            if condition_kind == "true":
+                condition = None
+            else:
+                ref1 = draw(st.sampled_from(names))
+                ref2 = draw(st.sampled_from(names))
+                c1 = Comparison(ref1, draw(st.sampled_from(ops)), draw(st.integers(0, 96)))
+                c2 = IsNull(ref2)
+                if condition_kind == "cmp":
+                    condition = c1
+                elif condition_kind == "null":
+                    condition = c2
+                elif condition_kind == "and":
+                    condition = c1 & c2
+                else:
+                    condition = c1 | c2
+            kwargs = {} if condition is None else {"condition": condition}
+            attributes.append(
+                Attribute(
+                    name,
+                    task=QueryTask(f"q_{name}", inputs, _task_fn(salt), cost),
+                    **kwargs,
+                )
+            )
+            layer.append(name)
+        names.extend(layer)
+
+    non_source = [a.name for a in attributes[1:]]
+    target_names = draw(
+        st.lists(st.sampled_from(non_source), unique=True, min_size=1, max_size=2)
+    )
+    # Always make the deepest attribute a target so executions do real work.
+    if non_source[-1] not in target_names:
+        target_names.append(non_source[-1])
+    for attribute in attributes:
+        if attribute.name in target_names:
+            attribute.is_target = True
+    return DecisionFlowSchema(attributes, name="hyp"), {"src": draw(st.integers(0, 96))}
+
+
+_CODES = [code + permitted for code in ALL_STRATEGY_CODES for permitted in ("0", "40", "100")]
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=st.data(), schema_and_source=random_schemas())
+def test_engine_matches_declarative_semantics(data, schema_and_source):
+    schema, source_values = schema_and_source
+    code = data.draw(st.sampled_from(_CODES))
+    metrics, instance = run_engine(schema, code, source_values)
+    assert instance.done
+
+    snapshot = evaluate_schema(schema, source_values)
+    violations = check_against_snapshot(
+        snapshot, instance.state_map(), instance.value_map()
+    )
+    assert violations == [], f"{code}: {violations}"
+
+    # Work accounting sanity.
+    assert 0 <= metrics.work_units <= schema.total_query_cost()
+    assert metrics.queries_completed + metrics.queries_cancelled == metrics.queries_launched
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), schema_and_source=random_schemas())
+def test_conservative_strategies_only_execute_enabled_attributes(data, schema_and_source):
+    schema, source_values = schema_and_source
+    code = data.draw(st.sampled_from(["PCE0", "PCC0", "NCE100", "PCC100", "NCC40"]))
+    _, instance = run_engine(schema, code, source_values)
+    snapshot = evaluate_schema(schema, source_values)
+    for name in instance.launched:
+        assert snapshot.states[name] is AttributeState.VALUE, (
+            f"{code} launched {name}, which the snapshot disables"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(schema_and_source=random_schemas())
+def test_unstable_leftovers_cannot_influence_targets(schema_and_source):
+    """Attributes skipped by option P are semantically irrelevant.
+
+    Rebuild the schema with poisoned task functions for every attribute
+    the P-engine left unstable; the complete snapshot's target values must
+    not change.  This validates the unneeded-detection rule itself, not
+    just the engine's use of it.
+    """
+    schema, source_values = schema_and_source
+    _, instance = run_engine(schema, "PCE0", source_values)
+    skipped = {
+        name
+        for name in schema.non_source_names
+        if not instance.cells[name].stable
+    }
+    if not skipped:
+        return
+    poisoned_attributes = []
+    for attribute in schema:
+        if attribute.name in skipped:
+            poisoned_attributes.append(
+                Attribute(
+                    attribute.name,
+                    task=QueryTask(
+                        attribute.task.name,
+                        attribute.task.inputs,
+                        # A value no generated task can produce (they emit
+                        # ints in [0, 97)), kept an int so downstream
+                        # comparisons stay well typed.
+                        lambda values: 4242,
+                        attribute.task.cost,
+                    ),
+                    condition=attribute.condition,
+                    is_target=attribute.is_target,
+                )
+            )
+        else:
+            poisoned_attributes.append(attribute)
+    poisoned_schema = DecisionFlowSchema(poisoned_attributes, name="poisoned")
+
+    original = evaluate_schema(schema, source_values)
+    poisoned = evaluate_schema(poisoned_schema, source_values)
+    for target in schema.target_names:
+        assert original.states[target] is poisoned.states[target]
+        assert original.values[target] == poisoned.values[target] or (
+            original.values[target] is NULL and poisoned.values[target] is NULL
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_and_source=random_schemas())
+def test_speculation_changes_work_not_answers(schema_and_source):
+    """PSE100 and PCE0 must agree on target values, whatever the work gap."""
+    schema, source_values = schema_and_source
+    _, fast = run_engine(schema, "PSE100", source_values)
+    _, slow = run_engine(schema, "PCE0", source_values)
+    for target in schema.target_names:
+        assert fast.cells[target].value == slow.cells[target].value or (
+            fast.cells[target].value is NULL and slow.cells[target].value is NULL
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(schema_and_source=random_schemas())
+def test_determinism(schema_and_source):
+    """Two runs of the same strategy are event-for-event identical."""
+    schema, source_values = schema_and_source
+    first_metrics, first = run_engine(schema, "PSE40", source_values)
+    second_metrics, second = run_engine(schema, "PSE40", source_values)
+    assert first.state_map() == second.state_map()
+    assert first_metrics.work_units == second_metrics.work_units
+    assert first_metrics.elapsed == second_metrics.elapsed

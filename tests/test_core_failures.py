@@ -1,0 +1,179 @@
+"""Failure injection: exception values and engine behaviour when queries fail.
+
+"Tasks in a decision flow must be capable of executing once their input
+attributes are stable, even if some of them have value ⊥ ... a decision
+may have to be made with incomplete information, e.g., if a database is
+down" — we extend ⊥ with the [HLS+99a] *exception values* the paper
+mentions, injected by the database servers.
+"""
+
+import pytest
+
+from repro import (
+    Attribute,
+    Comparison,
+    DecisionFlowSchema,
+    Engine,
+    ExceptionValue,
+    IdealDatabase,
+    IsException,
+    IsNull,
+    NULL,
+    Op,
+    Simulation,
+    Strategy,
+    is_exception,
+    is_null,
+    synthesize,
+)
+from repro.core.conditions import resolver_from_mapping
+from repro.core.tri import Tri
+from tests._support import q
+
+
+class TestExceptionValue:
+    def test_identity_and_equality(self):
+        assert ExceptionValue("down") == ExceptionValue("down")
+        assert ExceptionValue("down") != ExceptionValue("timeout")
+        assert len({ExceptionValue("x"), ExceptionValue("x")}) == 1
+
+    def test_falsy_and_repr(self):
+        assert not ExceptionValue("down")
+        assert "down" in repr(ExceptionValue("down"))
+        assert repr(ExceptionValue()) == "EXC"
+
+    def test_predicates(self):
+        assert is_exception(ExceptionValue())
+        assert not is_exception(NULL)
+        assert not is_null(ExceptionValue())
+
+
+class TestConditionSemantics:
+    def resolve(self, **values):
+        return resolver_from_mapping(values)
+
+    def test_comparisons_on_exceptions_are_false(self):
+        exc = ExceptionValue("down")
+        assert Comparison("a", Op.GT, 1).eval_tri(self.resolve(a=exc)) is Tri.FALSE
+        assert Comparison("a", Op.EQ, exc).eval_tri(self.resolve(a=5)) is Tri.FALSE
+
+    def test_is_null_is_false_on_exceptions(self):
+        assert IsNull("a").eval_tri(self.resolve(a=ExceptionValue())) is Tri.FALSE
+
+    def test_is_exception_predicate(self):
+        pred = IsException("a")
+        assert pred.eval_tri(self.resolve(a=ExceptionValue())) is Tri.TRUE
+        assert pred.eval_tri(self.resolve(a=5)) is Tri.FALSE
+        assert pred.eval_tri(self.resolve(a=NULL)) is Tri.FALSE
+        assert pred.eval_tri(self.resolve()) is Tri.UNKNOWN
+        assert pred.refs() == {"a"}
+
+
+def failing_engine(schema, failure_prob, seed=0, code="PCE100"):
+    simulation = Simulation()
+    database = IdealDatabase(simulation, failure_prob=failure_prob, seed=seed)
+    return Engine(schema, Strategy.parse(code), database), simulation
+
+
+class TestEngineUnderFailures:
+    def outage_schema(self):
+        return DecisionFlowSchema(
+            [
+                Attribute("s"),
+                Attribute("lookup", task=q("lookup", inputs=("s",), value=7, cost=2)),
+                Attribute(
+                    "fallback",
+                    task=q("fallback", inputs=("s",), value=99, cost=1),
+                    condition=IsException("lookup"),
+                ),
+                Attribute(
+                    "t",
+                    task=synthesize(
+                        "t",
+                        ("lookup", "fallback"),
+                        lambda v: v["fallback"] if is_exception(v["lookup"]) else v["lookup"],
+                    ),
+                    is_target=True,
+                ),
+            ]
+        )
+
+    def test_all_queries_fail_flow_still_completes(self):
+        engine, simulation = failing_engine(self.outage_schema(), failure_prob=1.0)
+        instance = engine.submit_instance({"s": 0})
+        simulation.run()
+        assert instance.done
+        # The lookup failed; its value is an exception; the fallback branch
+        # (also failing here) is enabled by IsException and yields EXC too.
+        assert is_exception(instance.cells["lookup"].value)
+        assert instance.metrics.queries_failed == 2
+        assert is_exception(instance.cells["t"].value)
+
+    def test_no_failures_takes_primary_path(self):
+        engine, simulation = failing_engine(self.outage_schema(), failure_prob=0.0)
+        instance = engine.submit_instance({"s": 0})
+        simulation.run()
+        assert instance.cells["t"].value == 7
+        # The fallback is disabled (lookup succeeded) and never launched.
+        assert instance.cells["fallback"].value is NULL
+        assert instance.metrics.queries_launched == 1
+
+    def test_failed_work_still_counts(self):
+        engine, simulation = failing_engine(self.outage_schema(), failure_prob=1.0)
+        instance = engine.submit_instance({"s": 0})
+        simulation.run()
+        assert instance.metrics.work_units == 3  # lookup (2) + fallback (1)
+
+    def test_failure_rate_roughly_matches_probability(self):
+        schema = DecisionFlowSchema(
+            [
+                Attribute("s"),
+                Attribute("t", task=q("t", inputs=("s",), value=1, cost=1), is_target=True),
+            ]
+        )
+        simulation = Simulation()
+        database = IdealDatabase(simulation, failure_prob=0.3, seed=5)
+        engine = Engine(schema, Strategy.parse("PCE0"), database)
+        for _ in range(300):
+            engine.submit_instance({"s": 0}, at=simulation.now)
+        simulation.run()
+        failed = sum(i.metrics.queries_failed for i in engine.instances)
+        assert 60 <= failed <= 120  # 300 draws at p=0.3
+
+    def test_failure_prob_validation(self):
+        with pytest.raises(ValueError, match="failure_prob"):
+            IdealDatabase(Simulation(), failure_prob=1.5)
+
+    def test_determinism(self):
+        def run(seed):
+            engine, simulation = failing_engine(self.outage_schema(), 0.5, seed=seed)
+            instance = engine.submit_instance({"s": 0})
+            simulation.run()
+            return instance.metrics.queries_failed
+
+        assert run(3) == run(3)
+
+    def test_downstream_conditions_route_on_exception(self):
+        # Comparison on EXC is false: the gated branch is disabled.
+        schema = DecisionFlowSchema(
+            [
+                Attribute("s"),
+                Attribute("x", task=q("x", inputs=("s",), value=50, cost=1)),
+                Attribute(
+                    "gated",
+                    task=q("gated", inputs=("s",), value=1, cost=1),
+                    condition=Comparison("x", Op.GT, 10),
+                ),
+                Attribute(
+                    "t",
+                    task=synthesize("t", ("gated",), lambda v: v["gated"]),
+                    is_target=True,
+                ),
+            ]
+        )
+        engine, simulation = failing_engine(schema, failure_prob=1.0)
+        instance = engine.submit_instance({"s": 0})
+        simulation.run()
+        assert is_exception(instance.cells["x"].value)
+        assert instance.cells["gated"].value is NULL  # disabled by false cmp
+        assert instance.cells["t"].value is NULL

@@ -1,0 +1,129 @@
+"""Dependency graph: edges, topological machinery, cycle detection."""
+
+import pytest
+
+from repro import Attribute, Comparison, IsNull, Op
+from repro.core.graph import DependencyGraph, EdgeKind
+from repro.errors import CycleError, UnknownAttributeError
+from tests._support import q
+
+
+def build(attrs):
+    return DependencyGraph({a.name: a for a in attrs})
+
+
+def sample_graph():
+    """s → a → c; s → b → c (b also enables c); c → t."""
+    return build(
+        [
+            Attribute("s"),
+            Attribute("a", task=q("a", inputs=("s",))),
+            Attribute("b", task=q("b", inputs=("s",))),
+            Attribute(
+                "c",
+                task=q("c", inputs=("a", "b")),
+                condition=Comparison("b", Op.GT, 0),
+            ),
+            Attribute("t", task=q("t", inputs=("c",)), is_target=True),
+        ]
+    )
+
+
+class TestStructure:
+    def test_data_inputs_and_consumers(self):
+        graph = sample_graph()
+        assert graph.data_inputs["c"] == ("a", "b")
+        assert graph.data_consumers["s"] == ["a", "b"]
+        assert graph.data_consumers["c"] == ["t"]
+
+    def test_enabling_edges(self):
+        graph = sample_graph()
+        assert graph.cond_inputs["c"] == {"b"}
+        assert graph.enabling_consumers["b"] == ["c"]
+        assert graph.enabling_consumers["a"] == []
+
+    def test_edges_listing(self):
+        graph = sample_graph()
+        edges = set(graph.edges())
+        assert ("b", "c", EdgeKind.DATA) in edges
+        assert ("b", "c", EdgeKind.ENABLING) in edges
+        assert graph.edge_count() == len(edges)
+
+    def test_parents_children(self):
+        graph = sample_graph()
+        assert graph.parents["c"] == {"a", "b"}
+        assert graph.children["s"] == {"a", "b"}
+
+    def test_duplicate_data_inputs_deduplicated(self):
+        graph = build(
+            [
+                Attribute("s"),
+                Attribute("a", task=q("a", inputs=("s",)), condition=IsNull("s")),
+                Attribute("t", task=q("t", inputs=("a",)), is_target=True),
+            ]
+        )
+        # s appears as both data and enabling parent of a: one of each kind.
+        assert sum(1 for e in graph.edges() if e[0] == "s" and e[1] == "a") == 2
+
+
+class TestTopology:
+    def test_topo_order_respects_dependencies(self):
+        graph = sample_graph()
+        position = {name: i for i, name in enumerate(graph.topo_order)}
+        for parent, child, _kind in graph.edges():
+            assert position[parent] < position[child]
+
+    def test_topo_ties_broken_by_declaration_order(self):
+        graph = sample_graph()
+        assert graph.topo_order.index("a") < graph.topo_order.index("b")
+
+    def test_depth_is_longest_path(self):
+        graph = sample_graph()
+        assert graph.depth["s"] == 0
+        assert graph.depth["a"] == graph.depth["b"] == 1
+        assert graph.depth["c"] == 2
+        assert graph.depth["t"] == 3
+        assert graph.diameter() == 3
+
+    def test_ancestors_descendants(self):
+        graph = sample_graph()
+        assert graph.ancestors("c") == {"s", "a", "b"}
+        assert graph.descendants("s") == {"a", "b", "c", "t"}
+        assert graph.ancestors("s") == frozenset()
+        assert graph.descendants("t") == frozenset()
+
+
+class TestValidation:
+    def test_unknown_data_reference(self):
+        with pytest.raises(UnknownAttributeError, match="ghost"):
+            build([Attribute("a", task=q("a", inputs=("ghost",)))])
+
+    def test_unknown_condition_reference(self):
+        with pytest.raises(UnknownAttributeError, match="ghost"):
+            build([Attribute("a", task=q("a"), condition=IsNull("ghost"))])
+
+    def test_two_cycle_detected(self):
+        with pytest.raises(CycleError):
+            build(
+                [
+                    Attribute("a", task=q("a", inputs=("b",))),
+                    Attribute("b", task=q("b", inputs=("a",))),
+                ]
+            )
+
+    def test_self_loop_via_condition(self):
+        with pytest.raises(CycleError):
+            build([Attribute("a", task=q("a"), condition=IsNull("a"))])
+
+    def test_cycle_message_names_participants(self):
+        try:
+            build(
+                [
+                    Attribute("x", task=q("x", inputs=("y",))),
+                    Attribute("y", task=q("y", inputs=("x",))),
+                ]
+            )
+        except CycleError as error:
+            assert "x" in str(error) and "y" in str(error)
+        else:
+            pytest.fail("cycle not detected")

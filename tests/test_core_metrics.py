@@ -1,0 +1,65 @@
+"""Instance metrics and aggregation."""
+
+import pytest
+
+from repro.core.metrics import InstanceMetrics, summarize
+
+
+def finished(work=10, elapsed=5.0, instance_id="i"):
+    return InstanceMetrics(
+        instance_id=instance_id,
+        start_time=100.0,
+        finish_time=100.0 + elapsed,
+        work_units=work,
+    )
+
+
+class TestInstanceMetrics:
+    def test_elapsed(self):
+        assert finished(elapsed=5.0).elapsed == 5.0
+
+    def test_elapsed_requires_finish(self):
+        metrics = InstanceMetrics(instance_id="i", start_time=0.0)
+        assert not metrics.done
+        with pytest.raises(ValueError, match="not finished"):
+            _ = metrics.elapsed
+
+    def test_time_in_units_scaling(self):
+        metrics = finished(elapsed=6.0)
+        assert metrics.time_in_units() == 6.0
+        assert metrics.time_in_units(unit_duration=2.0) == 3.0
+
+    def test_time_in_seconds(self):
+        metrics = finished(elapsed=250.0)  # ms clock
+        assert metrics.time_in_seconds() == 0.25
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        summary = summarize([finished(10, 4.0), finished(20, 8.0)])
+        assert summary.count == 2
+        assert summary.mean_work == 15.0
+        assert summary.mean_elapsed == 6.0
+        assert summary.std_work == 5.0
+        assert summary.total_work == 30
+
+    def test_single_instance_zero_std(self):
+        summary = summarize([finished()])
+        assert summary.std_work == 0.0
+        assert summary.std_elapsed == 0.0
+
+    def test_unfinished_excluded(self):
+        unfinished = InstanceMetrics(instance_id="u", start_time=0.0)
+        summary = summarize([finished(10, 4.0), unfinished])
+        assert summary.count == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no finished"):
+            summarize([])
+        with pytest.raises(ValueError, match="no finished"):
+            summarize([InstanceMetrics(instance_id="u", start_time=0.0)])
+
+    def test_summary_conversions(self):
+        summary = summarize([finished(10, 500.0)])
+        assert summary.mean_time_in_units(unit_duration=1.0) == 500.0
+        assert summary.mean_time_in_seconds() == 0.5

@@ -1,0 +1,111 @@
+"""Modular schemas and flattening (section 2's module semantics)."""
+
+import pytest
+
+from repro import And, Attribute, Comparison, Module, Op, TRUE, flatten
+from repro.core.conditions import conjoin
+from repro.errors import SchemaError
+from tests._support import q
+
+
+def coat_condition():
+    return Comparison("cart_has_boy_item", Op.EQ, True)
+
+
+def build_modular():
+    """A miniature of Figure 1: a promo module guarded by condition C."""
+    root = Module("promo-flow")
+    root.add(Attribute("cart_has_boy_item"))  # source
+    coat = Module("boys_coat_promo", condition=coat_condition())
+    coat.add(Attribute("climate", task=q("climate", inputs=("cart_has_boy_item",))))
+    coat.add(
+        Attribute(
+            "hit_list",
+            task=q("hit_list", inputs=("climate",)),
+            condition=Comparison("climate", Op.NE, "tropical"),
+        )
+    )
+    root.add(coat)
+    root.add(Attribute("assembly", task=q("assembly", inputs=("hit_list",)), is_target=True))
+    return root
+
+
+class TestWalk:
+    def test_module_condition_anded_into_members(self):
+        root = build_modular()
+        effective = dict((a.name, c) for a, c in root.walk())
+        # climate had TRUE: effective condition is just the module's C.
+        assert effective["climate"] == coat_condition()
+        # hit_list had its own condition: effective is C AND own.
+        assert effective["hit_list"] == And(coat_condition(), Comparison("climate", Op.NE, "tropical"))
+        # top-level members keep their own conditions.
+        assert effective["assembly"] is TRUE
+
+    def test_nested_modules_accumulate(self):
+        inner_cond = Comparison("x", Op.GT, 1)
+        outer_cond = Comparison("x", Op.GT, 2)
+        inner = Module("inner", [Attribute("a", task=q("a"), is_target=True)], condition=inner_cond)
+        outer = Module("outer", [Attribute("x"), inner], condition=outer_cond)
+        effective = dict((a.name, c) for a, c in outer.walk())
+        assert effective["a"] == And(outer_cond, inner_cond)
+
+    def test_attribute_names(self):
+        assert build_modular().attribute_names() == [
+            "cart_has_boy_item",
+            "climate",
+            "hit_list",
+            "assembly",
+        ]
+
+    def test_non_member_rejected(self):
+        root = Module("bad", ["not an attribute"])
+        with pytest.raises(SchemaError, match="non-member"):
+            list(root.walk())
+
+
+class TestFlatten:
+    def test_produces_valid_schema(self):
+        schema = flatten(build_modular())
+        assert schema.name == "promo-flow"
+        assert set(schema.names) == {"cart_has_boy_item", "climate", "hit_list", "assembly"}
+        assert schema["climate"].condition == coat_condition()
+
+    def test_flattening_preserves_tasks_and_targets(self):
+        schema = flatten(build_modular())
+        assert schema.target_names == ("assembly",)
+        assert schema["hit_list"].task.inputs == ("climate",)
+
+    def test_source_inside_conditional_module_rejected(self):
+        bad = Module(
+            "root",
+            [
+                Module(
+                    "cond",
+                    [Attribute("s"), Attribute("t", task=q("t"), is_target=True)],
+                    condition=Comparison("s", Op.GT, 0),
+                )
+            ],
+        )
+        with pytest.raises(SchemaError, match="conditional module"):
+            flatten(bad)
+
+    def test_custom_name(self):
+        schema = flatten(build_modular(), name="renamed")
+        assert schema.name == "renamed"
+
+    def test_add_returns_member(self):
+        module = Module("m")
+        attribute = Attribute("a", task=q("a"))
+        assert module.add(attribute) is attribute
+
+    def test_repr(self):
+        assert "members=3" in repr(build_modular())
+
+
+class TestConjoinSemantics:
+    def test_flattening_matches_conjoin(self):
+        own = Comparison("x", Op.GT, 5)
+        module_cond = Comparison("y", Op.LE, 2)
+        assert conjoin(TRUE, own) is own
+        assert conjoin(module_cond, TRUE) is module_cond
+        assert conjoin(module_cond, own) == And(module_cond, own)

@@ -1,0 +1,97 @@
+"""Multi-target flows and conditions over target attributes."""
+
+import pytest
+
+from repro import (
+    Attribute,
+    AttributeState,
+    Comparison,
+    DecisionFlowSchema,
+    NULL,
+    Op,
+    evaluate_schema,
+)
+from tests._support import q, run_engine
+
+
+def two_target_schema():
+    """Two independent targets; t2 is gated on the source value."""
+    return DecisionFlowSchema(
+        [
+            Attribute("s"),
+            Attribute("a", task=q("a", inputs=("s",), value=1, cost=2)),
+            Attribute("t1", task=q("t1", inputs=("a",), value=10, cost=1), is_target=True),
+            Attribute(
+                "t2",
+                task=q("t2", inputs=("s",), value=20, cost=4),
+                condition=Comparison("s", Op.GT, 5),
+                is_target=True,
+            ),
+        ]
+    )
+
+
+class TestMultipleTargets:
+    def test_completion_requires_all_targets(self):
+        metrics, instance = run_engine(two_target_schema(), "PCE100", {"s": 9})
+        assert instance.cells["t1"].value == 10
+        assert instance.cells["t2"].value == 20
+        assert metrics.work_units == 7
+
+    def test_disabled_target_counts_as_stable(self):
+        metrics, instance = run_engine(two_target_schema(), "PCE100", {"s": 1})
+        assert instance.cells["t2"].value is NULL
+        assert metrics.work_units == 3  # only a and t1 execute
+
+    def test_reference_semantics_agree(self):
+        schema = two_target_schema()
+        for s in (1, 9):
+            snapshot = evaluate_schema(schema, {"s": s})
+            _, instance = run_engine(schema, "PSE100", {"s": s})
+            for target in schema.target_names:
+                assert instance.cells[target].state is snapshot.states[target]
+
+    def test_one_slow_target_holds_completion(self):
+        # t1 is done at t=3; the instance must wait for t2 (cost 4) at t=4.
+        metrics, _ = run_engine(two_target_schema(), "PCE100", {"s": 9})
+        assert metrics.elapsed == 4.0
+
+
+class TestConditionsOnTargets:
+    def condition_on_target_schema(self):
+        """A post-processing attribute enabled by a *target's* value."""
+        return DecisionFlowSchema(
+            [
+                Attribute("s"),
+                Attribute("t", task=q("t", inputs=("s",), value=7, cost=1), is_target=True),
+                Attribute(
+                    "audit",
+                    task=q("audit", inputs=("t",), value="logged", cost=2),
+                    condition=Comparison("t", Op.GT, 5),
+                    is_target=True,
+                ),
+            ]
+        )
+
+    def test_chained_targets_stabilize_in_order(self):
+        metrics, instance = run_engine(self.condition_on_target_schema(), "PCE0", {"s": 0})
+        assert instance.cells["t"].value == 7
+        assert instance.cells["audit"].value == "logged"
+        assert metrics.elapsed == 3.0
+
+    def test_audit_disabled_when_threshold_missed(self):
+        schema = DecisionFlowSchema(
+            [
+                Attribute("s"),
+                Attribute("t", task=q("t", inputs=("s",), value=3, cost=1), is_target=True),
+                Attribute(
+                    "audit",
+                    task=q("audit", inputs=("t",), value="logged", cost=2),
+                    condition=Comparison("t", Op.GT, 5),
+                    is_target=True,
+                ),
+            ]
+        )
+        metrics, instance = run_engine(schema, "PCE0", {"s": 0})
+        assert instance.cells["audit"].state is AttributeState.DISABLED
+        assert metrics.work_units == 1

@@ -1,0 +1,109 @@
+"""Leaf predicates: comparisons, null tests, user predicates."""
+
+import pytest
+
+from repro import NULL
+from repro.core.conditions import UNRESOLVED, resolver_from_mapping
+from repro.core.predicates import AttrRef, Comparison, IsNull, Op, UserPredicate, attr
+from repro.core.tri import Tri
+
+
+def resolve_of(**values):
+    return resolver_from_mapping(values)
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            (Op.EQ, 5, 5, Tri.TRUE),
+            (Op.EQ, 5, 6, Tri.FALSE),
+            (Op.NE, 5, 6, Tri.TRUE),
+            (Op.LT, 5, 6, Tri.TRUE),
+            (Op.LE, 5, 5, Tri.TRUE),
+            (Op.GT, 5, 5, Tri.FALSE),
+            (Op.GE, 5, 5, Tri.TRUE),
+            (Op.IN, 5, (4, 5, 6), Tri.TRUE),
+            (Op.IN, 7, (4, 5, 6), Tri.FALSE),
+        ],
+    )
+    def test_operators(self, op, left, right, expected):
+        assert Comparison("a", op, right).eval_tri(resolve_of(a=left)) is expected
+
+    def test_unresolved_is_unknown(self):
+        assert Comparison("a", Op.EQ, 5).eval_tri(resolve_of()) is Tri.UNKNOWN
+
+    @pytest.mark.parametrize("op", list(Op))
+    def test_null_left_operand_is_false(self, op):
+        right = (1, 2) if op is Op.IN else 5
+        assert Comparison("a", op, right).eval_tri(resolve_of(a=NULL)) is Tri.FALSE
+
+    def test_attr_ref_right_operand(self):
+        cond = Comparison("a", Op.GT, attr("b"))
+        assert cond.refs() == {"a", "b"}
+        assert cond.eval_tri(resolve_of(a=5, b=3)) is Tri.TRUE
+        assert cond.eval_tri(resolve_of(a=5)) is Tri.UNKNOWN
+        assert cond.eval_tri(resolve_of(a=5, b=NULL)) is Tri.FALSE
+
+    def test_string_values(self):
+        cond = Comparison("a", Op.EQ, "gold")
+        assert cond.eval_tri(resolve_of(a="gold")) is Tri.TRUE
+        assert cond.eval_tri(resolve_of(a="silver")) is Tri.FALSE
+
+    def test_hashable_with_unhashable_constant(self):
+        cond = Comparison("a", Op.IN, [1, 2, 3])
+        assert isinstance(hash(cond), int)
+
+    def test_repr_contains_operator(self):
+        assert ">=" in repr(Comparison("a", Op.GE, 3))
+
+
+class TestAttrRef:
+    def test_equality(self):
+        assert AttrRef("x") == AttrRef("x") != AttrRef("y")
+        assert len({AttrRef("x"), AttrRef("x")}) == 1
+
+    def test_repr(self):
+        assert repr(attr("x")) == "@x"
+
+
+class TestIsNull:
+    def test_true_on_null(self):
+        assert IsNull("a").eval_tri(resolve_of(a=NULL)) is Tri.TRUE
+
+    def test_false_on_value(self):
+        assert IsNull("a").eval_tri(resolve_of(a=0)) is Tri.FALSE
+
+    def test_false_on_none_value(self):
+        # Python None is an ordinary value, distinct from ⊥.
+        assert IsNull("a").eval_tri(resolve_of(a=None)) is Tri.FALSE
+
+    def test_unknown_when_unresolved(self):
+        assert IsNull("a").eval_tri(resolve_of()) is Tri.UNKNOWN
+
+    def test_refs(self):
+        assert IsNull("a").refs() == {"a"}
+
+
+class TestUserPredicate:
+    def test_evaluates_with_all_inputs(self):
+        pred = UserPredicate("both_big", ("a", "b"), lambda v: v["a"] > 5 and v["b"] > 5)
+        assert pred.eval_tri(resolve_of(a=6, b=7)) is Tri.TRUE
+        assert pred.eval_tri(resolve_of(a=6, b=2)) is Tri.FALSE
+
+    def test_unknown_until_all_inputs_stable(self):
+        pred = UserPredicate("p", ("a", "b"), lambda v: True)
+        assert pred.eval_tri(resolve_of(a=6)) is Tri.UNKNOWN
+
+    def test_null_is_passed_through(self):
+        pred = UserPredicate("sees_null", ("a",), lambda v: v["a"] is NULL)
+        assert pred.eval_tri(resolve_of(a=NULL)) is Tri.TRUE
+
+    def test_result_coerced_to_bool(self):
+        pred = UserPredicate("truthy", ("a",), lambda v: v["a"])
+        assert pred.eval_tri(resolve_of(a=3)) is Tri.TRUE
+        assert pred.eval_tri(resolve_of(a=0)) is Tri.FALSE
+
+    def test_repr(self):
+        pred = UserPredicate("p", ("a", "b"), lambda v: True)
+        assert repr(pred) == "p(a, b)"

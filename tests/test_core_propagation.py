@@ -1,0 +1,167 @@
+"""Backward propagation: the NeededTracker's dead-edge analysis."""
+
+from repro import Attribute, Comparison, DecisionFlowSchema, IsNull, Op
+from repro.core.propagation import NeededTracker
+from tests._support import q
+
+
+def chain_with_dangler():
+    """s → a → t, plus d consuming a but feeding nothing."""
+    return DecisionFlowSchema(
+        [
+            Attribute("s"),
+            Attribute("a", task=q("a", inputs=("s",))),
+            Attribute("d", task=q("d", inputs=("a",))),
+            Attribute("t", task=q("t", inputs=("a",)), is_target=True),
+        ]
+    )
+
+
+class TestInitialLiveness:
+    def test_everything_reaching_target_is_needed(self):
+        tracker = NeededTracker(chain_with_dangler())
+        for name in ("s", "a", "t"):
+            assert not tracker.is_unneeded(name)
+
+    def test_attribute_with_no_path_to_target_is_unneeded_at_start(self):
+        tracker = NeededTracker(chain_with_dangler())
+        assert tracker.is_unneeded("d")
+
+    def test_dangling_chain_cascades(self):
+        schema = DecisionFlowSchema(
+            [
+                Attribute("s"),
+                Attribute("d1", task=q("d1", inputs=("s",))),
+                Attribute("d2", task=q("d2", inputs=("d1",))),
+                Attribute("t", task=q("t", inputs=("s",)), is_target=True),
+            ]
+        )
+        tracker = NeededTracker(schema)
+        assert tracker.is_unneeded("d2")
+        assert tracker.is_unneeded("d1")  # its only consumer is unneeded
+        assert not tracker.is_unneeded("s")  # still feeds the target
+
+
+class TestEventDrivenPruning:
+    def test_target_stabilized_releases_ancestors(self):
+        schema = chain_with_dangler()
+        tracker = NeededTracker(schema)
+        tracker.on_stabilized("t")
+        # a's only live consumer (t, via data) is gone; d was already dead.
+        assert tracker.is_unneeded("a")
+        assert tracker.is_unneeded("s")
+
+    def test_condition_resolution_kills_enabling_edges_only(self):
+        schema = DecisionFlowSchema(
+            [
+                Attribute("s"),
+                Attribute("e", task=q("e", inputs=("s",))),
+                Attribute("x", task=q("x", inputs=("s",))),
+                Attribute(
+                    "t",
+                    task=q("t", inputs=("x",)),
+                    condition=Comparison("e", Op.GT, 0),
+                    is_target=True,
+                ),
+            ]
+        )
+        tracker = NeededTracker(schema)
+        assert not tracker.is_unneeded("e")
+        tracker.on_condition_resolved("t")
+        # e fed only t's condition: unneeded now.  x still feeds t's data.
+        assert tracker.is_unneeded("e")
+        assert not tracker.is_unneeded("x")
+
+    def test_computed_kills_data_edges_only(self):
+        schema = DecisionFlowSchema(
+            [
+                Attribute("s"),
+                Attribute("x", task=q("x", inputs=("s",))),
+                Attribute("e", task=q("e", inputs=("s",))),
+                Attribute(
+                    "t",
+                    task=q("t", inputs=("x",)),
+                    condition=IsNull("e"),
+                    is_target=True,
+                ),
+            ]
+        )
+        tracker = NeededTracker(schema)
+        tracker.on_computed("t")  # t's value computed speculatively
+        assert tracker.is_unneeded("x")       # data input no longer needed
+        assert not tracker.is_unneeded("e")   # condition still unresolved
+
+    def test_paper_promo_scenario(self):
+        """Expendable income = 0 ⇒ give_promo disabled ⇒ hit list unneeded.
+
+        Miniature of the paper's backward-propagation example: once the
+        only consumer of promo_hit_list is known DISABLED, the hit list —
+        though itself enabled — is not needed.
+        """
+        schema = DecisionFlowSchema(
+            [
+                Attribute("income"),
+                Attribute("hit_list", task=q("hit_list", inputs=("income",))),
+                Attribute(
+                    "give_promo",
+                    task=q("give_promo", inputs=("income",)),
+                    condition=Comparison("income", Op.GT, 0),
+                ),
+                Attribute(
+                    "presentation",
+                    task=q("presentation", inputs=("hit_list",)),
+                    condition=Comparison("give_promo", Op.EQ, True),
+                ),
+                Attribute(
+                    "page",
+                    task=q("page", inputs=("presentation",)),
+                    is_target=True,
+                ),
+            ]
+        )
+        tracker = NeededTracker(schema)
+        assert not tracker.is_unneeded("hit_list")
+        # income = 0 resolves give_promo's condition to false → DISABLED/stable,
+        # which in turn resolves presentation's condition to false → stable.
+        tracker.on_condition_resolved("give_promo")
+        tracker.on_stabilized("give_promo")
+        tracker.on_condition_resolved("presentation")
+        tracker.on_stabilized("presentation")
+        assert tracker.is_unneeded("hit_list")
+        # The target itself is still needed (must stabilize).
+        assert not tracker.is_unneeded("page")
+
+
+class TestRobustness:
+    def test_double_events_do_not_underflow(self):
+        schema = chain_with_dangler()
+        tracker = NeededTracker(schema)
+        tracker.on_stabilized("t")
+        tracker.on_stabilized("t")
+        tracker.on_condition_resolved("t")
+        assert tracker.live_out_degree("a") >= 0
+        assert tracker.live_out_degree("s") >= 0
+
+    def test_unneeded_is_monotone(self):
+        schema = chain_with_dangler()
+        tracker = NeededTracker(schema)
+        before = set(tracker.unneeded)
+        tracker.on_computed("t")
+        tracker.on_condition_resolved("t")
+        tracker.on_stabilized("t")
+        assert before <= tracker.unneeded
+
+    def test_total_kills_bounded_by_edges(self):
+        schema = chain_with_dangler()
+        tracker = NeededTracker(schema)
+        edge_count = schema.graph.edge_count() + len(schema.target_names)
+        for name in schema.names:
+            tracker.on_stabilized(name)
+            tracker.on_condition_resolved(name)
+            tracker.on_computed(name)
+        # Every edge died at most once: total live-out cannot go negative.
+        assert all(tracker.live_out_degree(n) >= 0 for n in schema.names)
+        killed = sum(
+            edge_count - tracker.live_out_degree(n) >= 0 for n in schema.names
+        )
+        assert killed == len(schema.names)

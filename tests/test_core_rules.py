@@ -1,0 +1,94 @@
+"""Business-rule synthesis tasks and combining policies."""
+
+import pytest
+
+from repro import NULL
+from repro.core.conditions import TRUE
+from repro.core.predicates import Comparison, IsNull, Op
+from repro.core.rules import CombiningPolicy, Rule, RuleSetTask, rule_set
+
+
+def make_task(policy="collect", default=NULL):
+    rules = [
+        Rule("gold", Comparison("tier", Op.EQ, "gold"), 100),
+        Rule("big_cart", Comparison("cart", Op.GE, 50), 40),
+        Rule("base", TRUE, 1),
+    ]
+    return rule_set("score", ("tier", "cart"), rules, policy=policy, default=default)
+
+
+class TestRuleFiring:
+    def test_all_firing_collect(self):
+        task = make_task()
+        assert task.compute({"tier": "gold", "cart": 60}) == [100, 40, 1]
+
+    def test_partial_firing(self):
+        task = make_task()
+        assert task.compute({"tier": "silver", "cart": 60}) == [40, 1]
+
+    def test_null_inputs_fail_comparisons_but_not_rules(self):
+        task = make_task()
+        assert task.compute({"tier": NULL, "cart": NULL}) == [1]
+
+    def test_no_rule_fires_returns_default(self):
+        rules = [Rule("never", Comparison("x", Op.GT, 100), 1)]
+        task = rule_set("r", ("x",), rules, default="fallback")
+        assert task.compute({"x": 1}) == "fallback"
+
+    def test_default_defaults_to_null(self):
+        rules = [Rule("never", Comparison("x", Op.GT, 100), 1)]
+        task = rule_set("r", ("x",), rules)
+        assert task.compute({"x": 1}) is NULL
+
+    def test_callable_contribution(self):
+        rules = [Rule("double", TRUE, lambda v: v["x"] * 2)]
+        task = rule_set("r", ("x",), rules, policy="first")
+        assert task.compute({"x": 21}) == 42
+
+    def test_null_test_rule(self):
+        rules = [Rule("missing", IsNull("x"), "was-null")]
+        task = rule_set("r", ("x",), rules, policy="first", default="had-value")
+        assert task.compute({"x": NULL}) == "was-null"
+        assert task.compute({"x": 5}) == "had-value"
+
+
+class TestPolicies:
+    @pytest.mark.parametrize(
+        "policy,expected",
+        [
+            ("collect", [100, 40, 1]),
+            ("first", 100),
+            ("last", 1),
+            ("sum", 141),
+            ("max", 100),
+            ("min", 1),
+            ("any", True),
+            ("all", True),
+        ],
+    )
+    def test_each_policy(self, policy, expected):
+        task = make_task(policy=policy)
+        assert task.compute({"tier": "gold", "cart": 60}) == expected
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError, match="unknown combining policy"):
+            make_task(policy="mystery")
+
+    def test_registry_listing(self):
+        names = CombiningPolicy.names()
+        assert "collect" in names and "sum" in names
+
+    def test_custom_policy_registration(self):
+        CombiningPolicy.register("head2", lambda contributions: contributions[:2])
+        task = make_task(policy="head2")
+        assert task.compute({"tier": "gold", "cart": 60}) == [100, 40]
+
+
+class TestValidation:
+    def test_rule_refs_must_be_inputs(self):
+        rules = [Rule("bad", Comparison("not_an_input", Op.GT, 1), 1)]
+        with pytest.raises(ValueError, match="not_an_input"):
+            RuleSetTask("r", ("x",), rules)
+
+    def test_repr(self):
+        assert "rules=3" in repr(make_task())

@@ -1,0 +1,74 @@
+"""Schema validation and accessors."""
+
+import pytest
+
+from repro import Attribute, Comparison, DecisionFlowSchema, Op, TRUE
+from repro.errors import SchemaError
+from tests._support import diamond_schema, q
+
+
+class TestValidation:
+    def test_duplicate_names(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            DecisionFlowSchema([Attribute("a", task=q("a"), is_target=True), Attribute("a", task=q("a"))])
+
+    def test_empty_schema(self):
+        with pytest.raises(SchemaError, match="at least one attribute"):
+            DecisionFlowSchema([])
+
+    def test_source_with_condition_rejected(self):
+        bad = Attribute("s", task=None, condition=TRUE)
+        bad.condition = Comparison("s", Op.GT, 0)  # bypass constructor default
+        with pytest.raises(SchemaError, match="TRUE condition"):
+            DecisionFlowSchema([bad, Attribute("t", task=q("t"), is_target=True)])
+
+    def test_source_cannot_be_target(self):
+        with pytest.raises(SchemaError, match="source and target"):
+            DecisionFlowSchema([Attribute("s", task=None, is_target=True)])
+
+    def test_non_source_needs_task(self):
+        # task=None means source; is_target forces the conflict check first.
+        ghost = Attribute("x")
+        ghost.is_target = True
+        with pytest.raises(SchemaError):
+            DecisionFlowSchema([ghost])
+
+    def test_target_required(self):
+        with pytest.raises(SchemaError, match="target"):
+            DecisionFlowSchema([Attribute("s"), Attribute("a", task=q("a"))])
+
+
+class TestAccessors:
+    def test_roles(self):
+        schema, _ = diamond_schema()
+        assert schema.source_names == ("s",)
+        assert schema.target_names == ("t",)
+        assert schema.internal_names == ("a", "b")
+        assert schema.non_source_names == ("a", "b", "t")
+
+    def test_mapping_protocol(self):
+        schema, _ = diamond_schema()
+        assert "a" in schema
+        assert "ghost" not in schema
+        assert len(schema) == 4
+        assert [a.name for a in schema] == ["s", "a", "b", "t"]
+        assert schema["b"].cost == 3
+
+    def test_total_query_cost(self):
+        schema, _ = diamond_schema()
+        assert schema.total_query_cost() == 5  # a costs 2, b costs 3, t is synthesis
+
+    def test_query_names(self):
+        schema, _ = diamond_schema()
+        assert schema.query_names() == ("a", "b")
+
+    def test_describe(self):
+        schema, _ = diamond_schema()
+        text = schema.describe()
+        assert "4 attributes" in text
+        assert "1 source" in text
+        assert "total cost 5" in text
+
+    def test_repr(self):
+        schema, _ = diamond_schema()
+        assert "diamond" in repr(schema)

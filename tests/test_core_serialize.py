@@ -1,0 +1,181 @@
+"""Schema serialization: the Figure-2 schema-repository storage format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    And,
+    Attribute,
+    Comparison,
+    DecisionFlowSchema,
+    IsException,
+    IsNull,
+    Literal,
+    NULL,
+    Not,
+    Op,
+    Or,
+    Rule,
+    Strategy,
+    UserPredicate,
+    attr,
+    evaluate_schema,
+    generate_pattern,
+    rule_set,
+    synthesize,
+)
+from repro.core.serialize import (
+    SerializationError,
+    condition_from_dict,
+    condition_to_dict,
+    dumps_schema,
+    loads_schema,
+    schema_from_dict,
+    schema_to_dict,
+    task_from_dict,
+    task_to_dict,
+)
+from repro.core.tasks import QueryTask, constant
+from repro.workload import PatternParams
+from tests._support import q, run_engine
+
+
+class TestConditionRoundTrip:
+    @pytest.mark.parametrize(
+        "condition",
+        [
+            Literal(True),
+            Literal(False),
+            Comparison("a", Op.GE, 5),
+            Comparison("a", Op.EQ, "gold"),
+            Comparison("a", Op.LT, attr("b")),
+            IsNull("a"),
+            IsException("a"),
+            And(Comparison("a", Op.GT, 1), IsNull("b")),
+            Or(Comparison("a", Op.GT, 1), Not(IsNull("b"))),
+            Not(And(Comparison("a", Op.GT, 1), Or(IsNull("b"), Literal(True)))),
+        ],
+    )
+    def test_round_trip(self, condition):
+        assert condition_from_dict(condition_to_dict(condition)) == condition
+
+    def test_null_constant_round_trips(self):
+        condition = Comparison("a", Op.EQ, NULL)
+        assert condition_from_dict(condition_to_dict(condition)) == condition
+
+    def test_sequence_constant_round_trips(self):
+        condition = Comparison("a", Op.IN, (1, 2, 3))
+        restored = condition_from_dict(condition_to_dict(condition))
+        assert restored.eval_tri(lambda n: 2).name == "TRUE"
+
+    def test_user_predicate_rejected(self):
+        with pytest.raises(SerializationError, match="user predicates"):
+            condition_to_dict(UserPredicate("p", ("a",), lambda v: True))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            condition_from_dict({"kind": "telepathy"})
+
+
+class TestTaskRoundTrip:
+    def test_constant_query(self):
+        task = QueryTask("q1", ("a", "b"), constant(42), cost=3, description="dip")
+        restored = task_from_dict(task_to_dict(task))
+        assert restored.inputs == ("a", "b")
+        assert restored.cost == 3
+        assert restored.description == "dip"
+        assert restored.compute({"a": 0, "b": 0}) == 42
+
+    def test_arbitrary_query_fn_rejected(self):
+        task = QueryTask("q1", (), lambda v: 1, cost=1)
+        with pytest.raises(SerializationError, match="constant-result"):
+            task_to_dict(task)
+
+    def test_rule_set(self):
+        task = rule_set(
+            "score",
+            ("tier",),
+            [Rule("gold", Comparison("tier", Op.EQ, "gold"), 100)],
+            policy="sum",
+            default=0,
+        )
+        restored = task_from_dict(task_to_dict(task))
+        assert restored.compute({"tier": "gold"}) == 100
+        assert restored.compute({"tier": "tin"}) == 0
+
+    def test_rule_set_with_callable_contribution_rejected(self):
+        task = rule_set("r", ("x",), [Rule("f", Literal(True), lambda v: 1)])
+        with pytest.raises(SerializationError, match="callable contribution"):
+            task_to_dict(task)
+
+    def test_synthesis_fn_rejected(self):
+        with pytest.raises(SerializationError, match="synthesis"):
+            task_to_dict(synthesize("s", ("a",), lambda v: 1))
+
+
+class TestSchemaRoundTrip:
+    def declarative_schema(self):
+        return DecisionFlowSchema(
+            [
+                Attribute("s", doc="input"),
+                Attribute(
+                    "a",
+                    task=q("a", inputs=("s",), value=5, cost=2),
+                    condition=Comparison("s", Op.GE, 0),
+                ),
+                Attribute("t", task=q("t", inputs=("a",), value=9, cost=1), is_target=True),
+            ],
+            name="declarative",
+        )
+
+    def test_json_round_trip_preserves_semantics(self):
+        schema = self.declarative_schema()
+        restored = loads_schema(dumps_schema(schema))
+        assert restored.name == schema.name
+        assert restored.names == schema.names
+        original = evaluate_schema(schema, {"s": 1})
+        recovered = evaluate_schema(restored, {"s": 1})
+        assert original.states == recovered.states
+        assert original.values == recovered.values
+
+    def test_round_trip_preserves_docs_and_targets(self):
+        restored = schema_from_dict(schema_to_dict(self.declarative_schema()))
+        assert restored["s"].doc == "input"
+        assert restored.target_names == ("t",)
+
+    def test_bad_format_version(self):
+        with pytest.raises(SerializationError, match="format"):
+            schema_from_dict({"format": 99, "attributes": []})
+
+    def test_generated_patterns_are_fully_serializable(self):
+        pattern = generate_pattern(PatternParams(nb_nodes=16, nb_rows=2, seed=5))
+        restored = loads_schema(dumps_schema(pattern.schema))
+        original = evaluate_schema(pattern.schema, pattern.source_values)
+        recovered = evaluate_schema(restored, pattern.source_values)
+        assert original.states == recovered.states
+
+    def test_restored_schema_executes_identically(self):
+        pattern = generate_pattern(PatternParams(nb_nodes=16, nb_rows=2, seed=6))
+        restored = loads_schema(dumps_schema(pattern.schema))
+        original_metrics, _ = run_engine(pattern.schema, "PSE100", pattern.source_values)
+        restored_metrics, _ = run_engine(restored, "PSE100", pattern.source_values)
+        assert original_metrics.work_units == restored_metrics.work_units
+        assert original_metrics.elapsed == restored_metrics.elapsed
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nb_nodes=st.integers(4, 20),
+    pct_enabled=st.integers(0, 100),
+    seed=st.integers(0, 10),
+)
+def test_every_generated_pattern_round_trips(nb_nodes, pct_enabled, seed):
+    params = PatternParams(
+        nb_nodes=nb_nodes, nb_rows=min(2, nb_nodes), pct_enabled=pct_enabled, seed=seed
+    )
+    pattern = generate_pattern(params)
+    restored = loads_schema(dumps_schema(pattern.schema))
+    original = evaluate_schema(pattern.schema, pattern.source_values)
+    recovered = evaluate_schema(restored, pattern.source_values)
+    assert original.states == recovered.states
+    assert original.values == recovered.values

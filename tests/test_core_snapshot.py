@@ -1,0 +1,145 @@
+"""Declarative semantics: the unique complete snapshot."""
+
+import pytest
+
+from repro import (
+    Attribute,
+    AttributeState,
+    Comparison,
+    DecisionFlowSchema,
+    NULL,
+    Op,
+    check_against_snapshot,
+    evaluate_schema,
+)
+from repro.errors import ExecutionError
+from tests._support import diamond_schema, q
+
+
+class TestEvaluateSchema:
+    def test_diamond_with_disabled_branch(self):
+        schema, source_values = diamond_schema()
+        snapshot = evaluate_schema(schema, source_values)  # s = 5 disables b
+        assert snapshot.states["a"] is AttributeState.VALUE
+        assert snapshot.states["b"] is AttributeState.DISABLED
+        assert snapshot.values["b"] is NULL
+        # Target synthesizes a + b with ⊥ treated as 0 by the task.
+        assert snapshot.values["t"] == 1
+
+    def test_diamond_with_enabled_branch(self):
+        schema, _ = diamond_schema()
+        snapshot = evaluate_schema(schema, {"s": 50})
+        assert snapshot.states["b"] is AttributeState.VALUE
+        assert snapshot.values["t"] == 11
+
+    def test_null_propagates_through_conditions(self):
+        # c is enabled only if b > 0; with b disabled, the comparison on ⊥
+        # is false, so c is disabled too (forward propagation, declaratively).
+        schema = DecisionFlowSchema(
+            [
+                Attribute("s"),
+                Attribute("b", task=q("b", value=9), condition=Comparison("s", Op.GT, 10)),
+                Attribute(
+                    "c",
+                    task=q("c", inputs=("b",), value=1),
+                    condition=Comparison("b", Op.GT, 0),
+                ),
+                Attribute("t", task=q("t", inputs=("c",), value=2), is_target=True),
+            ]
+        )
+        snapshot = evaluate_schema(schema, {"s": 0})
+        assert snapshot.states["b"] is AttributeState.DISABLED
+        assert snapshot.states["c"] is AttributeState.DISABLED
+        assert snapshot.states["t"] is AttributeState.VALUE
+
+    def test_uniqueness(self):
+        schema, source_values = diamond_schema()
+        first = evaluate_schema(schema, source_values)
+        second = evaluate_schema(schema, source_values)
+        assert first.states == second.states
+        assert first.values == second.values
+
+    def test_missing_source_value(self):
+        schema, _ = diamond_schema()
+        with pytest.raises(ExecutionError, match="missing source"):
+            evaluate_schema(schema, {})
+
+    def test_extra_source_value(self):
+        schema, _ = diamond_schema()
+        with pytest.raises(ExecutionError, match="non-source"):
+            evaluate_schema(schema, {"s": 5, "a": 1})
+
+
+class TestSnapshotAccessors:
+    def test_enabled_disabled_names(self):
+        schema, source_values = diamond_schema()
+        snapshot = evaluate_schema(schema, source_values)
+        assert set(snapshot.enabled_names()) == {"s", "a", "t"}
+        assert set(snapshot.disabled_names()) == {"b"}
+
+    def test_enabled_fraction(self):
+        schema, source_values = diamond_schema()
+        snapshot = evaluate_schema(schema, source_values)
+        assert snapshot.enabled_fraction() == pytest.approx(2 / 3)
+        assert snapshot.enabled_fraction(("a",)) == 1.0
+        assert snapshot.enabled_fraction(()) == 0.0
+
+    def test_target_values(self):
+        schema, source_values = diamond_schema()
+        snapshot = evaluate_schema(schema, source_values)
+        assert snapshot.target_values() == {"t": 1}
+
+    def test_needed_cost(self):
+        schema, source_values = diamond_schema()
+        snapshot = evaluate_schema(schema, source_values)
+        assert snapshot.needed_cost() == 2  # only query a (cost 2) is enabled
+
+
+class TestCheckAgainstSnapshot:
+    def test_correct_observation_passes(self):
+        schema, source_values = diamond_schema()
+        snapshot = evaluate_schema(schema, source_values)
+        violations = check_against_snapshot(
+            snapshot, dict(snapshot.states), dict(snapshot.values)
+        )
+        assert violations == []
+
+    def test_wrong_state_detected(self):
+        schema, source_values = diamond_schema()
+        snapshot = evaluate_schema(schema, source_values)
+        observed = dict(snapshot.states)
+        observed["b"] = AttributeState.VALUE
+        violations = check_against_snapshot(snapshot, observed, dict(snapshot.values))
+        assert any("b:" in v for v in violations)
+
+    def test_wrong_value_detected(self):
+        schema, source_values = diamond_schema()
+        snapshot = evaluate_schema(schema, source_values)
+        observed_values = dict(snapshot.values)
+        observed_values["a"] = 999
+        violations = check_against_snapshot(snapshot, dict(snapshot.states), observed_values)
+        assert any("a:" in v for v in violations)
+
+    def test_unstable_target_detected(self):
+        schema, source_values = diamond_schema()
+        snapshot = evaluate_schema(schema, source_values)
+        observed = dict(snapshot.states)
+        del observed["t"]
+        violations = check_against_snapshot(snapshot, observed, dict(snapshot.values))
+        assert any("target t" in v for v in violations)
+
+    def test_partial_observation_is_fine(self):
+        # Unevaluated non-target attributes are irrelevant to correctness.
+        schema, source_values = diamond_schema()
+        snapshot = evaluate_schema(schema, source_values)
+        observed = {"t": snapshot.states["t"]}
+        violations = check_against_snapshot(
+            snapshot, observed, {"t": snapshot.values["t"]}
+        )
+        assert violations == []
+
+    def test_require_targets_false(self):
+        schema, source_values = diamond_schema()
+        snapshot = evaluate_schema(schema, source_values)
+        violations = check_against_snapshot(snapshot, {}, {}, require_targets=False)
+        assert violations == []

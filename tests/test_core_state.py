@@ -1,0 +1,195 @@
+"""The Figure-3 attribute state automaton."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import NULL
+from repro.core.state import (
+    AttributeCell,
+    AttributeState,
+    Enablement,
+    Readiness,
+    derive_state,
+    legal_successors,
+)
+from repro.errors import IllegalTransitionError
+
+S = AttributeState
+
+
+class TestDeriveState:
+    @pytest.mark.parametrize(
+        "readiness,enablement,expected",
+        [
+            (Readiness.PENDING, Enablement.UNKNOWN, S.UNINITIALIZED),
+            (Readiness.READY, Enablement.UNKNOWN, S.READY),
+            (Readiness.COMPUTED, Enablement.UNKNOWN, S.COMPUTED),
+            (Readiness.PENDING, Enablement.ENABLED, S.ENABLED),
+            (Readiness.READY, Enablement.ENABLED, S.READY_ENABLED),
+            (Readiness.COMPUTED, Enablement.ENABLED, S.VALUE),
+            (Readiness.PENDING, Enablement.DISABLED, S.DISABLED),
+            (Readiness.READY, Enablement.DISABLED, S.DISABLED),
+            (Readiness.COMPUTED, Enablement.DISABLED, S.DISABLED),
+        ],
+    )
+    def test_mapping(self, readiness, enablement, expected):
+        assert derive_state(readiness, enablement) is expected
+
+    def test_stability(self):
+        assert S.VALUE.stable and S.DISABLED.stable
+        for state in (S.UNINITIALIZED, S.READY, S.COMPUTED, S.ENABLED, S.READY_ENABLED):
+            assert not state.stable
+
+
+class TestLegalSuccessors:
+    """The automaton's reachability relation, per Figure 3."""
+
+    def test_terminal_states(self):
+        assert legal_successors(S.VALUE) == frozenset()
+        assert legal_successors(S.DISABLED) == frozenset()
+
+    def test_ready_enabled_only_reaches_value(self):
+        assert legal_successors(S.READY_ENABLED) == {S.VALUE}
+
+    def test_computed_resolves_either_way(self):
+        assert legal_successors(S.COMPUTED) == {S.VALUE, S.DISABLED}
+
+    def test_enabled(self):
+        assert legal_successors(S.ENABLED) == {S.READY_ENABLED, S.VALUE}
+
+    def test_ready(self):
+        assert legal_successors(S.READY) == {
+            S.READY_ENABLED,
+            S.COMPUTED,
+            S.VALUE,
+            S.DISABLED,
+        }
+
+    def test_uninitialized_reaches_everything(self):
+        assert legal_successors(S.UNINITIALIZED) == set(S) - {S.UNINITIALIZED}
+
+    def test_paper_partial_order_ready_below_computed(self):
+        # READY ⊑ COMPUTED in the paper's ordering: COMPUTED is reachable.
+        assert S.COMPUTED in legal_successors(S.READY)
+        assert S.READY not in legal_successors(S.COMPUTED)
+
+
+class TestAttributeCell:
+    def test_initial_state(self):
+        cell = AttributeCell("x")
+        assert cell.state is S.UNINITIALIZED
+        assert not cell.stable
+
+    def test_source_cell(self):
+        cell = AttributeCell.source("s", 42)
+        assert cell.state is S.VALUE
+        assert cell.stable
+        assert cell.value == 42
+        assert cell.is_source
+
+    def test_value_raises_when_unstable(self):
+        cell = AttributeCell("x")
+        with pytest.raises(ValueError, match="not stable"):
+            _ = cell.value
+
+    def test_happy_path_to_value(self):
+        cell = AttributeCell("x")
+        assert cell.mark_enabled() is S.ENABLED
+        assert cell.mark_ready() is S.READY_ENABLED
+        assert cell.set_computed(7) is S.VALUE
+        assert cell.value == 7
+
+    def test_speculative_path_then_enabled(self):
+        cell = AttributeCell("x")
+        cell.mark_ready()
+        assert cell.set_computed(7) is S.COMPUTED
+        assert cell.speculative_value == 7
+        assert cell.mark_enabled() is S.VALUE
+        assert cell.value == 7
+
+    def test_speculative_path_then_disabled(self):
+        cell = AttributeCell("x")
+        cell.mark_ready()
+        cell.set_computed(7)
+        assert cell.mark_disabled() is S.DISABLED
+        assert cell.value is NULL          # observable value is ⊥
+        assert cell.speculative_value == 7  # diagnostic retains the result
+
+    def test_disabled_without_computation(self):
+        cell = AttributeCell("x")
+        assert cell.mark_disabled() is S.DISABLED
+        assert cell.value is NULL
+
+    def test_compute_requires_ready(self):
+        cell = AttributeCell("x")
+        with pytest.raises(IllegalTransitionError):
+            cell.set_computed(1)
+
+    def test_double_ready_rejected(self):
+        cell = AttributeCell("x")
+        cell.mark_ready()
+        with pytest.raises(IllegalTransitionError):
+            cell.mark_ready()
+
+    def test_enable_after_disable_rejected(self):
+        cell = AttributeCell("x")
+        cell.mark_disabled()
+        with pytest.raises(IllegalTransitionError):
+            cell.mark_enabled()
+
+    def test_disable_after_enable_rejected(self):
+        # Monotonicity: a resolved condition never flips.
+        cell = AttributeCell("x")
+        cell.mark_enabled()
+        with pytest.raises(IllegalTransitionError):
+            cell.mark_disabled()
+
+    def test_speculative_value_requires_computed(self):
+        cell = AttributeCell("x")
+        with pytest.raises(ValueError):
+            _ = cell.speculative_value
+
+    def test_repr(self):
+        assert "UNINITIALIZED" in repr(AttributeCell("x"))
+
+
+_MUTATORS = ("mark_ready", "mark_enabled", "mark_disabled", "set_computed")
+
+
+@given(st.lists(st.sampled_from(_MUTATORS), max_size=8))
+def test_cell_never_leaves_the_automaton(operations):
+    """Any mutator sequence either raises or follows Figure 3's edges."""
+    cell = AttributeCell("x")
+    state = cell.state
+    for op in operations:
+        try:
+            if op == "set_computed":
+                cell.set_computed(0)
+            else:
+                getattr(cell, op)()
+        except IllegalTransitionError:
+            assert cell.state is state  # failed transitions must not mutate
+            continue
+        new_state = cell.state
+        assert new_state is state or new_state in legal_successors(state)
+        state = new_state
+
+
+@given(st.lists(st.sampled_from(_MUTATORS), max_size=8))
+def test_stable_cells_are_frozen_or_reject(operations):
+    """Once stable, the observable value never changes (monotonic assignment)."""
+    cell = AttributeCell("x")
+    observed = None
+    for op in operations:
+        try:
+            if op == "set_computed":
+                cell.set_computed(1)
+            else:
+                getattr(cell, op)()
+        except IllegalTransitionError:
+            pass
+        if cell.stable:
+            if observed is None:
+                observed = cell.value
+            else:
+                assert cell.value == observed or cell.value is observed

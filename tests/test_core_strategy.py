@@ -1,0 +1,78 @@
+"""Strategy codes: parsing, formatting, wildcard expansion."""
+
+import pytest
+
+from repro import ALL_STRATEGY_CODES, Strategy, expand_pattern
+from repro.errors import StrategyError
+
+
+class TestParse:
+    @pytest.mark.parametrize("code", [c + "0" for c in ALL_STRATEGY_CODES])
+    def test_all_codes_roundtrip(self, code):
+        assert Strategy.parse(code).code == code
+
+    def test_psе80_fields(self):
+        strategy = Strategy.parse("PSE80")
+        assert strategy.propagation and strategy.speculative
+        assert strategy.heuristic == "earliest"
+        assert strategy.permitted == 80
+
+    def test_ncc0_fields(self):
+        strategy = Strategy.parse("NCC0")
+        assert not strategy.propagation and not strategy.speculative
+        assert strategy.heuristic == "cheapest"
+        assert strategy.permitted == 0
+
+    def test_percent_suffix_accepted(self):
+        assert Strategy.parse("PCE100%").code == "PCE100"
+
+    @pytest.mark.parametrize("bad", ["XSE80", "PS80", "PSE", "PSE101", "pse80", ""])
+    def test_bad_codes_rejected(self, bad):
+        with pytest.raises(StrategyError):
+            Strategy.parse(bad)
+
+    def test_constructor_validation(self):
+        with pytest.raises(StrategyError):
+            Strategy(heuristic="fastest")
+        with pytest.raises(StrategyError):
+            Strategy(permitted=-1)
+        with pytest.raises(StrategyError):
+            Strategy(permitted=150)
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert Strategy.parse("PSE80") == Strategy.parse("PSE80")
+        assert Strategy.parse("PSE80") != Strategy.parse("PSE81")
+        assert len({Strategy.parse("PSE80"), Strategy.parse("PSE80")}) == 1
+
+    def test_cancel_unneeded_distinguishes(self):
+        assert Strategy.parse("PSE80") != Strategy.parse("PSE80", cancel_unneeded=True)
+        assert "+cancel" in repr(Strategy.parse("PSE80", cancel_unneeded=True))
+
+    def test_with_permitted(self):
+        assert Strategy.parse("PSE80").with_permitted(40).code == "PSE40"
+
+
+class TestExpandPattern:
+    def test_single_star(self):
+        codes = [s.code for s in expand_pattern("PC*100")]
+        assert codes == ["PCE100", "PCC100"]
+
+    def test_double_star_with_kwarg(self):
+        codes = [s.code for s in expand_pattern("P**", permitted=80)]
+        assert codes == ["PSE80", "PSC80", "PCE80", "PCC80"]
+
+    def test_triple_star(self):
+        assert len(expand_pattern("***0")) == 8
+
+    def test_no_star_passthrough(self):
+        assert [s.code for s in expand_pattern("PSE80")] == ["PSE80"]
+
+    def test_missing_permitted_rejected(self):
+        with pytest.raises(StrategyError, match="Permitted"):
+            expand_pattern("PC*")
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(StrategyError):
+            expand_pattern("Q**0")

@@ -1,0 +1,71 @@
+"""Foreign (query) and synthesis tasks."""
+
+import pytest
+
+from repro import NULL
+from repro.core.tasks import QueryTask, SynthesisTask, constant, query, synthesize
+
+
+class TestQueryTask:
+    def test_compute_receives_only_declared_inputs(self):
+        seen = {}
+
+        def fn(values):
+            seen.update(values)
+            return 1
+
+        task = QueryTask("q", ("a", "b"), fn, cost=2)
+        task.compute({"a": 1, "b": 2, "c": 3})
+        assert seen == {"a": 1, "b": 2}
+
+    def test_cost_validation(self):
+        with pytest.raises(ValueError, match="cost"):
+            QueryTask("q", (), constant(0), cost=0)
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            QueryTask("q", ("a", "a"), constant(0), cost=1)
+
+    def test_is_query(self):
+        assert QueryTask("q", (), constant(0), 1).is_query
+        assert not SynthesisTask("s", (), constant(0)).is_query
+
+    def test_null_inputs_are_passed_through(self):
+        task = QueryTask("q", ("a",), lambda v: v["a"] is NULL, cost=1)
+        assert task.compute({"a": NULL}) is True
+
+    def test_repr(self):
+        assert "cost=3" in repr(QueryTask("q", (), constant(0), 3))
+
+
+class TestSynthesisTask:
+    def test_compute(self):
+        task = SynthesisTask("s", ("a", "b"), lambda v: v["a"] + v["b"])
+        assert task.compute({"a": 2, "b": 3}) == 5
+
+    def test_missing_input_raises(self):
+        task = SynthesisTask("s", ("a",), lambda v: v["a"])
+        with pytest.raises(KeyError):
+            task.compute({})
+
+    def test_repr(self):
+        assert "s_x" in repr(SynthesisTask("s_x", ("a",), constant(0)))
+
+
+class TestConvenience:
+    def test_constant(self):
+        assert constant(42)({}) == 42
+        assert constant(42)({"anything": 1}) == 42
+
+    def test_query_with_value(self):
+        task = query("q", value=7, cost=2)
+        assert task.compute({}) == 7
+        assert task.cost == 2
+
+    def test_query_with_fn(self):
+        task = query("q", inputs=("a",), fn=lambda v: v["a"] * 2)
+        assert task.compute({"a": 3}) == 6
+
+    def test_synthesize(self):
+        task = synthesize("s", ("a",), lambda v: -v["a"])
+        assert task.compute({"a": 3}) == -3

@@ -1,0 +1,88 @@
+"""Kleene three-valued logic."""
+
+import pytest
+
+from repro.core.tri import Tri, from_bool, tri_all, tri_and, tri_any, tri_not, tri_or
+
+T, U, F = Tri.TRUE, Tri.UNKNOWN, Tri.FALSE
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (T, T, T), (T, U, U), (T, F, F),
+            (U, T, U), (U, U, U), (U, F, F),
+            (F, T, F), (F, U, F), (F, F, F),
+        ],
+    )
+    def test_and(self, a, b, expected):
+        assert tri_and(a, b) is expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (T, T, T), (T, U, T), (T, F, T),
+            (U, T, T), (U, U, U), (U, F, U),
+            (F, T, T), (F, U, U), (F, F, F),
+        ],
+    )
+    def test_or(self, a, b, expected):
+        assert tri_or(a, b) is expected
+
+    @pytest.mark.parametrize("a,expected", [(T, F), (F, T), (U, U)])
+    def test_not(self, a, expected):
+        assert tri_not(a) is expected
+
+
+class TestAggregates:
+    def test_all_empty_is_true(self):
+        assert tri_all([]) is T
+
+    def test_any_empty_is_false(self):
+        assert tri_any([]) is F
+
+    def test_all_false_dominates_unknown(self):
+        assert tri_all([T, U, F]) is F
+
+    def test_all_unknown_absorbs_true(self):
+        assert tri_all([T, U, T]) is U
+
+    def test_any_true_dominates_unknown(self):
+        assert tri_any([F, U, T]) is T
+
+    def test_any_unknown_absorbs_false(self):
+        assert tri_any([F, U, F]) is U
+
+    def test_all_short_circuits_on_false(self):
+        def generate():
+            yield F
+            raise AssertionError("should not be consumed")
+
+        assert tri_all(generate()) is F
+
+    def test_any_short_circuits_on_true(self):
+        def generate():
+            yield T
+            raise AssertionError("should not be consumed")
+
+        assert tri_any(generate()) is T
+
+
+class TestBasics:
+    def test_from_bool(self):
+        assert from_bool(True) is T
+        assert from_bool(False) is F
+
+    def test_known(self):
+        assert T.known and F.known and not U.known
+
+    def test_repr(self):
+        assert repr(T) == "TRUE"
+        assert repr(U) == "UNKNOWN"
+
+    def test_demorgan_holds_in_kleene(self):
+        for a in Tri:
+            for b in Tri:
+                assert tri_not(tri_and(a, b)) is tri_or(tri_not(a), tri_not(b))
+                assert tri_not(tri_or(a, b)) is tri_and(tri_not(a), tri_not(b))

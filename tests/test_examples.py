@@ -1,0 +1,84 @@
+"""Every example must run end-to-end and produce sensible output."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_runs_and_reports_decisions(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "loan-preapproval" in out
+        assert "PCE0" in out and "PSE100" in out
+        assert "decision=" in out
+
+    def test_small_amount_skips_fraud_check(self, capsys):
+        module = load_example("quickstart")
+        schema = module.build_schema()
+        module.run(schema, "PCE0", {"customer_id": "alice", "amount": 100})
+        out = capsys.readouterr().out
+        # fraud check (cost 5) must not be launched: work = 3 + 2 only.
+        assert "Work= 5" in out
+
+
+class TestPromoStorefront:
+    def test_runs_all_customers(self, capsys):
+        load_example("promo_storefront").main()
+        out = capsys.readouterr().out
+        assert out.count("Work=") == 3
+
+    def test_wealthy_boston_parent_gets_promo(self, capsys):
+        load_example("promo_storefront").main()
+        out = capsys.readouterr().out
+        assert "boys parka" in out
+
+    def test_non_matching_customer_gets_no_promo(self, capsys):
+        load_example("promo_storefront").main()
+        out = capsys.readouterr().out
+        assert "no promo on this page" in out
+
+
+class TestClaimsProcessing:
+    def test_runs_all_claims(self, capsys):
+        load_example("claims_processing").main()
+        out = capsys.readouterr().out
+        assert "fast-track payment" in out
+        assert "hold for investigation" in out
+        assert "deny (policy not active)" in out
+
+    def test_speculation_shows_waste_on_cheap_claim(self, capsys):
+        load_example("claims_processing").main()
+        out = capsys.readouterr().out
+        assert "wasted=" in out
+
+
+class TestFlowMining:
+    def test_report_and_refinements(self, capsys):
+        load_example("flow_mining").main()
+        out = capsys.readouterr().out
+        assert "200 executions" in out
+        assert "expensive-rarely-used" in out
+        assert "siu_report" in out
+
+
+@pytest.mark.slow
+class TestStrategyTuning:
+    def test_full_tuning_workflow(self, capsys):
+        load_example("strategy_tuning").main()
+        out = capsys.readouterr().out
+        assert "model recommends" in out
+        assert "measured mean response" in out
+        assert "guideline map" in out

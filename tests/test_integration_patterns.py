@@ -1,0 +1,112 @@
+"""Cross-layer invariants on generated Table-1 patterns.
+
+These tie the workload generator, the engine and the declarative
+semantics together with exact laws rather than statistical trends.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import PatternParams, Strategy, generate_pattern
+from repro.bench.runner import run_pattern_once
+
+CASES = [
+    PatternParams(nb_nodes=24, nb_rows=3, pct_enabled=25, seed=2),
+    PatternParams(nb_nodes=24, nb_rows=3, pct_enabled=75, seed=3),
+    PatternParams(nb_nodes=32, nb_rows=4, pct_enabled=50, seed=4),
+]
+
+
+class TestExactWorkLaws:
+    @pytest.mark.parametrize("params", CASES, ids=lambda p: f"e{p.pct_enabled:g}s{p.seed}")
+    def test_nce0_work_equals_enabled_cost(self, params):
+        """Under N + Earliest + sequential, the engine executes exactly the
+        enabled attributes: the target is topologically deepest, so every
+        enabled attribute is scheduled before it.  Work must equal the
+        complete snapshot's enabled query cost — an exact reconciliation of
+        engine accounting against declarative semantics."""
+        pattern = generate_pattern(params)
+        metrics = run_pattern_once(pattern, Strategy.parse("NCE0"))
+        assert metrics.work_units == pattern.enabled_cost()
+
+    @pytest.mark.parametrize("params", CASES, ids=lambda p: f"e{p.pct_enabled:g}s{p.seed}")
+    def test_p_work_never_exceeds_n_work(self, params):
+        """Propagation only removes work under conservative sequential
+        execution with the same heuristic."""
+        pattern = generate_pattern(params)
+        p_work = run_pattern_once(pattern, Strategy.parse("PCE0")).work_units
+        n_work = run_pattern_once(pattern, Strategy.parse("NCE0")).work_units
+        assert p_work <= n_work
+
+    @pytest.mark.parametrize("code", ["PCE0", "PCC0", "NCE0", "NSE0"])
+    def test_sequential_time_equals_work(self, code):
+        """At %Permitted = 0 there is never more than one query in flight,
+        so TimeInUnits == Work on the ideal database (the paper relies on
+        this when reading Figure 5 as both work and response time)."""
+        pattern = generate_pattern(CASES[2])
+        metrics = run_pattern_once(pattern, Strategy.parse(code))
+        assert metrics.elapsed == pytest.approx(float(metrics.work_units))
+
+
+class TestTimingBounds:
+    @pytest.mark.parametrize("params", CASES, ids=lambda p: f"e{p.pct_enabled:g}s{p.seed}")
+    def test_parallelism_is_monotone_in_time(self, params):
+        pattern = generate_pattern(params)
+        times = [
+            run_pattern_once(pattern, Strategy.parse(f"PCE{p}")).elapsed
+            for p in (0, 50, 100)
+        ]
+        assert times[2] <= times[1] + 1e-9 <= times[0] + 1e-9
+
+    def test_full_parallel_time_at_least_critical_path(self):
+        """TimeInUnits at 100% can never beat the costed depth of the
+        target's enabled ancestry."""
+        pattern = generate_pattern(CASES[0])
+        metrics = run_pattern_once(pattern, Strategy.parse("PSE100"))
+        # The target itself must execute: its cost alone is a lower bound.
+        assert metrics.elapsed >= pattern.schema["tgt"].cost
+
+    def test_speculation_never_slower_than_conservative_at_full_parallelism(self):
+        for params in CASES:
+            pattern = generate_pattern(params)
+            speculative = run_pattern_once(pattern, Strategy.parse("PSE100")).elapsed
+            conservative = run_pattern_once(pattern, Strategy.parse("PCE100")).elapsed
+            assert speculative <= conservative + 1e-9
+
+
+class TestPropagationScaling:
+    def test_event_count_scales_linearly_with_schema_size(self):
+        """The paper claims the Propagation Algorithm is linear in the size
+        of the decision flow.  Simulation events per internal node must stay
+        roughly flat as the schema grows (a quadratic regression would blow
+        this ratio up)."""
+        from repro import Engine, IdealDatabase, Simulation
+
+        events_per_node = []
+        for nb_nodes in (16, 32, 64, 128):
+            params = PatternParams(
+                nb_nodes=nb_nodes, nb_rows=4, pct_enabled=50, seed=1
+            )
+            pattern = generate_pattern(params)
+            simulation = Simulation()
+            engine = Engine(
+                pattern.schema, Strategy.parse("PSE100"), IdealDatabase(simulation)
+            )
+            engine.run_single(pattern.source_values)
+            events_per_node.append(simulation.events_executed / nb_nodes)
+        assert max(events_per_node) <= 3.0 * min(events_per_node)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pct_enabled=st.integers(0, 100),
+    nb_rows=st.integers(1, 6),
+    seed=st.integers(0, 20),
+)
+def test_nce0_reconciliation_holds_generally(pct_enabled, nb_rows, seed):
+    params = PatternParams(
+        nb_nodes=18, nb_rows=min(nb_rows, 18), pct_enabled=pct_enabled, seed=seed
+    )
+    pattern = generate_pattern(params)
+    metrics = run_pattern_once(pattern, Strategy.parse("NCE0"))
+    assert metrics.work_units == pattern.enabled_cost()

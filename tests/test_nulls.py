@@ -1,0 +1,41 @@
+"""The ⊥ singleton and exception values."""
+
+import pickle
+
+from repro import NULL, ExceptionValue, is_exception, is_null
+from repro.nulls import NullType
+
+
+class TestNull:
+    def test_singleton(self):
+        assert NullType() is NULL
+        assert NullType() is NullType()
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NULL)) is NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(None)
+        assert not is_null(0)
+        assert not is_null(ExceptionValue())
+
+    def test_distinct_from_none(self):
+        assert NULL is not None
+        assert NULL != None  # noqa: E711 - the point of the test
+
+
+class TestExceptionValueBasics:
+    def test_is_exception(self):
+        assert is_exception(ExceptionValue("x"))
+        assert not is_exception(NULL)
+        assert not is_exception("EXC")
+
+    def test_not_equal_to_null(self):
+        assert ExceptionValue() != NULL

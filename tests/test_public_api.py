@@ -1,0 +1,53 @@
+"""The package's public surface: exports, version, run_once helper."""
+
+import repro
+from repro import PatternParams, Strategy, generate_pattern, run_once
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing name {name!r}"
+
+    def test_version(self):
+        major, _minor, _patch = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_core_reexports(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert hasattr(core, name)
+
+    def test_simdb_reexports(self):
+        import repro.simdb as simdb
+
+        for name in simdb.__all__:
+            assert hasattr(simdb, name)
+
+    def test_analysis_reexports(self):
+        import repro.analysis as analysis
+
+        for name in analysis.__all__:
+            assert hasattr(analysis, name)
+
+    def test_bench_reexports(self):
+        import repro.bench as bench
+
+        for name in bench.__all__:
+            assert hasattr(bench, name)
+
+
+class TestRunOnce:
+    def test_run_once_round_trip(self):
+        pattern = generate_pattern(PatternParams(nb_nodes=12, nb_rows=2, seed=0))
+        metrics = run_once(pattern, Strategy.parse("PCE0"))
+        assert metrics.done
+        assert metrics.work_units >= pattern.schema["tgt"].cost
+
+    def test_run_once_isolated_between_calls(self):
+        pattern = generate_pattern(PatternParams(nb_nodes=12, nb_rows=2, seed=0))
+        first = run_once(pattern, Strategy.parse("PSE100"))
+        second = run_once(pattern, Strategy.parse("PSE100"))
+        assert first.work_units == second.work_units
+        assert first.elapsed == second.elapsed

@@ -1,0 +1,156 @@
+"""Database servers: ideal and bounded-resource."""
+
+import pytest
+
+from repro.simdb.database import DbParams, IdealDatabase, SimulatedDatabase
+from repro.simdb.des import Simulation
+
+
+class TestIdealDatabase:
+    def test_query_duration_equals_cost(self):
+        sim = Simulation()
+        db = IdealDatabase(sim)
+        done = []
+        db.submit(3, lambda processed, completed: done.append((sim.now, processed, completed)))
+        sim.run()
+        assert done == [(3.0, 3, True)]
+
+    def test_unbounded_parallelism(self):
+        sim = Simulation()
+        db = IdealDatabase(sim)
+        done = []
+        for _ in range(50):
+            db.submit(2, lambda processed, completed: done.append(sim.now))
+        sim.run()
+        assert all(when == 2.0 for when in done)
+
+    def test_unit_duration_scaling(self):
+        sim = Simulation()
+        db = IdealDatabase(sim, unit_duration=0.5)
+        done = []
+        db.submit(4, lambda p, c: done.append(sim.now))
+        sim.run()
+        assert done == [2.0]
+
+    def test_cancellation_at_unit_boundary(self):
+        sim = Simulation()
+        db = IdealDatabase(sim)
+        done = []
+        handle = db.submit(5, lambda processed, completed: done.append((processed, completed)))
+        sim.run(until=1.5)  # one unit processed, second in flight
+        handle.cancel()
+        sim.run()
+        assert done == [(2, False)]  # the in-flight unit still completes
+        assert db.queries_cancelled == 1
+        assert db.total_units == 2
+
+    def test_cancel_after_completion_is_noop(self):
+        sim = Simulation()
+        db = IdealDatabase(sim)
+        done = []
+        handle = db.submit(1, lambda p, c: done.append(c))
+        sim.run()
+        handle.cancel()
+        sim.run()
+        assert done == [True]
+        assert db.queries_cancelled == 0
+
+    def test_gmpl_tracking(self):
+        sim = Simulation()
+        db = IdealDatabase(sim)
+        db.submit(2, lambda p, c: None)
+        db.submit(2, lambda p, c: None)
+        assert db.gmpl == 2
+        sim.run()
+        assert db.gmpl == 0
+        assert db.mean_gmpl() == pytest.approx(2.0)  # 2 active over [0, 2]
+
+    def test_validation(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            IdealDatabase(sim, unit_duration=0)
+        with pytest.raises(ValueError):
+            IdealDatabase(sim).submit(0, lambda p, c: None)
+
+
+class TestSimulatedDatabase:
+    def test_all_hits_is_pure_cpu(self):
+        params = DbParams(pct_io_hit=100.0, cpu_ms=8.0)
+        sim = Simulation()
+        db = SimulatedDatabase(sim, params)
+        done = []
+        db.submit(2, lambda p, c: done.append(sim.now))
+        sim.run()
+        assert done == [16.0]  # 2 units × 8 ms CPU, no disk
+
+    def test_all_misses_pay_io_delay(self):
+        params = DbParams(pct_io_hit=0.0, cpu_ms=8.0, io_delay_ms=5.0)
+        sim = Simulation()
+        db = SimulatedDatabase(sim, params)
+        done = []
+        db.submit(1, lambda p, c: done.append(sim.now))
+        sim.run()
+        assert done == [13.0]  # 5 ms disk + 8 ms CPU
+
+    def test_multi_page_units(self):
+        params = DbParams(pct_io_hit=0.0, unit_io_cost=3, cpu_ms=8.0, io_delay_ms=5.0)
+        sim = Simulation()
+        db = SimulatedDatabase(sim, params)
+        done = []
+        db.submit(1, lambda p, c: done.append(sim.now))
+        sim.run()
+        assert done == [23.0]  # 3 pages × 5 ms + 8 ms CPU
+
+    def test_cpu_contention_serializes(self):
+        params = DbParams(num_cpus=1, pct_io_hit=100.0, cpu_ms=10.0)
+        sim = Simulation()
+        db = SimulatedDatabase(sim, params)
+        done = []
+        for _ in range(3):
+            db.submit(1, lambda p, c: done.append(sim.now))
+        sim.run()
+        assert done == [10.0, 20.0, 30.0]
+
+    def test_determinism_per_seed(self):
+        def run(seed):
+            sim = Simulation()
+            db = SimulatedDatabase(sim, DbParams(), seed=seed)
+            finish = []
+            for _ in range(20):
+                db.submit(2, lambda p, c: finish.append(sim.now))
+            sim.run()
+            # Completion times can coincide across seeds when the CPU queue
+            # hides disk jitter, so also observe the buffer-miss count.
+            return finish, db.disks.completions
+
+        assert run(1) == run(1)
+        miss_counts = {run(seed)[1] for seed in range(1, 6)}
+        assert len(miss_counts) > 1  # different seeds draw different hits
+
+    def test_work_accounting(self):
+        sim = Simulation()
+        db = SimulatedDatabase(sim, DbParams())
+        db.submit(3, lambda p, c: None)
+        db.submit(2, lambda p, c: None)
+        sim.run()
+        assert db.total_units == 5
+        assert db.queries_completed == 2
+
+
+class TestDbParams:
+    def test_expected_unit_service(self):
+        params = DbParams(pct_io_hit=50.0, cpu_ms=8.0, io_delay_ms=5.0)
+        assert params.expected_unit_service_ms() == pytest.approx(10.5)
+
+    def test_cpu_bound_throughput(self):
+        params = DbParams()  # 4 CPUs × 8 ms vs 10 disks × 2.5 ms demand
+        assert params.max_unit_throughput_per_ms() == pytest.approx(0.5)
+
+    def test_disk_bound_throughput(self):
+        params = DbParams(num_disks=1, pct_io_hit=0.0, io_delay_ms=20.0)
+        # Disk demand 20 ms/unit on one disk = 0.05 units/ms < CPU's 0.5.
+        assert params.max_unit_throughput_per_ms() == pytest.approx(0.05)
+
+    def test_no_io_never_disk_bound(self):
+        params = DbParams(pct_io_hit=100.0)
+        assert params.max_unit_throughput_per_ms() == pytest.approx(0.5)

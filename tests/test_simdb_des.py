@@ -1,0 +1,114 @@
+"""Discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simdb.des import Simulation
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_run_in_schedule_order(self):
+        sim = Simulation()
+        log = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_events_scheduled_during_events(self):
+        sim = Simulation()
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule(1.0, lambda: log.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(5.0, lambda: log.append("last"))
+        sim.run()
+        assert log == ["first", "nested", "last"]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule_at(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulation().schedule(-1.0, lambda: None)
+
+    def test_scheduling_into_the_past_rejected(self):
+        sim = Simulation()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulation()
+        log = []
+        event = sim.schedule(1.0, lambda: log.append("x"))
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulation()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        assert not keep.cancelled and drop.cancelled
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(10.0, lambda: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert log == [1, 10]
+
+    def test_run_until_advances_idle_clock(self):
+        sim = Simulation()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_step(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        assert sim.step() and log == ["a"]
+        assert sim.step() and log == ["a", "b"]
+        assert not sim.step()
+
+    def test_events_executed_counter(self):
+        sim = Simulation()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 3
+
+    def test_repr(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        assert "pending=1" in repr(sim)

@@ -1,0 +1,84 @@
+"""Multi-server FCFS service centers."""
+
+import pytest
+
+from repro.simdb.des import Simulation
+from repro.simdb.resource import ServiceCenter
+
+
+class TestSingleServer:
+    def test_fcfs_order_and_timing(self):
+        sim = Simulation()
+        center = ServiceCenter(sim, 1, "cpu")
+        done = []
+        center.request(2.0, lambda: done.append(("a", sim.now)))
+        center.request(3.0, lambda: done.append(("b", sim.now)))
+        sim.run()
+        assert done == [("a", 2.0), ("b", 5.0)]  # b queued behind a
+
+    def test_queue_depth_visible(self):
+        sim = Simulation()
+        center = ServiceCenter(sim, 1)
+        for _ in range(3):
+            center.request(1.0, lambda: None)
+        assert center.busy == 1
+        assert center.queued == 2
+        sim.run()
+        assert center.queued == 0
+        assert center.peak_queue == 2
+
+
+class TestMultiServer:
+    def test_parallel_service(self):
+        sim = Simulation()
+        center = ServiceCenter(sim, 3)
+        done = []
+        for tag in "abc":
+            center.request(2.0, lambda t=tag: done.append((t, sim.now)))
+        sim.run()
+        assert [t for t, _ in done] == ["a", "b", "c"]
+        assert all(when == 2.0 for _, when in done)  # truly concurrent
+
+    def test_fourth_job_waits(self):
+        sim = Simulation()
+        center = ServiceCenter(sim, 3)
+        done = []
+        for tag in "abcd":
+            center.request(2.0, lambda t=tag: done.append((t, sim.now)))
+        sim.run()
+        assert done[-1] == ("d", 4.0)
+
+    def test_completions_counter(self):
+        sim = Simulation()
+        center = ServiceCenter(sim, 2)
+        for _ in range(5):
+            center.request(1.0, lambda: None)
+        sim.run()
+        assert center.completions == 5
+
+
+class TestAccounting:
+    def test_utilization(self):
+        sim = Simulation()
+        center = ServiceCenter(sim, 2)
+        center.request(4.0, lambda: None)
+        sim.run()
+        # 4 time units of service over 4 elapsed on 2 servers = 50%.
+        assert center.utilization() == pytest.approx(0.5)
+
+    def test_utilization_zero_elapsed(self):
+        sim = Simulation()
+        center = ServiceCenter(sim, 1)
+        assert center.utilization() == 0.0
+
+    def test_validation(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            ServiceCenter(sim, 0)
+        with pytest.raises(ValueError):
+            ServiceCenter(sim, 1).request(-1.0, lambda: None)
+
+    def test_repr(self):
+        sim = Simulation()
+        center = ServiceCenter(sim, 2, "disks")
+        assert "disks" in repr(center)

@@ -1,0 +1,38 @@
+"""Deterministic RNG streams."""
+
+import pytest
+
+from repro.simdb.rng import derive_rng, exponential
+
+
+class TestDeriveRng:
+    def test_same_keys_same_stream(self):
+        a = derive_rng(7, "x", 1)
+        b = derive_rng(7, "x", 1)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_keys_differ(self):
+        a = derive_rng(7, "x")
+        b = derive_rng(7, "y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert derive_rng(1, "x").random() != derive_rng(2, "x").random()
+
+    def test_mixed_key_types(self):
+        # Keys are stringified: ints, floats, strings all work.
+        stream = derive_rng(0, "a", 1, 2.5)
+        assert 0.0 <= stream.random() < 1.0
+
+
+class TestExponential:
+    def test_mean_roughly_inverse_rate(self):
+        rng = derive_rng(0, "exp")
+        samples = [exponential(rng, 0.5) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            exponential(derive_rng(0), 0.0)
+        with pytest.raises(ValueError):
+            exponential(derive_rng(0), -1.0)

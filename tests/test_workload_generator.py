@@ -1,0 +1,160 @@
+"""The Table-1 schema-pattern generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import AttributeState, evaluate_schema
+from repro.core.conditions import And, Condition, Literal, Or
+from repro.core.predicates import Comparison, IsNull
+from repro.workload.generator import generate_pattern
+from repro.workload.params import PatternParams
+from repro.workload.skeleton import SOURCE, TARGET
+from tests._support import run_engine
+
+
+def leaves(condition: Condition):
+    if isinstance(condition, (And, Or)):
+        for child in condition.children:
+            yield from leaves(child)
+    else:
+        yield condition
+
+
+class TestEnabledEngineering:
+    @pytest.mark.parametrize("pct", [0, 10, 25, 50, 75, 90, 100])
+    def test_exact_enabled_fraction(self, pct):
+        pattern = generate_pattern(PatternParams(nb_nodes=40, nb_rows=4, pct_enabled=pct, seed=3))
+        expected_enabled = round(pct / 100.0 * 40)
+        assert pattern.enabled_internal_count == expected_enabled
+
+    def test_target_always_enabled(self):
+        for pct in (0, 50, 100):
+            pattern = generate_pattern(PatternParams(pct_enabled=pct, seed=1))
+            assert pattern.expected.states[TARGET] is AttributeState.VALUE
+
+    def test_expected_matches_fresh_evaluation(self):
+        pattern = generate_pattern(PatternParams(seed=5))
+        snapshot = evaluate_schema(pattern.schema, pattern.source_values)
+        assert snapshot.states == pattern.expected.states
+
+
+class TestStructure:
+    def test_costs_within_bounds(self):
+        pattern = generate_pattern(PatternParams(min_cost=2, max_cost=4, seed=2))
+        costs = [pattern.schema[n].cost for n in pattern.schema.non_source_names]
+        assert all(2 <= c <= 4 for c in costs)
+
+    def test_predicate_counts_within_bounds(self):
+        params = PatternParams(min_pred=2, max_pred=3, seed=4)
+        pattern = generate_pattern(params)
+        for name in pattern.schema.internal_names:
+            condition = pattern.schema[name].condition
+            if isinstance(condition, Literal):
+                continue  # no candidate enablers in range
+            count = len(list(leaves(condition)))
+            assert 1 <= count <= 3  # capped by available candidates
+
+    def test_condition_refs_are_enablers(self):
+        pattern = generate_pattern(PatternParams(seed=6))
+        for name in pattern.schema.internal_names:
+            refs = pattern.schema[name].condition.refs()
+            assert refs <= pattern.enablers
+
+    def test_enabling_hop_respected(self):
+        params = PatternParams(pct_enabling_hop=25.0, seed=7)
+        pattern = generate_pattern(params)
+        hop_limit = max(1, round(0.25 * pattern.ncols))
+        column = {}
+        # Rebuild column map from names (nX_Y at column Y+1, src at 0).
+        column[SOURCE] = 0
+        for name in pattern.schema.internal_names:
+            column[name] = int(name.split("_")[1]) + 1
+        for name in pattern.schema.internal_names:
+            for ref in pattern.schema[name].condition.refs():
+                assert 0 < column[name] - column[ref] <= hop_limit
+
+    def test_predicates_are_comparisons_or_null_tests(self):
+        pattern = generate_pattern(PatternParams(seed=8))
+        for name in pattern.schema.internal_names:
+            for leaf in leaves(pattern.schema[name].condition):
+                assert isinstance(leaf, (Comparison, IsNull, Literal))
+
+    def test_data_edges_added(self):
+        base = generate_pattern(PatternParams(seed=9))
+        more = generate_pattern(PatternParams(pct_added_data_edges=25.0, seed=9))
+        count = lambda p: sum(len(p.schema[n].data_inputs) for n in p.schema.non_source_names)
+        assert count(more) > count(base)
+
+    def test_data_edges_deleted(self):
+        base = generate_pattern(PatternParams(seed=9))
+        fewer = generate_pattern(PatternParams(pct_added_data_edges=-25.0, seed=9))
+        count = lambda p: sum(len(p.schema[n].data_inputs) for n in p.schema.non_source_names)
+        assert count(fewer) < count(base)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schema(self):
+        a = generate_pattern(PatternParams(seed=11))
+        b = generate_pattern(PatternParams(seed=11))
+        assert a.schema.names == b.schema.names
+        assert a.expected.states == b.expected.states
+        assert [a.schema[n].cost for n in a.schema.names] == [
+            b.schema[n].cost for n in b.schema.names
+        ]
+
+    def test_different_seed_different_outcomes(self):
+        a = generate_pattern(PatternParams(seed=11))
+        b = generate_pattern(PatternParams(seed=12))
+        assert a.expected.states != b.expected.states
+
+    def test_pct_enabled_change_keeps_costs(self):
+        # Independent RNG streams: sweeping %enabled must not reshuffle costs.
+        a = generate_pattern(PatternParams(pct_enabled=10, seed=13))
+        b = generate_pattern(PatternParams(pct_enabled=90, seed=13))
+        assert [a.schema[n].cost for n in a.schema.names] == [
+            b.schema[n].cost for n in b.schema.names
+        ]
+
+
+class TestExecutability:
+    def test_engine_reaches_expected_snapshot(self):
+        pattern = generate_pattern(PatternParams(nb_nodes=24, nb_rows=3, pct_enabled=40, seed=14))
+        _, instance = run_engine(pattern.schema, "PCE100", pattern.source_values)
+        for name, cell in instance.cells.items():
+            if cell.stable:
+                assert cell.state is pattern.expected.states[name]
+
+    def test_enabled_cost_accessor(self):
+        pattern = generate_pattern(PatternParams(seed=15))
+        assert pattern.enabled_cost() == pattern.expected.needed_cost()
+        assert pattern.enabled_cost() <= pattern.schema.total_query_cost()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    nb_nodes=st.integers(4, 24),
+    nb_rows=st.integers(1, 4),
+    pct_enabled=st.integers(0, 100),
+    pct_enabler=st.integers(0, 100),
+    added=st.integers(-25, 25),
+    seed=st.integers(0, 10),
+)
+def test_generator_always_yields_wellformed_exact_patterns(
+    nb_nodes, nb_rows, pct_enabled, pct_enabler, added, seed
+):
+    nb_rows = min(nb_rows, nb_nodes)
+    params = PatternParams(
+        nb_nodes=nb_nodes,
+        nb_rows=nb_rows,
+        pct_enabled=pct_enabled,
+        pct_enabler=pct_enabler,
+        pct_added_data_edges=added,
+        seed=seed,
+    )
+    pattern = generate_pattern(params)
+    # Well-formedness is enforced by schema construction; the engineered
+    # fraction must hold exactly.
+    assert pattern.enabled_internal_count == round(pct_enabled / 100.0 * nb_nodes)
+    # And the pattern must execute correctly end to end.
+    _, instance = run_engine(pattern.schema, "PSE100", pattern.source_values)
+    assert instance.done

@@ -1,0 +1,60 @@
+"""PatternParams validation (Table 1 bounds)."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.workload.params import PatternParams, TABLE1_ROWS
+
+
+class TestDefaults:
+    def test_table1_defaults(self):
+        params = PatternParams()
+        assert params.nb_nodes == 64
+        assert params.nb_rows == 4
+        assert params.pct_enabler == 50.0
+        assert params.min_pred == 1 and params.max_pred == 4
+        assert params.min_cost == 1 and params.max_cost == 5
+
+    def test_table1_rows_complete(self):
+        assert len(TABLE1_ROWS) == 16
+        names = [row[0] for row in TABLE1_ROWS]
+        assert "nb_nodes" in names and "IO_delay" in names
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nb_nodes": 0},
+            {"nb_rows": 0},
+            {"nb_rows": 65},  # > nb_nodes
+            {"pct_enabled": -1},
+            {"pct_enabled": 101},
+            {"pct_enabler": 200},
+            {"pct_enabling_hop": -5},
+            {"pct_data_hop": 101},
+            {"min_pred": 3, "max_pred": 2},
+            {"min_pred": -1},
+            {"pct_added_data_edges": -150},
+            {"min_cost": 0},
+            {"min_cost": 5, "max_cost": 2},
+        ],
+    )
+    def test_rejects_out_of_range(self, kwargs):
+        with pytest.raises(GenerationError):
+            PatternParams(**kwargs)
+
+    def test_with_seed(self):
+        params = PatternParams(seed=0)
+        reseeded = params.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.nb_nodes == params.nb_nodes
+
+    def test_replace(self):
+        params = PatternParams().replace(pct_enabled=25, nb_rows=8)
+        assert params.pct_enabled == 25
+        assert params.nb_rows == 8
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PatternParams().nb_nodes = 10  # type: ignore[misc]

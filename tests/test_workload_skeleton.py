@@ -1,0 +1,66 @@
+"""Dataflow skeletons (the rows × columns grid)."""
+
+import pytest
+
+from repro.workload.skeleton import SOURCE, TARGET, build_skeleton, node_name
+
+
+class TestShape:
+    def test_divisible_grid(self):
+        skeleton = build_skeleton(16, 4)
+        assert len(skeleton.rows) == 4
+        assert all(len(row) == 4 for row in skeleton.rows)
+        assert skeleton.ncols == 4
+
+    def test_uneven_rows_differ_by_at_most_one(self):
+        skeleton = build_skeleton(64, 3)
+        lengths = [len(row) for row in skeleton.rows]
+        assert sum(lengths) == 64
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_single_row_is_a_chain(self):
+        skeleton = build_skeleton(8, 1)
+        assert skeleton.ncols == 8
+
+    def test_columns(self):
+        skeleton = build_skeleton(8, 2)
+        assert skeleton.column[SOURCE] == 0
+        assert skeleton.column[node_name(0, 0)] == 1
+        assert skeleton.column[node_name(1, 3)] == 4
+        assert skeleton.column[TARGET] == skeleton.ncols + 1
+
+
+class TestEdges:
+    def test_edge_count(self):
+        # nb_rows source edges + (nb_nodes - nb_rows) chain edges + nb_rows target edges
+        skeleton = build_skeleton(12, 3)
+        assert len(skeleton.data_edges) == 12 + 3
+
+    def test_source_feeds_first_of_each_row(self):
+        skeleton = build_skeleton(6, 2)
+        assert (SOURCE, node_name(0, 0)) in skeleton.data_edges
+        assert (SOURCE, node_name(1, 0)) in skeleton.data_edges
+
+    def test_rows_are_chains(self):
+        skeleton = build_skeleton(6, 2)
+        assert (node_name(0, 0), node_name(0, 1)) in skeleton.data_edges
+        assert (node_name(0, 2), TARGET) in skeleton.data_edges
+
+    def test_no_cross_row_edges_in_skeleton(self):
+        skeleton = build_skeleton(8, 2)
+        cross = [
+            (a, b)
+            for a, b in skeleton.data_edges
+            if a not in (SOURCE,) and b not in (TARGET,)
+            and a.split("_")[0] != b.split("_")[0]
+        ]
+        assert cross == []
+
+    def test_data_inputs_ordered_and_correct(self):
+        skeleton = build_skeleton(6, 2)
+        assert skeleton.data_inputs(node_name(0, 1)) == [node_name(0, 0)]
+        assert skeleton.data_inputs(TARGET) == [node_name(0, 2), node_name(1, 2)]
+
+    def test_internal_names_are_column_major(self):
+        skeleton = build_skeleton(4, 2)
+        assert skeleton.internal_names == ["n0_0", "n1_0", "n0_1", "n1_1"]
