@@ -12,17 +12,13 @@ Run:  python examples/claims_processing.py
 """
 
 from repro import (
-    And,
     Attribute,
     Comparison,
     DecisionFlowSchema,
-    Engine,
-    IdealDatabase,
+    DecisionService,
     NULL,
     Op,
     Rule,
-    Simulation,
-    Strategy,
     query,
     rule_set,
     synthesize,
@@ -139,13 +135,12 @@ def main() -> None:
     for claim in CLAIMS:
         print(f"\nclaim {claim['claim_id']} by {claim['claimant']} on {claim['policy_id']}:")
         for code in ("PCE0", "PCC0", "PCE100", "PSE100"):
-            simulation = Simulation()
-            engine = Engine(schema, Strategy.parse(code), IdealDatabase(simulation))
-            instance = engine.submit_instance(dict(claim))
-            simulation.run()
-            metrics = instance.metrics
+            service = DecisionService(schema, code)
+            handle = service.submit(dict(claim))
+            triage = handle.result()["triage"]
+            metrics = handle.metrics
             print(
-                f"  {code:>7}: {instance.cells['triage'].value:<28} "
+                f"  {code:>7}: {triage:<28} "
                 f"Work={metrics.work_units:>2} T={metrics.elapsed:>4.1f} "
                 f"wasted={metrics.speculative_wasted_units}"
             )

@@ -13,12 +13,10 @@ from repro import (
     Attribute,
     Comparison,
     DecisionFlowSchema,
-    Engine,
-    IdealDatabase,
+    DecisionService,
+    ExecutionConfig,
     NULL,
     Op,
-    Simulation,
-    Strategy,
     query,
     synthesize,
 )
@@ -95,13 +93,12 @@ def build_schema() -> DecisionFlowSchema:
 
 
 def run(schema: DecisionFlowSchema, code: str, source_values: dict) -> None:
-    simulation = Simulation()
-    engine = Engine(schema, Strategy.parse(code), IdealDatabase(simulation))
-    instance = engine.submit_instance(source_values)
-    simulation.run()
-    metrics = instance.metrics
+    service = DecisionService(schema, ExecutionConfig.from_code(code), backend="ideal")
+    handle = service.submit(source_values)
+    decision = handle.result()["decision"]
+    metrics = handle.metrics
     print(
-        f"  {code:>7}: decision={instance.cells['decision'].value!r:>9} "
+        f"  {code:>7}: decision={decision!r:>9} "
         f"Work={metrics.work_units:>2} TimeInUnits={metrics.elapsed:>4.1f} "
         f"(queries launched={metrics.queries_launched})"
     )

@@ -18,16 +18,23 @@ The package provides:
 * :mod:`repro.workload` — the Table-1 schema-pattern generator.
 * :mod:`repro.analysis` — the analytical throughput model (Equations 1-6),
   guideline maps, and strategy tuning.
+* :mod:`repro.api` — the high-level entry point: :class:`ExecutionConfig`,
+  the named-backend registry, and the multi-instance
+  :class:`DecisionService` facade.
 * :mod:`repro.bench` — experiment runners and reporting shared by the
   benchmark suite and the examples.
 
 Quickstart::
 
-    from repro import PatternParams, Strategy, generate_pattern, run_once
+    from repro import DecisionService, ExecutionConfig, PatternParams, generate_pattern
 
     pattern = generate_pattern(PatternParams(nb_rows=4, pct_enabled=50))
-    metrics = run_once(pattern, Strategy.parse("PCE0"))
-    print(metrics.work_units, metrics.elapsed)
+    service = DecisionService(pattern.schema, ExecutionConfig.from_code("PCE0"))
+    handle = service.submit(pattern.source_values)
+    print(handle.result(), handle.metrics.work_units, handle.metrics.elapsed)
+
+The one-shot helper :func:`run_once` wraps exactly that recipe for a
+generated pattern on the ideal backend.
 """
 
 from repro.core import (
@@ -77,9 +84,19 @@ from repro.simdb import (
     DbFunction,
     DbParams,
     IdealDatabase,
+    ProfiledDatabase,
     Simulation,
     SimulatedDatabase,
     profile_database,
+)
+from repro.api import (
+    Backend,
+    DecisionService,
+    ExecutionConfig,
+    InstanceHandle,
+    available_backends,
+    create_backend,
+    register_backend,
 )
 from repro.workload import PatternParams, GeneratedPattern, generate_pattern
 
@@ -137,9 +154,18 @@ __all__ = [
     "Simulation",
     "IdealDatabase",
     "SimulatedDatabase",
+    "ProfiledDatabase",
     "DbParams",
     "DbFunction",
     "profile_database",
+    # high-level api
+    "DecisionService",
+    "ExecutionConfig",
+    "InstanceHandle",
+    "Backend",
+    "register_backend",
+    "create_backend",
+    "available_backends",
     # workload
     "PatternParams",
     "GeneratedPattern",
@@ -149,12 +175,13 @@ __all__ = [
 
 
 def run_once(pattern: GeneratedPattern, strategy: Strategy) -> InstanceMetrics:
-    """Execute one instance of a generated pattern on a fresh ideal database.
+    """Execute one instance of a generated pattern on a fresh ideal backend.
 
-    Convenience wrapper used throughout the examples; returns the instance
-    metrics (``work_units`` is the paper's Work, ``elapsed`` its
-    TimeInUnits, since the ideal database's unit duration is 1).
+    Thin shim over the canonical :class:`repro.api.DecisionService` path,
+    kept for backward compatibility with the original low-level API;
+    returns the instance metrics (``work_units`` is the paper's Work,
+    ``elapsed`` its TimeInUnits, since the ideal backend's unit duration
+    is 1).
     """
-    simulation = Simulation()
-    engine = Engine(pattern.schema, strategy, IdealDatabase(simulation))
-    return engine.run_single(pattern.source_values)
+    service = DecisionService(pattern.schema, ExecutionConfig(strategy=strategy))
+    return service.submit(pattern.source_values).wait()

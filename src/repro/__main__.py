@@ -1,19 +1,28 @@
-"""Command-line entry point: regenerate the paper's tables and figures.
+"""Command-line entry point: paper experiments and ad-hoc simulations.
 
 Usage::
 
     python -m repro list                 # show available experiments
     python -m repro run fig5a            # run one experiment, print it
     python -m repro run all --seeds 4    # run everything
-    python -m repro run fig9a --out results/
+    python -m repro run fig9a --out results/ --json
+
+    python -m repro simulate --code PSE80 --backend bounded --rate 10 \\
+        --instances 200                  # drive a DecisionService directly
 
 Each experiment prints its table (and an ASCII shape chart) and, with
-``--out``, also writes it to ``<out>/<figure_id>.txt``.
+``--out``, also writes it to ``<out>/<figure_id>.txt``.  ``--json``
+switches to machine-readable output (and ``.json`` files with ``--out``).
+
+``simulate`` runs a Table-1 workload pattern through the high-level
+:class:`repro.api.DecisionService` on any registered backend, either as a
+closed loop (``--concurrency``) or an open Poisson stream (``--rate``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -56,6 +65,61 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--out", type=Path, default=None, help="directory to write <figure_id>.txt files"
     )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of rendered tables",
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="run a generated workload through the repro.api DecisionService"
+    )
+    simulate.add_argument(
+        "--code", default="PCE0", help="strategy code, e.g. PSE80 (default PCE0)"
+    )
+    simulate.add_argument(
+        "--backend",
+        default="ideal",
+        help="registered backend name: ideal, bounded, profiled (default ideal)",
+    )
+    simulate.add_argument("--nb-rows", type=int, default=4, help="pattern rows (default 4)")
+    simulate.add_argument(
+        "--nb-nodes", type=int, default=64, help="pattern internal nodes (default 64)"
+    )
+    simulate.add_argument(
+        "--pct-enabled", type=float, default=50.0, help="%% enabled nodes (default 50)"
+    )
+    simulate.add_argument(
+        "--pattern-seed", type=int, default=0, help="workload generator seed (default 0)"
+    )
+    simulate.add_argument(
+        "--instances", type=int, default=25, help="instances to run (default 25)"
+    )
+    simulate.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open system: Poisson arrivals per second (1s = 1000 clock ticks); "
+        "omit for a closed loop",
+    )
+    simulate.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        help="closed system: instances kept in flight (default 1; ignored with --rate)",
+    )
+    simulate.add_argument(
+        "--halt", choices=("cancel", "drain"), default="cancel", help="halt policy"
+    )
+    simulate.add_argument(
+        "--share", action="store_true", help="share query results across instances"
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=0, help="backend/arrival seed (default 0)"
+    )
+    simulate.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
     return parser
 
 
@@ -63,15 +127,91 @@ def _slug(figure_id: str) -> str:
     return figure_id.lower().replace(" ", "_").replace("(", "").replace(")", "")
 
 
-def run_experiment(name: str, seeds: int, out: Path | None) -> None:
+def run_experiment(name: str, seeds: int, out: Path | None, as_json: bool = False) -> None:
     fn, takes_seeds = EXPERIMENTS[name]
     result = fn(tuple(range(seeds))) if takes_seeds else fn()
-    text = result.render()
+    text = result.render_json() if as_json else result.render()
     print(text)
     print()
     if out is not None:
         out.mkdir(parents=True, exist_ok=True)
-        (out / f"{_slug(result.figure_id)}.txt").write_text(text + "\n")
+        extension = "json" if as_json else "txt"
+        (out / f"{_slug(result.figure_id)}.{extension}").write_text(text + "\n")
+
+
+def run_simulate(args: argparse.Namespace) -> int:
+    from repro.api import DecisionService, ExecutionConfig
+    from repro.simdb.rng import derive_rng
+    from repro.workload.generator import generate_pattern
+    from repro.workload.params import PatternParams
+
+    params = PatternParams(
+        nb_nodes=args.nb_nodes,
+        nb_rows=args.nb_rows,
+        pct_enabled=args.pct_enabled,
+        seed=args.pattern_seed,
+    )
+    pattern = generate_pattern(params)
+    config = ExecutionConfig.from_code(
+        args.code,
+        halt_policy=args.halt,
+        share_results=args.share,
+        backend=args.backend,
+        # Every built-in backend accepts a seed; third-party factories may
+        # not, so only forward it where it is known to be understood.
+        backend_options=(
+            {"seed": args.seed}
+            if args.backend in ("ideal", "bounded", "profiled")
+            else {}
+        ),
+    )
+    service = DecisionService(pattern.schema, config)
+
+    if args.rate is not None:
+        arrival_rng = derive_rng(args.seed, "simulate-arrivals", args.code, args.rate)
+        arrival_time, arrivals = 0.0, []
+        for _ in range(args.instances):
+            arrival_time += arrival_rng.expovariate(args.rate / 1000.0)
+            arrivals.append(arrival_time)
+        service.submit_stream(arrivals, values=pattern.source_values)
+        mode = f"open @ {args.rate:g}/s"
+    else:
+        service.run_closed(
+            args.instances, concurrency=args.concurrency, values=pattern.source_values
+        )
+        mode = f"closed x{args.concurrency}"
+
+    summary = service.summary()
+    payload = {
+        "schema": pattern.schema.name,
+        "strategy": config.code,
+        "backend": service.backend.name,
+        "time_unit": service.backend.time_unit,
+        "mode": mode,
+        "instances": summary.count,
+        "mean_work": summary.mean_work,
+        "mean_elapsed": summary.mean_elapsed,
+        "mean_queries_launched": summary.mean_queries_launched,
+        "total_work": summary.total_work,
+        "sim_time": service.now,
+        "mean_gmpl": service.database.mean_gmpl(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{payload['schema']}: {payload['instances']} instances under "
+            f"{payload['strategy']} on {payload['backend']} ({mode})"
+        )
+        print(
+            f"  mean Work = {payload['mean_work']:.1f} units   "
+            f"mean response = {payload['mean_elapsed']:.1f} {service.backend.time_unit}"
+        )
+        print(
+            f"  total work = {payload['total_work']} units   "
+            f"sim time = {payload['sim_time']:.1f}   mean Gmpl = {payload['mean_gmpl']:.2f}"
+        )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -82,9 +222,11 @@ def main(argv: list[str] | None = None) -> int:
             doc = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{name:<{width}}  {doc}")
         return 0
+    if args.command == "simulate":
+        return run_simulate(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        run_experiment(name, args.seeds, args.out)
+        run_experiment(name, args.seeds, args.out, as_json=args.json)
     return 0
 
 

@@ -1,0 +1,54 @@
+"""repro.api — the high-level public interface to the decision-flow engine.
+
+This package is the canonical entry point for executing decision flows:
+
+* :class:`ExecutionConfig` — one immutable value holding every execution
+  knob (strategy, %Permitted, halt policy, result sharing, backend).
+* The **backend registry** — named database substrates (``"ideal"``,
+  ``"bounded"``, ``"profiled"``) behind :func:`create_backend`, extensible
+  via :func:`register_backend`.
+* :class:`DecisionService` — a multi-instance facade over the engine with
+  :class:`InstanceHandle` results, open/closed arrival helpers, and typed
+  observer hooks (:meth:`~DecisionService.on_launch`,
+  :meth:`~DecisionService.on_query_done`,
+  :meth:`~DecisionService.on_instance_complete`).
+
+Quickstart::
+
+    from repro.api import DecisionService, ExecutionConfig
+
+    service = DecisionService(schema, ExecutionConfig.from_code("PSE80"))
+    handle = service.submit(source_values)
+    print(handle.result(), handle.metrics.work_units)
+"""
+
+from repro.api.backends import (
+    Backend,
+    BackendFactory,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.api.config import ExecutionConfig
+from repro.api.events import (
+    EventLog,
+    InstanceCompleteEvent,
+    LaunchEvent,
+    QueryDoneEvent,
+)
+from repro.api.service import DecisionService, InstanceHandle
+
+__all__ = [
+    "ExecutionConfig",
+    "DecisionService",
+    "InstanceHandle",
+    "Backend",
+    "BackendFactory",
+    "register_backend",
+    "create_backend",
+    "available_backends",
+    "LaunchEvent",
+    "QueryDoneEvent",
+    "InstanceCompleteEvent",
+    "EventLog",
+]

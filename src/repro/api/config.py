@@ -1,0 +1,136 @@
+"""One immutable configuration object for decision-flow execution.
+
+:class:`ExecutionConfig` gathers every knob that was previously scattered
+across ``Engine`` constructor kwargs (``halt_policy``, ``share_results``),
+:class:`~repro.core.strategy.Strategy` (options and %Permitted), and the
+ad-hoc backend plumbing of the benchmark drivers.  A config is a value:
+build one once, derive variants with :meth:`ExecutionConfig.replace`, and
+hand it to any number of :class:`~repro.api.service.DecisionService`
+instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from repro.core.strategy import Strategy
+from repro.errors import StrategyError
+
+__all__ = ["ExecutionConfig", "HALT_POLICIES"]
+
+HALT_POLICIES = ("cancel", "drain")
+
+#: Fields that live on the nested Strategy but are accepted by
+#: ``ExecutionConfig.replace`` / ``from_code`` for convenience.
+_STRATEGY_FIELDS = ("propagation", "speculative", "heuristic", "permitted", "cancel_unneeded")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """The full recipe for executing decision-flow instances.
+
+    ``strategy`` accepts either a :class:`Strategy` or a paper-style code
+    string such as ``"PSE80"`` (coerced at construction).  ``backend``
+    names a registered backend factory (``"ideal"``, ``"bounded"``,
+    ``"profiled"``, or any third-party registration); ``backend_options``
+    are forwarded to that factory.
+    """
+
+    strategy: Strategy = field(default_factory=Strategy)
+    halt_policy: str = "cancel"
+    share_results: bool = False
+    backend: str = "ideal"
+    backend_options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if isinstance(self.strategy, str):
+            object.__setattr__(self, "strategy", Strategy.parse(self.strategy))
+        elif not isinstance(self.strategy, Strategy):
+            raise StrategyError(
+                f"strategy must be a Strategy or code string, got {self.strategy!r}"
+            )
+        if self.halt_policy not in HALT_POLICIES:
+            raise ValueError(
+                f"halt_policy must be one of {HALT_POLICIES}, got {self.halt_policy!r}"
+            )
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError(f"backend must be a non-empty name string, got {self.backend!r}")
+        # Freeze the options mapping so the config stays a value.
+        object.__setattr__(
+            self, "backend_options", MappingProxyType(dict(self.backend_options))
+        )
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_code(cls, code: str, **overrides: Any) -> "ExecutionConfig":
+        """Build a config from a strategy code, e.g. ``from_code("PSE80")``.
+
+        Keyword overrides accept both config fields (``halt_policy``,
+        ``share_results``, ``backend``, ``backend_options``) and strategy
+        fields (``permitted``, ``cancel_unneeded``, ...), which are folded
+        into the parsed strategy.
+        """
+        strategy_overrides = {
+            key: overrides.pop(key) for key in _STRATEGY_FIELDS if key in overrides
+        }
+        strategy = Strategy.parse(code)
+        if strategy_overrides:
+            strategy = strategy.replace(**strategy_overrides)
+        return cls(strategy=strategy, **overrides)
+
+    def replace(self, **changes: Any) -> "ExecutionConfig":
+        """A copy with the given fields replaced.
+
+        Strategy-level fields route into ``strategy.replace`` so callers
+        can write ``config.replace(permitted=50, share_results=True)``
+        without unpacking the nested strategy.
+        """
+        strategy_changes = {
+            key: changes.pop(key) for key in _STRATEGY_FIELDS if key in changes
+        }
+        config_fields = {f.name for f in fields(self)}
+        unknown = set(changes) - config_fields
+        if unknown:
+            raise ValueError(
+                f"unknown config field(s) {sorted(unknown)}; expected a subset of "
+                f"{sorted(config_fields | set(_STRATEGY_FIELDS))}"
+            )
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current.update(changes)
+        if strategy_changes:
+            base = current["strategy"]
+            if isinstance(base, str):
+                base = Strategy.parse(base)
+            current["strategy"] = base.replace(**strategy_changes)
+        return ExecutionConfig(**current)
+
+    # -- strategy passthroughs ------------------------------------------------
+
+    @property
+    def code(self) -> str:
+        """The paper-style strategy code, e.g. ``"PSE80"``."""
+        return self.strategy.code
+
+    @property
+    def permitted(self) -> int:
+        return self.strategy.permitted
+
+    @property
+    def cancel_unneeded(self) -> bool:
+        return self.strategy.cancel_unneeded
+
+    def __repr__(self) -> str:
+        extras = []
+        if self.halt_policy != "cancel":
+            extras.append(f"halt={self.halt_policy}")
+        if self.share_results:
+            extras.append("shared")
+        if self.cancel_unneeded:
+            extras.append("+cancel-unneeded")
+        if self.backend_options:
+            extras.append(f"options={dict(self.backend_options)!r}")
+        suffix = (" " + " ".join(extras)) if extras else ""
+        return f"<ExecutionConfig {self.code} backend={self.backend!r}{suffix}>"

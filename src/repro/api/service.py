@@ -1,0 +1,298 @@
+"""DecisionService: the multi-instance facade over the execution engine.
+
+The paper's engine is inherently a *service*: many concurrent decision-flow
+instances sharing one database under a tunable strategy.  This module is
+that service as an object — construct it from a schema, an
+:class:`~repro.api.config.ExecutionConfig`, and a named backend; submit
+instances (individually, as an open arrival stream, or as a closed loop);
+observe execution through typed event hooks; and read per-instance results
+through :class:`InstanceHandle`.
+
+    service = DecisionService(schema, ExecutionConfig.from_code("PSE80"))
+    handle = service.submit({"customer_id": "alice", "amount": 25_000})
+    print(handle.result(), handle.metrics.work_units)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.api.backends import Backend, create_backend
+from repro.api.config import ExecutionConfig
+from repro.api.events import (
+    EventLog,
+    InstanceCompleteEvent,
+    LaunchEvent,
+    QueryDoneEvent,
+    _Dispatcher,
+)
+from repro.core.engine import Engine
+from repro.core.instance import InstanceRuntime
+from repro.core.metrics import InstanceMetrics, MetricsSummary, summarize
+from repro.core.schema import DecisionFlowSchema
+from repro.core.strategy import Strategy
+from repro.errors import ExecutionError
+
+__all__ = ["DecisionService", "InstanceHandle"]
+
+
+class InstanceHandle:
+    """A submitted decision-flow instance: poll it, drive it, read it."""
+
+    __slots__ = ("_service", "_instance")
+
+    def __init__(self, service: "DecisionService", instance: InstanceRuntime):
+        self._service = service
+        self._instance = instance
+
+    @property
+    def instance_id(self) -> str:
+        return self._instance.instance_id
+
+    @property
+    def done(self) -> bool:
+        """Whether every target attribute is stable."""
+        return self._instance.done
+
+    @property
+    def metrics(self) -> InstanceMetrics:
+        """The live metrics counters (final once :attr:`done`)."""
+        return self._instance.metrics
+
+    @property
+    def instance(self) -> InstanceRuntime:
+        """The underlying runtime, for low-level inspection."""
+        return self._instance
+
+    def value(self, name: str) -> object:
+        """The current value of one attribute (⊥ until stable)."""
+        return self._instance.cells[name].value
+
+    def wait(self) -> InstanceMetrics:
+        """Advance the shared clock until this instance finishes.
+
+        Returns the final metrics; raises :class:`ExecutionError` if the
+        simulation runs dry with targets still unstable (a stalled flow).
+        """
+        if not self._instance.done:
+            self._service.run()
+        if not self._instance.done:
+            unstable = [
+                t
+                for t in self._service.schema.target_names
+                if not self._instance.cells[t].stable
+            ]
+            raise ExecutionError(
+                f"instance {self.instance_id} stalled; unstable targets: {unstable}"
+            )
+        return self._instance.metrics
+
+    def result(self) -> dict[str, object]:
+        """The target attribute values, driving the clock if needed."""
+        self.wait()
+        return {
+            name: self._instance.cells[name].value
+            for name in self._service.schema.target_names
+        }
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return f"<InstanceHandle {self.instance_id!r} {state}>"
+
+
+class DecisionService:
+    """Execute decision-flow instances against a configured backend.
+
+    ``config`` may be an :class:`ExecutionConfig`, a :class:`Strategy`, or
+    a strategy code string (``"PSE80"``).  ``backend`` overrides the
+    config's backend selection and may be a registered name or a
+    pre-built :class:`Backend`; extra keyword arguments are forwarded to
+    the backend factory.
+    """
+
+    def __init__(
+        self,
+        schema: DecisionFlowSchema,
+        config: ExecutionConfig | Strategy | str | None = None,
+        *,
+        backend: Backend | str | None = None,
+        **backend_options: Any,
+    ):
+        if config is None:
+            config = ExecutionConfig()
+        elif isinstance(config, str):
+            config = ExecutionConfig.from_code(config)
+        elif isinstance(config, Strategy):
+            config = ExecutionConfig(strategy=config)
+        elif not isinstance(config, ExecutionConfig):
+            raise TypeError(
+                f"config must be ExecutionConfig, Strategy, or code string, got {config!r}"
+            )
+        if isinstance(backend, Backend):
+            if backend_options or config.backend_options:
+                raise ValueError("backend_options are ignored with a pre-built Backend")
+            config = config.replace(backend=backend.name)
+            self.backend = backend
+        else:
+            if backend is not None:
+                config = config.replace(backend=backend)
+            if backend_options:
+                merged = {**config.backend_options, **backend_options}
+                config = config.replace(backend_options=merged)
+            self.backend = create_backend(config.backend, **config.backend_options)
+
+        self.schema = schema
+        self.config = config
+        self._dispatcher = _Dispatcher(lambda: self.backend.simulation.now)
+        self.engine = Engine(
+            schema,
+            config.strategy,
+            self.backend.database,
+            halt_policy=config.halt_policy,
+            share_results=config.share_results,
+            observer=self._dispatcher,
+        )
+        self._handles: list[InstanceHandle] = []
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        source_values: Mapping[str, object] | None = None,
+        *,
+        at: float | None = None,
+        instance_id: str | None = None,
+    ) -> InstanceHandle:
+        """Submit one instance (starting now, or at simulated time *at*)."""
+        instance = self.engine.submit_instance(
+            source_values, at=at, instance_id=instance_id
+        )
+        handle = InstanceHandle(self, instance)
+        self._handles.append(handle)
+        return handle
+
+    def submit_stream(
+        self,
+        arrivals: Iterable[float | tuple[float, Mapping[str, object]]],
+        values: Mapping[str, object] | Callable[[int], Mapping[str, object]] | None = None,
+        *,
+        run: bool = True,
+    ) -> list[InstanceHandle]:
+        """Open-system helper: submit instances at the given arrival times.
+
+        *arrivals* is an iterable of absolute simulated times, or of
+        ``(time, source_values)`` pairs.  With plain times, *values*
+        supplies the source values — either one mapping shared by every
+        instance or a callable of the arrival index.  By default the clock
+        is then advanced until all work drains; pass ``run=False`` to
+        submit only.
+        """
+        handles = []
+        for index, arrival in enumerate(arrivals):
+            if isinstance(arrival, tuple):
+                at, source_values = arrival
+            else:
+                at = arrival
+                source_values = values(index) if callable(values) else values
+            handles.append(self.submit(source_values, at=at))
+        if run:
+            self.run()
+        return handles
+
+    def run_closed(
+        self,
+        n: int,
+        *,
+        concurrency: int = 1,
+        values: Mapping[str, object] | Callable[[int], Mapping[str, object]] | None = None,
+    ) -> list[InstanceHandle]:
+        """Closed-system helper: keep *concurrency* instances in flight.
+
+        Submits *concurrency* instances immediately and replaces each one
+        the moment it completes, until *n* have been submitted in total;
+        then drains.  Returns the handles of all *n* instances.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        handles: list[InstanceHandle] = []
+
+        def source_for(index: int) -> Mapping[str, object] | None:
+            return values(index) if callable(values) else values
+
+        def submit_next() -> None:
+            index = len(handles)
+            if index >= n:
+                return
+            instance = self.engine.submit_instance(
+                source_for(index), on_complete=lambda metrics: submit_next()
+            )
+            handles.append(InstanceHandle(self, instance))
+
+        for _ in range(min(concurrency, n)):
+            submit_next()
+        self.run()
+        self._handles.extend(handles)
+        return handles
+
+    # -- driving and reading --------------------------------------------------
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the backend's simulated clock (to *until*, or until idle)."""
+        self.backend.simulation.run(until)
+
+    @property
+    def now(self) -> float:
+        """The current simulated time of the backend."""
+        return self.backend.simulation.now
+
+    @property
+    def database(self):
+        """The backend's database server (work totals, Gmpl, ...)."""
+        return self.backend.database
+
+    @property
+    def handles(self) -> tuple[InstanceHandle, ...]:
+        """Every handle this service has issued, in submission order."""
+        return tuple(self._handles)
+
+    @property
+    def completed(self) -> tuple[InstanceHandle, ...]:
+        return tuple(h for h in self._handles if h.done)
+
+    def summary(self) -> MetricsSummary:
+        """Aggregate metrics over all finished instances."""
+        return summarize(h.metrics for h in self._handles if h.done)
+
+    # -- observation ----------------------------------------------------------
+
+    def on_launch(self, handler: Callable[[LaunchEvent], None]):
+        """Subscribe to task-launch events; usable as a decorator."""
+        self._dispatcher.launch_handlers.append(handler)
+        return handler
+
+    def on_query_done(self, handler: Callable[[QueryDoneEvent], None]):
+        """Subscribe to query-completion events; usable as a decorator."""
+        self._dispatcher.query_done_handlers.append(handler)
+        return handler
+
+    def on_instance_complete(self, handler: Callable[[InstanceCompleteEvent], None]):
+        """Subscribe to instance-completion events; usable as a decorator."""
+        self._dispatcher.complete_handlers.append(handler)
+        return handler
+
+    def attach_log(self) -> EventLog:
+        """Subscribe a fresh :class:`EventLog` to every event stream."""
+        log = EventLog()
+        self.on_launch(log)
+        self.on_query_done(log)
+        self.on_instance_complete(log)
+        return log
+
+    def __repr__(self) -> str:
+        done = sum(1 for h in self._handles if h.done)
+        return (
+            f"<DecisionService {self.schema.name!r} {self.config.code} "
+            f"backend={self.backend.name!r} instances={done}/{len(self._handles)} done>"
+        )

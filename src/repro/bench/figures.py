@@ -20,7 +20,7 @@ from typing import Sequence
 
 from repro.analysis.guidelines import guideline_frontier, min_time_for_budget
 from repro.analysis.tuning import tune
-from repro.bench.report import ascii_chart, format_table
+from repro.bench.report import ascii_chart, format_table, render_json
 from repro.bench.runner import (
     evaluate_code,
     evaluate_codes,
@@ -79,6 +79,10 @@ class FigureResult:
         for note in self.notes:
             parts.append(f"note: {note}")
         return "\n\n".join(parts)
+
+    def render_json(self) -> str:
+        """Machine-readable rendering alongside the text tables."""
+        return render_json(self.figure_id, self.title, self.headers, self.rows, self.notes)
 
 
 def _series_chart(rows, codes, title, x_label, y_label, value_offset=1):
@@ -571,10 +575,8 @@ def ablation_sharing(
     cutting database units — the effect shrinks as the population of
     distinct profiles grows.
     """
-    from repro.core.engine import Engine
-    from repro.core.strategy import Strategy
-    from repro.simdb.des import Simulation
-    from repro.simdb.database import SimulatedDatabase
+    from repro.api.config import ExecutionConfig
+    from repro.api.service import DecisionService
     from repro.simdb.rng import derive_rng
     from repro.core.attribute import Attribute
     from repro.core.schema import DecisionFlowSchema
@@ -624,26 +626,24 @@ def ablation_sharing(
     for profiles in profile_counts:
         per_mode: dict[bool, tuple[float, float]] = {}
         for share in (False, True):
-            simulation = Simulation()
-            database = SimulatedDatabase(simulation, DbParams(), seed=seed)
-            engine = Engine(
+            service = DecisionService(
                 personalization_schema(),
-                Strategy.parse("PCE100"),
-                database,
-                share_results=share,
+                ExecutionConfig.from_code(
+                    "PCE100", share_results=share, backend="bounded"
+                ),
+                params=DbParams(),
+                seed=seed,
             )
             arrival_rng = derive_rng(seed, "sharing-arrivals", profiles)
             arrival_time = 0.0
-            instances = []
+            arrivals = []
             for _ in range(n_instances):
                 arrival_time += arrival_rng.expovariate(arrival_rate_per_s / 1000.0)
                 customer = f"c{arrival_rng.randrange(profiles)}"
-                instances.append(
-                    engine.submit_instance({"customer": customer}, at=arrival_time)
-                )
-            simulation.run()
-            mean_ms = sum(i.metrics.elapsed for i in instances) / n_instances
-            per_mode[share] = (database.total_units / n_instances, mean_ms)
+                arrivals.append((arrival_time, {"customer": customer}))
+            handles = service.submit_stream(arrivals)
+            mean_ms = sum(h.metrics.elapsed for h in handles) / n_instances
+            per_mode[share] = (service.database.total_units / n_instances, mean_ms)
         rows.append(
             [
                 profiles,

@@ -7,9 +7,10 @@ captured ``bench_output.txt``.
 
 from __future__ import annotations
 
+import json
 from typing import Mapping, Sequence
 
-__all__ = ["format_value", "format_table", "ascii_chart"]
+__all__ = ["format_value", "format_table", "ascii_chart", "json_value", "render_json"]
 
 _MARKERS = "ox+*#@%&"
 
@@ -26,6 +27,41 @@ def format_value(value: object, floatfmt: str = ".1f") -> str:
             return "inf" if value > 0 else "-inf"
         return format(value, floatfmt)
     return str(value)
+
+
+def json_value(value: object) -> object:
+    """A JSON-safe cell value: NaN/inf become None, exotic types stringify."""
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return None
+        return value
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return str(value)
+
+
+def render_json(
+    figure_id: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Machine-readable rendering of one experiment result.
+
+    Rows come out both positional (``rows``) and as header-keyed records
+    (``records``), so downstream tooling can pick whichever is handier.
+    """
+    safe_rows = [[json_value(cell) for cell in row] for row in rows]
+    payload = {
+        "figure_id": figure_id,
+        "title": title,
+        "headers": list(headers),
+        "rows": safe_rows,
+        "records": [dict(zip(headers, row)) for row in safe_rows],
+        "notes": list(notes),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
 
 
 def format_table(

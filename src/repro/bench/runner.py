@@ -3,12 +3,14 @@
 Two measurement modes, matching section 5:
 
 * :func:`evaluate_code` — *infinite resources*: one instance per seed on a
-  fresh :class:`IdealDatabase`; Work and TimeInUnits are averaged over
+  fresh ``"ideal"`` backend; Work and TimeInUnits are averaged over
   seeds.  Star codes ("PC*100") expand to both heuristics and average
   over them, as the paper's figures do.
 * :func:`measure_open_system` — *bounded resources*: Poisson arrivals into
-  one engine sharing a :class:`SimulatedDatabase`; response times are
-  collected in steady state (TimeInSeconds).
+  one :class:`~repro.api.DecisionService` on the ``"bounded"`` backend;
+  response times are collected in steady state (TimeInSeconds).
+
+Both modes drive the high-level :mod:`repro.api` facade.
 """
 
 from __future__ import annotations
@@ -18,12 +20,12 @@ from statistics import mean, pstdev
 from typing import Sequence
 
 from repro.analysis.guidelines import StrategyPoint
-from repro.core.engine import Engine
+from repro.api.config import ExecutionConfig
+from repro.api.service import DecisionService
 from repro.core.metrics import InstanceMetrics
 from repro.core.strategy import Strategy, expand_pattern
 from repro.errors import ExecutionError
-from repro.simdb.database import DbParams, IdealDatabase, SimulatedDatabase
-from repro.simdb.des import Simulation
+from repro.simdb.database import DbParams
 from repro.simdb.rng import derive_rng
 from repro.workload.generator import GeneratedPattern, generate_pattern
 from repro.workload.params import PatternParams
@@ -73,10 +75,11 @@ def run_pattern_once(
     strategy: Strategy,
     halt_policy: str = "cancel",
 ) -> InstanceMetrics:
-    """One instance on a fresh simulation + ideal database."""
-    simulation = Simulation()
-    engine = Engine(pattern.schema, strategy, IdealDatabase(simulation), halt_policy)
-    return engine.run_single(pattern.source_values)
+    """One instance on a fresh ideal backend."""
+    service = DecisionService(
+        pattern.schema, ExecutionConfig(strategy=strategy, halt_policy=halt_policy)
+    )
+    return service.submit(pattern.source_values).wait()
 
 
 def evaluate_code(
@@ -169,20 +172,23 @@ def measure_open_system(
     # paper plots them as one curve); measure its first member.
     strategy = strategies[0]
 
-    simulation = Simulation()
-    database = SimulatedDatabase(simulation, db_params or DbParams(), seed=seed)
-    engine = Engine(pattern.schema, strategy, database)
+    service = DecisionService(
+        pattern.schema,
+        ExecutionConfig(strategy=strategy, backend="bounded"),
+        params=db_params or DbParams(),
+        seed=seed,
+    )
     arrival_rng = derive_rng(seed, "arrivals", code, arrival_rate_per_s)
     rate_per_ms = arrival_rate_per_s / 1000.0
 
     arrival_time = 0.0
-    instances = []
+    arrival_times = []
     for _ in range(n_instances):
         arrival_time += arrival_rng.expovariate(rate_per_ms)
-        instances.append(engine.submit_instance(pattern.source_values, at=arrival_time))
-    simulation.run()
+        arrival_times.append(arrival_time)
+    handles = service.submit_stream(arrival_times, values=pattern.source_values)
 
-    finished = [inst.metrics for inst in instances if inst.done]
+    finished = [handle.metrics for handle in handles if handle.done]
     if len(finished) < n_instances:
         raise ExecutionError(
             f"open-system run stalled: {len(finished)}/{n_instances} instances finished"
@@ -200,6 +206,6 @@ def measure_open_system(
         mean_seconds=mean(seconds),
         p95_seconds=seconds[p95_index],
         mean_work=mean(float(m.work_units) for m in measured),
-        mean_gmpl=database.mean_gmpl(),
-        sim_ms=simulation.now,
+        mean_gmpl=service.database.mean_gmpl(),
+        sim_ms=service.now,
     )

@@ -49,7 +49,43 @@ from repro.errors import ExecutionError
 from repro.nulls import ExceptionValue
 from repro.simdb.database import DatabaseServer
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "EngineObserver"]
+
+
+class EngineObserver:
+    """No-op observation hooks for engine events.
+
+    Subclass and override the hooks you care about; the engine calls them
+    synchronously at the corresponding points of the execution algorithm.
+    The high-level :class:`repro.api.DecisionService` builds its typed
+    event system on top of this seam.
+    """
+
+    def on_instance_start(self, instance: InstanceRuntime) -> None:
+        """An instance began its evaluation phase."""
+
+    def on_launch(
+        self,
+        instance: InstanceRuntime,
+        name: str,
+        *,
+        speculative: bool,
+        shared: str | None,
+    ) -> None:
+        """A task launch was decided for *name*.
+
+        ``shared`` is ``None`` for a real database dispatch, ``"hit"`` when
+        the result came from the share table, ``"join"`` when the launch
+        joined another instance's in-flight query.
+        """
+
+    def on_query_done(
+        self, instance: InstanceRuntime, name: str, *, units: int, completed: bool
+    ) -> None:
+        """The database finished (or cancelled) a query this instance issued."""
+
+    def on_instance_complete(self, instance: InstanceRuntime) -> None:
+        """All target attributes of the instance are stable."""
 
 
 class _SharedWait:
@@ -74,6 +110,7 @@ class Engine:
         database: DatabaseServer,
         halt_policy: str = "cancel",
         share_results: bool = False,
+        observer: EngineObserver | None = None,
     ):
         if halt_policy not in ("cancel", "drain"):
             raise ValueError(f"halt_policy must be 'cancel' or 'drain', got {halt_policy!r}")
@@ -82,8 +119,10 @@ class Engine:
         self.database = database
         self.sim = database.sim
         self.halt_policy = halt_policy
+        self.observer = observer
         self.share: ResultShare | None = ResultShare() if share_results else None
         self.instances: list[InstanceRuntime] = []
+        self._instance_ids: set[str] = set()
         self._id_seq = itertools.count(1)
         self._on_complete: dict[str, Callable[[InstanceMetrics], None]] = {}
         self._handle_key: dict[object, tuple] = {}
@@ -99,7 +138,16 @@ class Engine:
     ) -> InstanceRuntime:
         """Create an instance and schedule its start (default: immediately)."""
         start_time = self.sim.now if at is None else at
-        instance_id = instance_id or f"{self.schema.name}#{next(self._id_seq)}"
+        if instance_id is None:
+            # Generated ids skip any name a caller already claimed.
+            instance_id = f"{self.schema.name}#{next(self._id_seq)}"
+            while instance_id in self._instance_ids:
+                instance_id = f"{self.schema.name}#{next(self._id_seq)}"
+        elif instance_id in self._instance_ids:
+            raise ExecutionError(
+                f"duplicate instance id {instance_id!r}: ids must be unique per engine"
+            )
+        self._instance_ids.add(instance_id)
         instance = InstanceRuntime(
             self.schema,
             self.strategy,
@@ -134,6 +182,8 @@ class Engine:
 
     def _start(self, instance: InstanceRuntime) -> None:
         instance.start()
+        if self.observer is not None:
+            self.observer.on_instance_start(instance)
         self._after_event(instance)
 
     def _after_event(self, instance: InstanceRuntime) -> None:
@@ -170,12 +220,20 @@ class Engine:
             cached = self.share.get(key)
             if cached is not UNSET:
                 instance.metrics.shared_hits += 1
+                if self.observer is not None:
+                    self.observer.on_launch(
+                        instance, name, speculative=speculative, shared="hit"
+                    )
                 # Deliver asynchronously so state changes stay event-driven.
                 self.sim.schedule(0.0, lambda: self._shared_done(instance, name, cached))
                 return
             if self.share.is_pending(key):
                 instance.metrics.shared_joins += 1
                 instance.inflight[name] = _SharedWait(key)
+                if self.observer is not None:
+                    self.observer.on_launch(
+                        instance, name, speculative=speculative, shared="join"
+                    )
                 self.share.join(
                     key, lambda value: self._shared_done(instance, name, value)
                 )
@@ -187,6 +245,8 @@ class Engine:
         if speculative:
             instance.speculative_launch.add(name)
             instance.metrics.speculative_launched += 1
+        if self.observer is not None:
+            self.observer.on_launch(instance, name, speculative=speculative, shared=None)
         handle = self.database.submit(
             task.cost,
             lambda processed, completed: self._query_done(
@@ -210,6 +270,10 @@ class Engine:
         if handle is not None:
             self._handle_key.pop(handle, None)
         instance.metrics.work_units += processed
+        if self.observer is not None:
+            self.observer.on_query_done(
+                instance, name, units=processed, completed=completed
+            )
 
         if completed:
             instance.metrics.queries_completed += 1
@@ -296,6 +360,8 @@ class Engine:
             for handle in instance.inflight.values():
                 if not self._has_waiters(handle):
                     handle.cancel()
+        if self.observer is not None:
+            self.observer.on_instance_complete(instance)
         callback = self._on_complete.pop(instance.instance_id, None)
         if callback is not None:
             callback(instance.metrics)

@@ -87,10 +87,25 @@ class Strategy:
             + str(self.permitted)
         )
 
+    def replace(self, **kwargs: object) -> "Strategy":
+        """A copy with the given option fields replaced.
+
+        Accepts any constructor field (``propagation``, ``speculative``,
+        ``heuristic``, ``permitted``, ``cancel_unneeded``); unknown names
+        raise :class:`StrategyError`.
+        """
+        fields = {name: getattr(self, name) for name in self.__slots__}
+        unknown = set(kwargs) - set(fields)
+        if unknown:
+            raise StrategyError(
+                f"unknown strategy field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(fields)}"
+            )
+        fields.update(kwargs)
+        return Strategy(**fields)
+
     def with_permitted(self, permitted: int) -> "Strategy":
-        return Strategy(
-            self.propagation, self.speculative, self.heuristic, permitted, self.cancel_unneeded
-        )
+        return self.replace(permitted=permitted)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Strategy) and (
@@ -121,7 +136,8 @@ def expand_pattern(pattern: str, permitted: int | None = None) -> list[Strategy]
     ``expand_pattern("PC*100")`` → ``[PCE100, PCC100]``;
     ``expand_pattern("P**", permitted=80)`` → the four P strategies at 80%.
     Patterns may or may not carry a trailing parallelism figure; if absent,
-    *permitted* must be given.
+    *permitted* must be given.  The result never contains duplicates: a
+    wildcard-free pattern expands to exactly one strategy.
     """
     match = re.match(r"^([PN*])([SC*])([EC*])(\d{1,3})?%?$", pattern.strip())
     if not match:
@@ -133,9 +149,10 @@ def expand_pattern(pattern: str, permitted: int | None = None) -> list[Strategy]
         permitted = int(match.group(4))
     if permitted is None:
         raise StrategyError(f"pattern {pattern!r} has no %Permitted and none was given")
-    return [
+    expanded = [
         Strategy.parse(f"{p}{s}{h}{permitted}")
         for p in p_options
         for s in s_options
         for h in h_options
     ]
+    return list(dict.fromkeys(expanded))

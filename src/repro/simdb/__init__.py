@@ -1,6 +1,12 @@
 """Simulated database substrate: DES kernel, service queues, DB servers."""
 
-from repro.simdb.database import DatabaseServer, DbParams, IdealDatabase, SimulatedDatabase
+from repro.simdb.database import (
+    DatabaseServer,
+    DbParams,
+    IdealDatabase,
+    ProfiledDatabase,
+    SimulatedDatabase,
+)
 from repro.simdb.des import Event, Simulation
 from repro.simdb.profiler import DbFunction, profile_database
 from repro.simdb.query import QueryHandle
@@ -15,6 +21,7 @@ __all__ = [
     "DatabaseServer",
     "IdealDatabase",
     "SimulatedDatabase",
+    "ProfiledDatabase",
     "DbParams",
     "DbFunction",
     "profile_database",

@@ -27,7 +27,13 @@ from repro.simdb.des import Simulation
 from repro.simdb.query import CompletionCallback, QueryHandle
 from repro.simdb.rng import derive_rng
 
-__all__ = ["DbParams", "DatabaseServer", "IdealDatabase", "SimulatedDatabase"]
+__all__ = [
+    "DbParams",
+    "DatabaseServer",
+    "IdealDatabase",
+    "SimulatedDatabase",
+    "ProfiledDatabase",
+]
 
 
 @dataclass(frozen=True)
@@ -196,3 +202,28 @@ class SimulatedDatabase(DatabaseServer):
                 self.params.io_delay_ms,
                 lambda: self._fetch_pages(handle, on_complete, remaining - 1),
             )
+
+
+class ProfiledDatabase(DatabaseServer):
+    """Analytic stand-in calibrated by an empirical Db function.
+
+    Each unit of processing takes ``Db(Gmpl)`` milliseconds at the current
+    multiprogramming level — the contention model of Equation (4) applied
+    directly, without simulating individual CPU/disk visits.  It runs
+    orders of magnitude fewer events than :class:`SimulatedDatabase` while
+    preserving the load/response shape of the profiled server, which makes
+    it the cheap substrate for large capacity sweeps.
+    """
+
+    def __init__(self, sim: Simulation, db_function, failure_prob: float = 0.0, seed: int = 0):
+        super().__init__(sim, failure_prob, seed)
+        if not callable(db_function):
+            raise TypeError(f"db_function must be callable, got {db_function!r}")
+        self.db_function = db_function
+
+    def _start_unit(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+        # The submitting query is already counted in Gmpl (>= 1 here).
+        unit_ms = float(self.db_function(self.gmpl))
+        if unit_ms <= 0:
+            raise ValueError(f"Db function returned non-positive UnitTime {unit_ms}")
+        self.sim.schedule(unit_ms, lambda: self._unit_finished(handle, on_complete))

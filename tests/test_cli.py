@@ -1,5 +1,7 @@
 """The python -m repro command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import EXPERIMENTS, build_parser, main
@@ -44,3 +46,93 @@ class TestRun:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestRunJson:
+    def test_json_output_parses_and_mirrors_table(self, capsys):
+        assert main(["run", "table1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figure_id"] == "Table 1"
+        assert payload["headers"] == ["Parameter", "Range", "Description"]
+        assert any(row[0] == "nb_rows" for row in payload["rows"])
+        assert payload["records"][0]["Parameter"] == payload["rows"][0][0]
+        assert payload["notes"]
+
+    def test_json_out_directory_written(self, tmp_path, capsys):
+        main(["run", "table1", "--out", str(tmp_path), "--json"])
+        capsys.readouterr()
+        written = list(tmp_path.glob("*.json"))
+        assert len(written) == 1
+        assert json.loads(written[0].read_text())["figure_id"] == "Table 1"
+
+    def test_json_experiment_rows_numeric(self, capsys):
+        assert main(["run", "fig5a", "--seeds", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "PCC0" in payload["headers"]
+        assert all(isinstance(row[0], int) for row in payload["rows"])
+
+
+class TestSimulate:
+    def test_closed_loop_text_output(self, capsys):
+        assert main(
+            ["simulate", "--code", "PSE80", "--nb-nodes", "16", "--instances", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PSE80" in out and "ideal" in out
+        assert "mean Work" in out
+
+    def test_open_stream_json_output(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--code", "PCE100",
+                "--backend", "bounded",
+                "--nb-nodes", "16",
+                "--instances", "10",
+                "--rate", "20",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "bounded"
+        assert payload["time_unit"] == "ms"
+        assert payload["instances"] == 10
+        assert payload["mean_work"] > 0
+        assert payload["mode"].startswith("open")
+
+    def test_share_and_drain_flags_accepted(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--nb-nodes", "12",
+                "--instances", "3",
+                "--concurrency", "2",
+                "--share",
+                "--halt", "drain",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["instances"] == 3
+        assert payload["mode"] == "closed x2"
+
+    def test_bad_backend_reported(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            main(["simulate", "--backend", "quantum", "--instances", "1"])
+
+    def test_seed_changes_bounded_results(self, capsys):
+        def run_with_seed(seed):
+            main(
+                [
+                    "simulate",
+                    "--backend", "bounded",
+                    "--nb-nodes", "12",
+                    "--instances", "5",
+                    "--seed", str(seed),
+                    "--json",
+                ]
+            )
+            return json.loads(capsys.readouterr().out)
+
+        assert run_with_seed(0) == run_with_seed(0)  # deterministic
+        assert run_with_seed(0)["mean_elapsed"] != run_with_seed(9)["mean_elapsed"]

@@ -68,6 +68,65 @@ class TestBasicExecution:
         assert sequential.elapsed == parallel.elapsed == 6.0
 
 
+class TestInstanceIds:
+    def make_engine(self):
+        schema, source_values = diamond_schema()
+        simulation = Simulation()
+        engine = Engine(schema, Strategy.parse("PCE0"), IdealDatabase(simulation))
+        return engine, simulation, source_values
+
+    def test_duplicate_user_supplied_id_rejected(self):
+        engine, _, source_values = self.make_engine()
+        seen = []
+        engine.submit_instance(
+            source_values, instance_id="job-1", on_complete=seen.append
+        )
+        # A silent resubmission used to clobber the first on_complete
+        # callback; now the duplicate id is an error.
+        with pytest.raises(ExecutionError, match="duplicate instance id"):
+            engine.submit_instance(
+                source_values, instance_id="job-1", on_complete=seen.append
+            )
+
+    def test_first_callback_survives_rejected_duplicate(self):
+        engine, simulation, source_values = self.make_engine()
+        seen = []
+        engine.submit_instance(
+            source_values, instance_id="job-1", on_complete=lambda m: seen.append("first")
+        )
+        with pytest.raises(ExecutionError):
+            engine.submit_instance(
+                source_values, instance_id="job-1", on_complete=lambda m: seen.append("second")
+            )
+        simulation.run()
+        assert seen == ["first"]
+
+    def test_duplicate_id_across_finished_instances_rejected(self):
+        engine, simulation, source_values = self.make_engine()
+        engine.submit_instance(source_values, instance_id="job-1")
+        simulation.run()
+        with pytest.raises(ExecutionError, match="duplicate instance id"):
+            engine.submit_instance(source_values, instance_id="job-1")
+
+    def test_generated_ids_are_unique(self):
+        engine, simulation, source_values = self.make_engine()
+        first = engine.submit_instance(source_values)
+        second = engine.submit_instance(source_values)
+        assert first.instance_id != second.instance_id
+        simulation.run()
+        assert first.done and second.done
+
+    def test_generated_ids_skip_user_claimed_names(self):
+        engine, simulation, source_values = self.make_engine()
+        # Claim the exact name the generator would produce next.
+        taken = f"{engine.schema.name}#1"
+        engine.submit_instance(source_values, instance_id=taken)
+        auto = engine.submit_instance(source_values)
+        assert auto.instance_id != taken
+        simulation.run()
+        assert auto.done
+
+
 class TestEarlyHalt:
     def test_disabled_target_halts_immediately_with_zero_work(self):
         schema = DecisionFlowSchema(

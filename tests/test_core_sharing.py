@@ -4,12 +4,15 @@ import pytest
 
 from repro import (
     Attribute,
+    Comparison,
     DecisionFlowSchema,
     Engine,
     IdealDatabase,
+    Op,
     QueryTask,
     Simulation,
     Strategy,
+    SynthesisTask,
 )
 from repro.core.sharing import ResultShare, UNSET, freeze, share_key
 from tests._support import q
@@ -202,3 +205,77 @@ class TestEngineSharing:
         simulation.run()
         assert all(i.done for i in engine.instances)
         assert database.total_units == 3 * 5  # one query pair per profile
+
+
+def speculative_share_schema():
+    """A speculative 10-unit query (`big`) keyed only by the shared `s`.
+
+    `big` is guarded by a condition on the per-instance `c`, so an
+    instance with flag=0 disables it and finishes at t=2 while the big
+    query it issued speculatively is still in flight.
+    """
+    return DecisionFlowSchema(
+        [
+            Attribute("s"),
+            Attribute("flag"),
+            Attribute("c", task=QueryTask("q_c", ("flag",), lambda v: v["flag"], 2)),
+            Attribute(
+                "big",
+                task=QueryTask("q_big", ("s",), lambda v: f"big-{v['s']}", 10),
+                condition=Comparison("c", Op.EQ, 1),
+            ),
+            Attribute(
+                "t",
+                task=SynthesisTask("s_t", ("c", "big"), lambda v: (v["c"], v["big"])),
+                is_target=True,
+            ),
+        ],
+        name="spec-share",
+    )
+
+
+class TestDrainPolicyWithSharing:
+    """halt_policy='drain' × share_results=True (satellite coverage).
+
+    The issuer of a shared query can finish (its targets stabilize with
+    the speculative attribute disabled) while the query is still in
+    flight; instances that joined the query must still resolve.
+    """
+
+    def run_pair(self, halt_policy):
+        simulation = Simulation()
+        database = IdealDatabase(simulation)
+        engine = Engine(
+            speculative_share_schema(),
+            Strategy.parse("PSE100"),
+            database,
+            halt_policy=halt_policy,
+            share_results=True,
+        )
+        issuer = engine.submit_instance({"s": "k", "flag": 0})
+        waiter = engine.submit_instance({"s": "k", "flag": 1})
+        simulation.run()
+        return issuer, waiter, database
+
+    def test_drain_waiter_resolves_after_issuer_finishes(self):
+        issuer, waiter, database = self.run_pair("drain")
+        assert issuer.done and waiter.done
+        assert issuer.metrics.finish_time == 2.0  # finished with big in flight
+        assert waiter.metrics.finish_time == 10.0  # resolved by the drained query
+        assert waiter.cells["t"].value == (1, "big-k")
+        assert waiter.metrics.shared_joins == 1
+        assert database.total_units == 14  # 2 + 2 + one big(10), never reissued
+
+    def test_drain_books_inflight_units_to_the_issuer(self):
+        issuer, waiter, _ = self.run_pair("drain")
+        assert issuer.metrics.work_units == 12  # its c plus the drained big
+        assert waiter.metrics.work_units == 2  # only its own c
+
+    def test_cancel_policy_spares_queries_with_waiters(self):
+        # Under halt_policy='cancel' the issuer's completion must not kill
+        # the in-flight query, because another instance joined it.
+        issuer, waiter, database = self.run_pair("cancel")
+        assert issuer.done and waiter.done
+        assert waiter.cells["t"].value == (1, "big-k")
+        assert database.total_units == 14
+        assert issuer.metrics.queries_cancelled == 0

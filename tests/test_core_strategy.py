@@ -54,6 +54,44 @@ class TestValueSemantics:
         assert Strategy.parse("PSE80").with_permitted(40).code == "PSE40"
 
 
+class TestReplace:
+    def test_replace_single_field(self):
+        assert Strategy.parse("PSE80").replace(permitted=40).code == "PSE40"
+
+    def test_replace_multiple_fields(self):
+        replaced = Strategy.parse("PCE0").replace(
+            speculative=True, heuristic="cheapest", permitted=100
+        )
+        assert replaced.code == "PSC100"
+
+    def test_replace_preserves_unnamed_fields(self):
+        base = Strategy.parse("NSC25", cancel_unneeded=True)
+        replaced = base.replace(permitted=75)
+        assert replaced.code == "NSC75"
+        assert replaced.cancel_unneeded is True
+
+    def test_replace_returns_new_object(self):
+        base = Strategy.parse("PSE80")
+        assert base.replace(permitted=80) == base
+        assert base.replace(permitted=80) is not base
+        assert base.code == "PSE80"
+
+    def test_replace_unknown_field_rejected(self):
+        with pytest.raises(StrategyError, match="unknown strategy field"):
+            Strategy.parse("PSE80").replace(parallelism=40)
+
+    def test_replace_validates_values(self):
+        with pytest.raises(StrategyError):
+            Strategy.parse("PSE80").replace(permitted=500)
+        with pytest.raises(StrategyError):
+            Strategy.parse("PSE80").replace(heuristic="slowest")
+
+    def test_with_permitted_delegates_to_replace(self):
+        assert Strategy.parse("PSE80").with_permitted(40) == Strategy.parse(
+            "PSE80"
+        ).replace(permitted=40)
+
+
 class TestExpandPattern:
     def test_single_star(self):
         codes = [s.code for s in expand_pattern("PC*100")]
@@ -68,6 +106,17 @@ class TestExpandPattern:
 
     def test_no_star_passthrough(self):
         assert [s.code for s in expand_pattern("PSE80")] == ["PSE80"]
+
+    def test_no_wildcard_yields_exactly_one_strategy(self):
+        for code in ("PSE80", "NCC0", "PCE100"):
+            expanded = expand_pattern(code)
+            assert len(expanded) == 1
+            assert len(set(expanded)) == len(expanded)
+
+    def test_expansion_never_contains_duplicates(self):
+        for pattern in ("PC*100", "P**0", "***50"):
+            expanded = expand_pattern(pattern)
+            assert len(set(expanded)) == len(expanded)
 
     def test_missing_permitted_rejected(self):
         with pytest.raises(StrategyError, match="Permitted"):

@@ -25,6 +25,18 @@ class TestExports:
         for name in simdb.__all__:
             assert hasattr(simdb, name)
 
+    def test_api_reexports(self):
+        import repro.api as api
+
+        for name in api.__all__:
+            assert hasattr(api, name)
+
+    def test_api_facade_importable_from_top_level(self):
+        from repro.api import DecisionService, ExecutionConfig
+
+        assert repro.DecisionService is DecisionService
+        assert repro.ExecutionConfig is ExecutionConfig
+
     def test_analysis_reexports(self):
         import repro.analysis as analysis
 

@@ -2,8 +2,14 @@
 
 import pytest
 
-from repro.simdb.database import DbParams, IdealDatabase, SimulatedDatabase
+from repro.simdb.database import (
+    DbParams,
+    IdealDatabase,
+    ProfiledDatabase,
+    SimulatedDatabase,
+)
 from repro.simdb.des import Simulation
+from repro.simdb.profiler import DbFunction
 
 
 class TestIdealDatabase:
@@ -135,6 +141,50 @@ class TestSimulatedDatabase:
         sim.run()
         assert db.total_units == 5
         assert db.queries_completed == 2
+
+
+class TestProfiledDatabase:
+    RISING = DbFunction(((1.0, 10.0), (2.0, 20.0), (4.0, 40.0)))
+
+    def test_single_query_runs_at_zero_load_unit_time(self):
+        sim = Simulation()
+        db = ProfiledDatabase(sim, self.RISING)
+        done = []
+        db.submit(3, lambda p, c: done.append((p, c)))
+        sim.run()
+        assert done == [(3, True)]
+        assert sim.now == 30.0  # 3 units × Db(1) = 10 ms each
+        assert db.total_units == 3
+
+    def test_contention_slows_units(self):
+        sim = Simulation()
+        db = ProfiledDatabase(sim, self.RISING)
+        db.submit(1, lambda p, c: None)
+        db.submit(1, lambda p, c: None)
+        sim.run()
+        # First submit sees Gmpl 1 (10 ms); second sees Gmpl 2 (20 ms).
+        assert sim.now == 20.0
+        assert db.mean_gmpl() > 1.0
+
+    def test_cancellation_at_unit_boundary(self):
+        sim = Simulation()
+        db = ProfiledDatabase(sim, self.RISING)
+        outcome = []
+        handle = db.submit(5, lambda p, c: outcome.append((p, c)))
+        sim.schedule(12.0, handle.cancel)
+        sim.run()
+        assert outcome == [(2, False)]  # cancelled after the 2nd unit
+        assert db.queries_cancelled == 1
+
+    def test_rejects_non_callable_function(self):
+        with pytest.raises(TypeError):
+            ProfiledDatabase(Simulation(), db_function=3.5)
+
+    def test_rejects_non_positive_unit_time(self):
+        sim = Simulation()
+        db = ProfiledDatabase(sim, lambda gmpl: 0.0)
+        with pytest.raises(ValueError, match="non-positive"):
+            db.submit(1, lambda p, c: None)
 
 
 class TestDbParams:
