@@ -93,6 +93,10 @@ class _SharedWait:
 
     __slots__ = ("key",)
 
+    #: a joined query costs the database nothing, so it must not consume
+    #: a %Permitted parallelism slot in the scheduler's in-flight count.
+    counts_for_parallelism = False
+
     def __init__(self, key: tuple):
         self.key = key
 
@@ -146,6 +150,11 @@ class Engine:
         elif instance_id in self._instance_ids:
             raise ExecutionError(
                 f"duplicate instance id {instance_id!r}: ids must be unique per engine"
+            )
+        if start_time < self.sim.now:
+            raise ExecutionError(
+                f"instance {instance_id!r}: cannot start at past time {start_time} "
+                f"(simulation clock is at {self.sim.now})"
             )
         self._instance_ids.add(instance_id)
         instance = InstanceRuntime(
@@ -225,7 +234,11 @@ class Engine:
                         instance, name, speculative=speculative, shared="hit"
                     )
                 # Deliver asynchronously so state changes stay event-driven.
-                self.sim.schedule(0.0, lambda: self._shared_done(instance, name, cached))
+                # Band 2: zero-delay deliveries fire after any database
+                # completion at the same instant, under either kernel.
+                self.sim.schedule(
+                    0.0, lambda: self._shared_done(instance, name, cached), priority=(2, 0)
+                )
                 return
             if self.share.is_pending(key):
                 instance.metrics.shared_joins += 1

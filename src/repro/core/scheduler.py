@@ -42,11 +42,20 @@ def rank_key(instance: InstanceRuntime, name: str):
 
 
 def select_for_launch(instance: InstanceRuntime) -> list[str]:
-    """The scheduling phase: choose pool members to dispatch right now."""
+    """The scheduling phase: choose pool members to dispatch right now.
+
+    Only real database dispatches count as in flight: joined (shared)
+    queries are zero-cost waits on another instance's query, so they are
+    excluded from the %Permitted cut instead of throttling launches.
+    """
     pool = candidate_pool(instance)
     if not pool:
         return []
-    inflight = len(instance.inflight)
+    inflight = sum(
+        1
+        for handle in instance.inflight.values()
+        if getattr(handle, "counts_for_parallelism", True)
+    )
     total = len(pool) + inflight
     target = max(1, math.ceil(instance.strategy.permitted / 100.0 * total))
     slots = target - inflight

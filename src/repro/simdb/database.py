@@ -1,6 +1,6 @@
 """Database servers: the external systems that execute foreign tasks.
 
-Two implementations of the same submit/complete interface:
+Three implementations of the same submit/complete interface:
 
 * :class:`IdealDatabase` — the *unbounded resources* setting of section 5:
   every unit of processing takes exactly one tick of simulated time and
@@ -13,14 +13,33 @@ Two implementations of the same submit/complete interface:
   ``%IO_hit``, otherwise pays ``IO_delay`` on a disk) and then consumes
   ``unit_cpu_cost`` quanta of CPU.  The clock is in milliseconds; response
   times are the paper's **TimeInSeconds** after division by 1000.
+* :class:`ProfiledDatabase` — an analytic stand-in calibrated by an
+  empirical Db(Gmpl) function; milliseconds, far cheaper than the
+  physical model.
 
-Both track Gmpl — the database multiprogramming level, i.e. the number of
+All track Gmpl — the database multiprogramming level, i.e. the number of
 queries with a unit in process — as a time-weighted average, which the
 analytical model of section 5 consumes.
+
+Cost models
+-----------
+
+``IdealDatabase`` and ``ProfiledDatabase`` default to the **coalesced**
+kernel: a query's trajectory between multiprogramming-level changes is
+analytic (its unit time is constant over that window), so one completion
+event per query replaces one heap event per unit of processing.  Work at
+cancellation is recovered from unit-boundary arithmetic, keeping the
+accounting identical to walking unit by unit.  Pass ``kernel="per-unit"``
+to get the original unit-event reference kernel; the differential test
+suite asserts the two produce identical traces.  ``SimulatedDatabase``
+has no coalesced form — a unit's duration there depends on stochastic
+buffer hits and FCFS queueing, so it is inherently per-visit.
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.simdb.des import Simulation
@@ -34,6 +53,17 @@ __all__ = [
     "SimulatedDatabase",
     "ProfiledDatabase",
 ]
+
+
+def _query_priority(handle: QueryHandle) -> tuple[int, int]:
+    """Same-time tie break for unit/completion events: submission order.
+
+    Band 1 places database events after plain events (instance starts,
+    arrival processes) and before zero-delay result deliveries.  Within
+    the band, queries interleave by submission order under *both* kernels,
+    which is what makes their traces comparable event for event.
+    """
+    return (1, handle.query_id)
 
 
 @dataclass(frozen=True)
@@ -88,13 +118,20 @@ class DatabaseServer:
         self._active = 0
         self._gmpl_integral = 0.0
         self._gmpl_last_change = sim.now
+        # Piecewise-linear integral trace: one (time, integral) point per
+        # distinct change instant, so any window's integral is exact.
+        self._gmpl_times = array("d", [sim.now])
+        self._gmpl_integrals = array("d", [0.0])
 
     # -- Gmpl accounting ----------------------------------------------------
 
     def _change_active(self, delta: int) -> None:
         now = self.sim.now
-        self._gmpl_integral += self._active * (now - self._gmpl_last_change)
-        self._gmpl_last_change = now
+        if now != self._gmpl_last_change:
+            self._gmpl_integral += self._active * (now - self._gmpl_last_change)
+            self._gmpl_last_change = now
+            self._gmpl_times.append(now)
+            self._gmpl_integrals.append(self._gmpl_integral)
         self._active += delta
 
     @property
@@ -103,12 +140,50 @@ class DatabaseServer:
         return self._active
 
     def mean_gmpl(self, since: float = 0.0) -> float:
-        """Time-weighted mean Gmpl from *since* until now."""
-        elapsed = self.sim.now - since
+        """Time-weighted mean Gmpl over the window from *since* until now.
+
+        The mean divides the integral accumulated *inside the window* by
+        the window length, so warmup-trimmed measurements (``since > 0``)
+        are exact rather than inflated by pre-window history.
+        """
+        now = self.sim.now
+        elapsed = now - since
         if elapsed <= 0:
             return 0.0
-        integral = self._gmpl_integral + self._active * (self.sim.now - self._gmpl_last_change)
-        return integral / elapsed
+        total = self._gmpl_integral + self._active * (now - self._gmpl_last_change)
+        return (total - self._gmpl_integral_at(since)) / elapsed
+
+    def trim_gmpl_history(self, keep_since: float) -> int:
+        """Drop Gmpl trace points before *keep_since*; returns the count.
+
+        The windowed-mean trace costs two floats per Gmpl change instant
+        (~2 changes per query), which an unbounded sweep would accumulate
+        forever.  After trimming, ``mean_gmpl(since=t)`` stays exact for
+        any ``t >= keep_since``; windows reaching further back are clamped
+        to the trimmed start.
+        """
+        index = bisect_right(self._gmpl_times, keep_since) - 1
+        if index <= 0:
+            return 0
+        self._gmpl_times = self._gmpl_times[index:]
+        self._gmpl_integrals = self._gmpl_integrals[index:]
+        return index
+
+    def _gmpl_integral_at(self, t: float) -> float:
+        """The Gmpl integral accumulated from the server's start until *t*."""
+        times = self._gmpl_times
+        if t <= times[0]:
+            # Before the recorded trace: zero for a fresh server, the
+            # clamped start for a trimmed one.
+            return self._gmpl_integrals[0]
+        index = bisect_right(times, t) - 1
+        base = self._gmpl_integrals[index]
+        if index == len(times) - 1:
+            slope = float(self._active)
+        else:
+            span = times[index + 1] - times[index]
+            slope = (self._gmpl_integrals[index + 1] - base) / span
+        return base + slope * (t - times[index])
 
     # -- submission ----------------------------------------------------------
 
@@ -119,8 +194,14 @@ class DatabaseServer:
         self._query_seq += 1
         handle = QueryHandle(self._query_seq, cost, self.sim.now)
         self._change_active(+1)
-        self._start_unit(handle, on_complete)
+        self._begin(handle, on_complete)
         return handle
+
+    def _begin(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+        """Start executing a submitted query (kernel-specific)."""
+        self._start_unit(handle, on_complete)
+
+    # -- per-unit reference kernel --------------------------------------------
 
     def _start_unit(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
         raise NotImplementedError
@@ -150,7 +231,111 @@ class DatabaseServer:
         on_complete(handle.processed, completed)
 
 
-class IdealDatabase(DatabaseServer):
+class _CoalescedServer(DatabaseServer):
+    """Shared machinery of the event-coalesced kernels.
+
+    A query's plan lives on its handle: ``units_done`` boundaries already
+    behind it, the absolute end time ``unit_end`` of the unit in service,
+    and the ``unit_time`` every later unit will take.  Exactly one
+    completion event is scheduled per query; cancellation and (for the
+    profiled server) multiprogramming-level changes reschedule it.  Unit
+    boundaries that pass silently are recovered by repeated addition —
+    the same float accumulation the per-unit kernel performs — so Work
+    accounting at cancellation is identical to walking unit by unit.
+    """
+
+    def __init__(
+        self, sim: Simulation, failure_prob: float = 0.0, seed: int = 0, kernel: str = "coalesced"
+    ):
+        if kernel not in ("coalesced", "per-unit"):
+            raise ValueError(f"kernel must be 'coalesced' or 'per-unit', got {kernel!r}")
+        super().__init__(sim, failure_prob, seed)
+        self.kernel = kernel
+        #: live coalesced queries in submission order (query id → plan)
+        self._inflight: dict[int, tuple[QueryHandle, CompletionCallback]] = {}
+
+    def _unit_rate(self) -> float:
+        """Duration of a unit of processing starting now."""
+        raise NotImplementedError
+
+    def _tie_boundary_fired(self, handle: QueryHandle) -> bool:
+        """Has a unit boundary falling exactly *now* already fired?
+
+        Under the per-unit kernel the boundary is a real band-1 event; it
+        precedes the currently executing event iff its priority is lower.
+        Outside any dispatch every same-time event has already run.
+        """
+        current = self.sim.executing_priority
+        return current is None or _query_priority(handle) < current
+
+    def _begin(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+        if self.kernel == "per-unit":
+            self._start_unit(handle, on_complete)
+            return
+        rate = self._unit_rate()
+        handle.unit_time = rate
+        handle.unit_end = self.sim.now + rate
+        self._inflight[handle.query_id] = (handle, on_complete)
+        handle._cancel_hook = lambda: self._on_cancel_request(handle, on_complete)
+        self._arm_completion(handle, on_complete)
+
+    def _arm_completion(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+        """Schedule the freshly planned query's completion (one event each)."""
+        handle._event = self.sim.schedule_at(
+            self._completion_time(handle),
+            lambda: self._complete(handle, on_complete),
+            _query_priority(handle),
+        )
+
+    def _completion_time(self, handle: QueryHandle) -> float:
+        return handle.unit_end + (handle.cost - handle.units_done - 1) * handle.unit_time
+
+    def _complete(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+        del self._inflight[handle.query_id]
+        handle.units_done = handle.cost
+        handle.processed = handle.cost
+        self.total_units += handle.cost
+        self._finish(handle, on_complete, completed=True)
+
+    def _cancel_plan(self, handle: QueryHandle) -> tuple[int, float]:
+        """Final unit count and finish time for a cancellation request now.
+
+        The per-unit contract: the query finishes — cancelled, with every
+        unit up to and including the one in service counted — at the next
+        unit boundary after the request.
+        """
+        now = self.sim.now
+        while handle.unit_end < now and handle.units_done + 1 < handle.cost:
+            handle.units_done += 1
+            handle.unit_end += handle.unit_time
+        if handle.unit_end == now:
+            # A boundary falls exactly at the cancel instant.  If its
+            # per-unit event would already have fired, the next unit is in
+            # service and still completes; otherwise the boundary itself
+            # delivers the cancellation.
+            if self._tie_boundary_fired(handle):
+                return handle.units_done + 2, now + handle.unit_time
+            return handle.units_done + 1, now
+        return handle.units_done + 1, handle.unit_end
+
+    def _on_cancel_request(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+        final, when = self._cancel_plan(handle)
+        if final >= handle.cost:
+            return  # the remaining units complete anyway: too late to cancel
+        handle._event.cancel()
+        handle._event = self.sim.schedule_at(
+            when, lambda: self._cancelled(handle, on_complete, final), _query_priority(handle)
+        )
+
+    def _cancelled(self, handle: QueryHandle, on_complete: CompletionCallback, final: int) -> None:
+        del self._inflight[handle.query_id]
+        handle.units_done = final
+        handle.processed = final
+        self.total_units += final
+        self._finish(handle, on_complete, completed=False)
+
+
+class IdealDatabase(_CoalescedServer):
     """Unbounded resources: one unit of processing per tick, full parallelism."""
 
     def __init__(
@@ -159,14 +344,31 @@ class IdealDatabase(DatabaseServer):
         unit_duration: float = 1.0,
         failure_prob: float = 0.0,
         seed: int = 0,
+        kernel: str = "coalesced",
     ):
-        super().__init__(sim, failure_prob, seed)
+        super().__init__(sim, failure_prob, seed, kernel)
         if unit_duration <= 0:
             raise ValueError(f"unit_duration must be positive, got {unit_duration}")
         self.unit_duration = unit_duration
 
+    def _unit_rate(self) -> float:
+        return self.unit_duration
+
+    def _completion_time(self, handle: QueryHandle) -> float:
+        # Accumulate like the per-unit kernel (one addition per boundary)
+        # so finish instants are bit-identical for *any* unit_duration,
+        # not only the exactly representable ones.
+        when = handle.unit_end
+        for _ in range(handle.cost - handle.units_done - 1):
+            when += handle.unit_time
+        return when
+
     def _start_unit(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
-        self.sim.schedule(self.unit_duration, lambda: self._unit_finished(handle, on_complete))
+        self.sim.schedule(
+            self.unit_duration,
+            lambda: self._unit_finished(handle, on_complete),
+            _query_priority(handle),
+        )
 
 
 class SimulatedDatabase(DatabaseServer):
@@ -204,26 +406,142 @@ class SimulatedDatabase(DatabaseServer):
             )
 
 
-class ProfiledDatabase(DatabaseServer):
+class ProfiledDatabase(_CoalescedServer):
     """Analytic stand-in calibrated by an empirical Db function.
 
-    Each unit of processing takes ``Db(Gmpl)`` milliseconds at the current
-    multiprogramming level — the contention model of Equation (4) applied
-    directly, without simulating individual CPU/disk visits.  It runs
-    orders of magnitude fewer events than :class:`SimulatedDatabase` while
-    preserving the load/response shape of the profiled server, which makes
-    it the cheap substrate for large capacity sweeps.
+    Each unit of processing takes ``Db(Gmpl)`` milliseconds at the
+    multiprogramming level current when the unit starts — the contention
+    model of Equation (4) applied directly, without simulating individual
+    CPU/disk visits.  Gmpl (and hence the unit time) only changes when a
+    query is submitted or finishes, so between changes every in-flight
+    query advances at a known constant rate.
+
+    The coalesced kernel therefore keeps each query's trajectory as three
+    plain fields, re-priced in one arithmetic pass per Gmpl change, and
+    arms a *single* heap event — the earliest due completion — chaining to
+    the next on every dispatch.  Heap traffic is O(Gmpl changes), not
+    O(changes × in-flight), which is what makes this the cheap substrate
+    for large capacity sweeps even under heavy overlap.
     """
 
-    def __init__(self, sim: Simulation, db_function, failure_prob: float = 0.0, seed: int = 0):
-        super().__init__(sim, failure_prob, seed)
+    def __init__(
+        self,
+        sim: Simulation,
+        db_function,
+        failure_prob: float = 0.0,
+        seed: int = 0,
+        kernel: str = "coalesced",
+    ):
+        super().__init__(sim, failure_prob, seed, kernel)
         if not callable(db_function):
             raise TypeError(f"db_function must be callable, got {db_function!r}")
         self.db_function = db_function
+        self._next_event = None
+        self._next_key: tuple[float, int] | None = None
 
-    def _start_unit(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+    def _unit_rate(self) -> float:
         # The submitting query is already counted in Gmpl (>= 1 here).
         unit_ms = float(self.db_function(self.gmpl))
         if unit_ms <= 0:
             raise ValueError(f"Db function returned non-positive UnitTime {unit_ms}")
-        self.sim.schedule(unit_ms, lambda: self._unit_finished(handle, on_complete))
+        return unit_ms
+
+    def _start_unit(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+        self.sim.schedule(
+            self._unit_rate(),
+            lambda: self._unit_finished(handle, on_complete),
+            _query_priority(handle),
+        )
+
+    # -- coalesced planning ----------------------------------------------------
+
+    def _arm_completion(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+        # The submission's Gmpl change already re-priced the others; the
+        # new query only needs to contend for the single armed slot.
+        key = (self._completion_time(handle), handle.query_id)
+        if self._next_key is None or key < self._next_key:
+            self._arm(handle, key)
+
+    def _completion_due(self, handle: QueryHandle) -> float:
+        if handle.cancel_time is not None:
+            return handle.cancel_time
+        return self._completion_time(handle)
+
+    def _change_active(self, delta: int) -> None:
+        super()._change_active(delta)
+        if self._inflight:
+            self._resync_and_arm()
+
+    def _resync_and_arm(self) -> None:
+        """Gmpl changed: re-price every unit that has not started yet.
+
+        The unit in service keeps its duration (resources already
+        committed); units after it take the new ``Db(Gmpl)`` rate, exactly
+        as the per-unit kernel would price them at their own start times.
+        A cancel-planned query's remaining units have all started, so its
+        finish is fixed and it only contends for the armed event.
+        """
+        now = self.sim.now
+        rate = self._unit_rate()
+        best = None
+        best_key = None
+        for handle, _cb in self._inflight.values():
+            if not handle.cancel_requested:
+                old = handle.unit_time
+                while handle.unit_end < now and handle.units_done + 1 < handle.cost:
+                    handle.units_done += 1
+                    handle.unit_end += old
+                if (
+                    handle.unit_end == now
+                    and handle.units_done + 1 < handle.cost
+                    and self._tie_boundary_fired(handle)
+                ):
+                    # That boundary's unit began before this Gmpl change,
+                    # so it was priced at the outgoing rate.
+                    handle.units_done += 1
+                    handle.unit_end += old
+                handle.unit_time = rate
+            key = (self._completion_due(handle), handle.query_id)
+            if best_key is None or key < best_key:
+                best_key, best = key, handle
+        self._arm(best, best_key)
+
+    def _arm(self, handle: QueryHandle | None, key: tuple[float, int] | None) -> None:
+        if self._next_key == key:
+            return
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+        self._next_key = key
+        if handle is None:
+            return
+        when, query_id = key
+        self._next_event = self.sim.schedule_at(
+            when, lambda: self._fire(handle), (1, query_id)
+        )
+
+    def _fire(self, handle: QueryHandle) -> None:
+        self._next_event = None
+        self._next_key = None
+        _handle, on_complete = self._inflight.pop(handle.query_id)
+        if handle.cancel_units is not None:
+            final = handle.cancel_units
+            handle.units_done = final
+            handle.processed = final
+            self.total_units += final
+            self._finish(handle, on_complete, completed=False)
+        else:
+            handle.units_done = handle.cost
+            handle.processed = handle.cost
+            self.total_units += handle.cost
+            self._finish(handle, on_complete, completed=True)
+
+    def _on_cancel_request(self, handle: QueryHandle, on_complete: CompletionCallback) -> None:
+        final, when = self._cancel_plan(handle)
+        if final >= handle.cost:
+            return  # the remaining units complete anyway: too late to cancel
+        handle.cancel_units = final
+        handle.cancel_time = when
+        key = (when, handle.query_id)
+        if self._next_key is None or key < self._next_key:
+            self._arm(handle, key)

@@ -5,6 +5,23 @@ simulate the external database server.  It is a classic event calendar:
 callbacks scheduled at simulated times, executed in (time, sequence) order,
 so simultaneous events run in scheduling order and every run is exactly
 reproducible.
+
+Three properties matter for the coalesced database kernels, which cancel
+and reschedule completion events instead of walking unit by unit:
+
+* :attr:`Simulation.pending` is O(1) — a live counter maintained on
+  schedule/cancel/fire instead of a scan of the calendar;
+* cancelled events are *compacted* away once they dominate the calendar,
+  so a workload that reschedules most of its events keeps the heap (and
+  every push/pop) proportional to the live event count;
+* events carry an explicit *priority* band breaking same-time ties ahead
+  of the scheduling sequence.  A per-unit kernel's tie order at a shared
+  instant is an artifact of when each chain allocated its next event; a
+  coalesced kernel schedules a query's single completion far in advance
+  and could never reproduce that accident.  Priorities replace it with a
+  defined order — database events sort by query submission order in band
+  1, between plain events (band 0) and zero-delay deliveries (band 2) —
+  that both kernels realize identically.
 """
 
 from __future__ import annotations
@@ -17,24 +34,47 @@ from repro.errors import SimulationError
 
 __all__ = ["Event", "Simulation"]
 
+#: Compaction threshold: rebuild the heap once more than this many events
+#: are dead *and* they outnumber the live ones.  Small enough to bound
+#: memory on reschedule-heavy runs, large enough to amortize the rebuild.
+_COMPACT_MIN_CANCELLED = 64
+
+
+#: Default event priority: band 0, no sub-rank — ties resolve by seq.
+DEFAULT_PRIORITY = (0, 0)
+
 
 class Event:
     """A scheduled callback; cancellable until it fires."""
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[[], None],
+        sim: "Simulation | None" = None,
+        priority: tuple[int, int] = DEFAULT_PRIORITY,
+    ):
         self.time = time
+        self.priority = priority
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
 
     def __repr__(self) -> str:
         flag = " cancelled" if self.cancelled else ""
@@ -54,32 +94,72 @@ class Simulation:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._events_executed = 0
+        self._live = 0
+        self._dead_in_queue = 0
+        #: priority of the event whose callback is currently running
+        #: (None outside a dispatch) — lets re-planning code decide whether
+        #: a same-time event with another priority has already fired.
+        self.executing_priority: tuple[int, int] | None = None
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+    def schedule(
+        self, delay: float, fn: Callable[[], None], priority: tuple[int, int] = DEFAULT_PRIORITY
+    ) -> Event:
         """Schedule *fn* to run *delay* time from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn)
+        return self.schedule_at(self.now + delay, fn, priority)
 
-    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
-        """Schedule *fn* at an absolute simulated time."""
+    def schedule_at(
+        self, time: float, fn: Callable[[], None], priority: tuple[int, int] = DEFAULT_PRIORITY
+    ) -> Event:
+        """Schedule *fn* at an absolute simulated time.
+
+        Same-time events fire in (priority, scheduling order).  The
+        database kernels pass band-1 priorities keyed by query submission
+        order so unit boundaries and completions interleave identically
+        under the per-unit and coalesced kernels.
+        """
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time} (now is {self.now})"
             )
-        event = Event(time, next(self._seq), fn)
+        event = Event(time, next(self._seq), fn, self, priority)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
+
+    def _on_cancel(self) -> None:
+        self._live -= 1
+        self._dead_in_queue += 1
+        if (
+            self._dead_in_queue > _COMPACT_MIN_CANCELLED
+            and self._dead_in_queue > self._live
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify what remains."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._dead_in_queue = 0
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False when none remain."""
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._dead_in_queue -= 1
                 continue
             self.now = event.time
+            event.fired = True
+            self._live -= 1
             self._events_executed += 1
-            event.fn()
+            previous = self.executing_priority
+            self.executing_priority = event.priority
+            try:
+                event.fn()
+            finally:
+                self.executing_priority = previous
             return True
         return False
 
@@ -89,6 +169,7 @@ class Simulation:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                self._dead_in_queue -= 1
                 continue
             if until is not None and head.time > until:
                 self.now = until
@@ -99,8 +180,8 @@ class Simulation:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still scheduled."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events still scheduled (O(1))."""
+        return self._live
 
     @property
     def events_executed(self) -> int:

@@ -108,6 +108,23 @@ class TestInstanceIds:
         with pytest.raises(ExecutionError, match="duplicate instance id"):
             engine.submit_instance(source_values, instance_id="job-1")
 
+    def test_submission_at_past_time_rejected_with_context(self):
+        engine, simulation, source_values = self.make_engine()
+        simulation.run(until=5.0)
+        with pytest.raises(ExecutionError, match=r"'job-late'.*past time 3\.0.*clock is at 5\.0"):
+            engine.submit_instance(source_values, at=3.0, instance_id="job-late")
+        # The rejected submission must not leave partial state behind.
+        assert engine.instances == []
+        engine.submit_instance(source_values, at=5.0, instance_id="job-late")
+        simulation.run()
+        assert engine.instances[0].done
+
+    def test_past_submission_error_names_generated_id(self):
+        engine, simulation, source_values = self.make_engine()
+        simulation.run(until=2.0)
+        with pytest.raises(ExecutionError, match="diamond#1"):
+            engine.submit_instance(source_values, at=1.0)
+
     def test_generated_ids_are_unique(self):
         engine, simulation, source_values = self.make_engine()
         first = engine.submit_instance(source_values)

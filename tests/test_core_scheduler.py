@@ -105,3 +105,23 @@ class TestPermittedSelection:
         first = select_for_launch(started("PSE60"))
         second = select_for_launch(started("PSE60"))
         assert first == second
+
+    def test_shared_waits_do_not_consume_slots(self):
+        from repro.core.engine import _SharedWait
+
+        instance = started("PCE50")
+        # Two attributes "launched" as zero-cost joins on another instance's
+        # queries: they must not count toward the %Permitted in-flight total.
+        for name in ("a1", "a2"):
+            instance.launched.add(name)
+            instance.inflight[name] = _SharedWait(("key", name))
+        # pool=2, real inflight=0 → target=ceil(0.5·2)=1 → one real launch.
+        assert len(select_for_launch(instance)) == 1
+
+    def test_real_handles_still_consume_slots(self):
+        instance = started("PCE50")
+        launch = select_for_launch(instance)
+        for name in launch:
+            instance.launched.add(name)
+            instance.inflight[name] = object()  # objects default to counting
+        assert select_for_launch(instance) == []

@@ -279,3 +279,62 @@ class TestDrainPolicyWithSharing:
         assert waiter.cells["t"].value == (1, "big-k")
         assert database.total_units == 14
         assert issuer.metrics.queries_cancelled == 0
+
+
+class TestJoinsAndParallelismBudget:
+    """A joined query is free, so it must not eat a %Permitted slot."""
+
+    @staticmethod
+    def budget_schema():
+        # profile is first in topo order and expensive (shared across
+        # instances); locA/locB depend on a per-instance region, so they
+        # never share.  The target is synthesized from all three.
+        return DecisionFlowSchema(
+            [
+                Attribute("customer"),
+                Attribute("region"),
+                Attribute(
+                    "profile",
+                    task=QueryTask(
+                        "q_profile", ("customer",), lambda v: f"p-{v['customer']}", cost=10
+                    ),
+                ),
+                Attribute(
+                    "locA",
+                    task=QueryTask("q_locA", ("region",), lambda v: f"a-{v['region']}", cost=2),
+                ),
+                Attribute(
+                    "locB",
+                    task=QueryTask("q_locB", ("region",), lambda v: f"b-{v['region']}", cost=4),
+                ),
+                Attribute(
+                    "t",
+                    task=SynthesisTask(
+                        "t_all", ("profile", "locA", "locB"), lambda v: tuple(sorted(v))
+                    ),
+                    is_target=True,
+                ),
+            ]
+        )
+
+    def test_joined_query_does_not_throttle_launches(self):
+        simulation = Simulation()
+        database = IdealDatabase(simulation)
+        engine = Engine(
+            self.budget_schema(),
+            Strategy.parse("PCE50"),
+            database,
+            share_results=True,
+        )
+        engine.submit_instance({"customer": "alice", "region": "eu"}, at=0.0)
+        joiner = engine.submit_instance({"customer": "alice", "region": "us"}, at=0.5)
+        simulation.run()
+        assert joiner.done
+        assert joiner.metrics.shared_joins == 1
+        # Timeline for the joiner: join profile + launch locA at 0.5 (one
+        # real slot of the 50% budget); when locA finishes at 2.5 the join
+        # must not block the remaining slot, so locB runs 2.5 → 6.5 and the
+        # instance completes as soon as the shared profile lands at 10.
+        # Counting the join as in flight would defer locB to t=10 and the
+        # finish to t=14.
+        assert joiner.metrics.finish_time == 10.0

@@ -187,6 +187,159 @@ class TestProfiledDatabase:
             db.submit(1, lambda p, c: None)
 
 
+class TestMeanGmplWindow:
+    """Windowed mean Gmpl must divide the *windowed* integral (bugfix)."""
+
+    @staticmethod
+    def _piecewise_db():
+        # q1 active over [0, 4); q2 over [1, 3) → Gmpl trace:
+        # [0,1): 1   [1,3): 2   [3,4): 1   [4,6]: 0
+        sim = Simulation()
+        db = IdealDatabase(sim)
+        db.submit(4, lambda p, c: None)
+        sim.run(until=1.0)
+        db.submit(2, lambda p, c: None)
+        sim.run(until=6.0)
+        return sim, db
+
+    def test_full_history_mean(self):
+        _, db = self._piecewise_db()
+        assert db.mean_gmpl() == pytest.approx(6.0 / 6.0)
+
+    def test_window_starting_at_change_point(self):
+        _, db = self._piecewise_db()
+        # Integral over [2, 6] = 2·1 + 1·1 = 3; mean = 3/4, not 6/4.
+        assert db.mean_gmpl(since=2.0) == pytest.approx(0.75)
+
+    def test_window_starting_between_change_points(self):
+        _, db = self._piecewise_db()
+        # Integral over [3.5, 6] = 1·0.5 = 0.5; mean = 0.5/2.5.
+        assert db.mean_gmpl(since=3.5) == pytest.approx(0.2)
+
+    def test_window_in_idle_tail_is_zero(self):
+        _, db = self._piecewise_db()
+        assert db.mean_gmpl(since=4.5) == 0.0
+
+    def test_window_with_active_tail(self):
+        sim = Simulation()
+        db = IdealDatabase(sim)
+        db.submit(10, lambda p, c: None)
+        sim.run(until=6.0)
+        # Still active: integral over [2, 6] = 4·1.
+        assert db.mean_gmpl(since=2.0) == pytest.approx(1.0)
+
+    def test_window_before_server_start(self):
+        sim = Simulation()
+        sim.run(until=5.0)
+        db = IdealDatabase(sim)
+        db.submit(2, lambda p, c: None)
+        sim.run()
+        # Nothing existed before t=5; the pre-history contributes zero.
+        assert db.mean_gmpl(since=1.0) == pytest.approx(2.0 / 6.0)
+
+    def test_future_window_is_zero(self):
+        _, db = self._piecewise_db()
+        assert db.mean_gmpl(since=99.0) == 0.0
+
+    def test_trim_bounds_the_trace(self):
+        _, db = self._piecewise_db()
+        before = db.mean_gmpl(since=3.5)
+        dropped = db.trim_gmpl_history(keep_since=3.0)
+        assert dropped > 0
+        # Windows at or after the trim point stay exact ...
+        assert db.mean_gmpl(since=3.5) == pytest.approx(before)
+        assert db.mean_gmpl() != 0.0
+        # ... and trimming again from the same point is a no-op.
+        assert db.trim_gmpl_history(keep_since=3.0) == 0
+
+
+class TestCoalescedKernel:
+    RISING = DbFunction(((1.0, 10.0), (2.0, 20.0), (4.0, 40.0)))
+
+    def test_kernel_argument_validated(self):
+        with pytest.raises(ValueError, match="kernel"):
+            IdealDatabase(Simulation(), kernel="speculative")
+
+    def test_coalesced_is_the_default(self):
+        assert IdealDatabase(Simulation()).kernel == "coalesced"
+        assert ProfiledDatabase(Simulation(), self.RISING).kernel == "coalesced"
+
+    def test_one_event_per_query(self):
+        sim = Simulation()
+        db = IdealDatabase(sim)
+        for _ in range(5):
+            db.submit(40, lambda p, c: None)
+        sim.run()
+        assert db.total_units == 200
+        assert sim.events_executed == 5  # vs 200 under the per-unit kernel
+
+    def test_per_unit_kernel_still_available(self):
+        sim = Simulation()
+        db = IdealDatabase(sim, kernel="per-unit")
+        db.submit(40, lambda p, c: None)
+        sim.run()
+        assert sim.events_executed == 40
+
+    def test_cancel_mid_unit_counts_inflight_unit(self):
+        sim = Simulation()
+        db = IdealDatabase(sim)
+        done = []
+        handle = db.submit(9, lambda p, c: done.append((sim.now, p, c)))
+        sim.run(until=3.4)
+        handle.cancel()
+        sim.run()
+        assert done == [(4.0, 4, False)]
+        assert db.total_units == 4
+
+    def test_cancel_on_last_unit_completes(self):
+        sim = Simulation()
+        db = IdealDatabase(sim)
+        done = []
+        handle = db.submit(3, lambda p, c: done.append((sim.now, p, c)))
+        sim.run(until=2.5)
+        handle.cancel()
+        sim.run()
+        assert done == [(3.0, 3, True)]
+        assert db.queries_cancelled == 0
+
+    def test_profiled_gmpl_change_reprices_future_units_only(self):
+        sim = Simulation()
+        db = ProfiledDatabase(sim, self.RISING)
+        finish = []
+        db.submit(2, lambda p, c: finish.append(sim.now))
+        sim.run(until=5.0)
+        db.submit(1, lambda p, c: finish.append(sim.now))
+        sim.run()
+        # First query: unit 1 at Db(1)=10ms ends at 10 (already started when
+        # the second arrives), unit 2 starts at 10 under Gmpl 2 → 20ms.
+        # Second query: one unit at Db(2)=20ms from t=5.
+        assert finish == [25.0, 30.0]
+
+    def test_fractional_unit_duration_is_bit_identical(self):
+        # 0.1 is not exactly representable: the completion instant must
+        # come from the same float accumulation the per-unit kernel does.
+        finishes = {}
+        for kernel in ("coalesced", "per-unit"):
+            sim = Simulation()
+            db = IdealDatabase(sim, unit_duration=0.1, kernel=kernel)
+            db.submit(11, lambda p, c: None)
+            sim.run()
+            finishes[kernel] = sim.now
+        assert finishes["coalesced"] == finishes["per-unit"]
+
+    def test_work_conservation_under_cancellation_storm(self):
+        for kernel in ("coalesced", "per-unit"):
+            sim = Simulation()
+            db = IdealDatabase(sim, kernel=kernel)
+            handles = [db.submit(7, lambda p, c: None) for _ in range(10)]
+            sim.run(until=3.5)
+            for handle in handles[::2]:
+                handle.cancel()
+            sim.run()
+            assert db.total_units == 5 * 7 + 5 * 4
+            assert db.queries_cancelled == 5
+
+
 class TestDbParams:
     def test_expected_unit_service(self):
         params = DbParams(pct_io_hit=50.0, cpu_ms=8.0, io_delay_ms=5.0)

@@ -75,6 +75,69 @@ class TestCancellation:
         assert not keep.cancelled and drop.cancelled
 
 
+class TestPriorities:
+    def test_priority_orders_same_time_events(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(1.0, lambda: log.append("delivery"), priority=(2, 0))
+        sim.schedule(1.0, lambda: log.append("unit-q2"), priority=(1, 2))
+        sim.schedule(1.0, lambda: log.append("plain"))
+        sim.schedule(1.0, lambda: log.append("unit-q1"), priority=(1, 1))
+        sim.run()
+        assert log == ["plain", "unit-q1", "unit-q2", "delivery"]
+
+    def test_priority_never_overrides_time(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(2.0, lambda: log.append("early-band"), priority=(0, 0))
+        sim.schedule(1.0, lambda: log.append("late-band"), priority=(9, 9))
+        sim.run()
+        assert log == ["late-band", "early-band"]
+
+    def test_executing_priority_visible_during_dispatch(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.executing_priority), priority=(1, 7))
+        assert sim.executing_priority is None
+        sim.run()
+        assert seen == [(1, 7)]
+        assert sim.executing_priority is None
+
+
+class TestCompaction:
+    def test_pending_counter_tracks_lifecycle(self):
+        sim = Simulation()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        assert sim.pending == 4
+        events[0].cancel()
+        assert sim.pending == 3
+        events[0].cancel()  # double-cancel must not double-count
+        assert sim.pending == 3
+        sim.step()
+        assert sim.pending == 2
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulation()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()
+        assert not event.cancelled
+        assert sim.pending == 0
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        sim = Simulation()
+        keep = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        drop = [sim.schedule(1000.0 + i, lambda: None) for i in range(500)]
+        for event in drop:
+            event.cancel()
+        # Compaction is amortized: at any point the calendar holds at most
+        # max(threshold, live) dead events, never the full 500.
+        assert len(sim._queue) - sim.pending <= 65
+        assert sim.pending == 10
+        sim.run()
+        assert sim.events_executed == 10
+
+
 class TestRunControl:
     def test_run_until_stops_clock(self):
         sim = Simulation()
