@@ -121,8 +121,14 @@ def measure_event_rate(instances: int | None = None) -> FigureResult:
     )
 
 
-def test_event_rate(benchmark, report_figure):
-    result = benchmark.pedantic(measure_event_rate, rounds=1, iterations=1)
+def test_event_rate(benchmark, report_figure, quick):
+    if quick and "REPRO_BENCH_EVENT_INSTANCES" not in os.environ:
+        instances = 30
+    else:
+        instances = None
+    result = benchmark.pedantic(
+        measure_event_rate, args=(instances,), rounds=1, iterations=1
+    )
     report_figure(result)
     for backend, per_unit_events, coalesced_events, ratio, *_ in result.rows:
         # Acceptance bar: >= 5x fewer executed events on a cost>=20 workload.

@@ -1,13 +1,42 @@
 """Micro-benchmark: raw engine speed (instances/second of host time).
 
-Not a paper figure — this measures the reproduction itself, so pytest-
-benchmark's statistics are meaningful here (multiple rounds).  It guards
-against accidental algorithmic regressions in the propagation machinery,
-which the paper requires to be linear in the schema size.
+Not a paper figure — this measures the reproduction itself.  Two parts:
+
+* the original single-instance pytest-benchmark probes (PCE0 / PSE100),
+  which guard against accidental algorithmic regressions in the
+  propagation machinery (the paper requires it to be linear in the
+  schema size);
+* the reference-vs-batched sweep: both engines drive the same ideal
+  backend through population sizes of 100 / 1 000 / 10 000 instances and
+  report instances/sec.  The batched engine's compiled plans and flat
+  array state must deliver **>= 3x** throughput on the 1 000-instance
+  sweep — the PR-2 ROADMAP baseline showed the coalesced DES kernels
+  left per-instance attribute propagation as the scaling bottleneck, and
+  this is the gate that keeps it fixed.
+
+``--quick`` (CI smoke) shrinks the sweep to 50/200 instances and relaxes
+the gate to a catastrophic-regression tripwire.
 """
 
-from repro import PatternParams, Strategy, generate_pattern
+from __future__ import annotations
+
+import time
+
+from repro import (
+    BatchedEngine,
+    Engine,
+    IdealDatabase,
+    PatternParams,
+    Simulation,
+    Strategy,
+    generate_pattern,
+)
 from repro.bench import run_pattern_once
+from repro.bench.figures import FigureResult
+
+#: Ratio gates for the 1k sweep (full) and the 200-instance smoke (quick).
+FULL_TARGET = 3.0
+QUICK_TARGET = 1.5
 
 
 def test_engine_throughput_pce0(benchmark):
@@ -22,3 +51,57 @@ def test_engine_throughput_pse100(benchmark):
     strategy = Strategy.parse("PSE100")
     metrics = benchmark(run_pattern_once, pattern, strategy)
     assert metrics.done
+
+
+# -- reference vs batched sweep ------------------------------------------------
+
+
+def _sweep(engine_cls, pattern, code: str, instances: int) -> tuple[float, int]:
+    """Run *instances* concurrent instances to completion; returns
+    (instances/sec of host time, total Work) for cross-engine checking."""
+    sim = Simulation()
+    engine = engine_cls(pattern.schema, Strategy.parse(code), IdealDatabase(sim))
+    started = time.perf_counter()
+    for _ in range(instances):
+        engine.submit_instance(pattern.source_values)
+    sim.run()
+    host_seconds = time.perf_counter() - started
+    assert all(instance.done for instance in engine.instances)
+    return instances / host_seconds, engine.database.total_units
+
+
+def measure_engine_throughput(counts, code: str = "PSE100") -> FigureResult:
+    pattern = generate_pattern(PatternParams(nb_rows=4, pct_enabled=50, seed=7))
+    rows = []
+    for count in counts:
+        reference_rate, reference_work = _sweep(Engine, pattern, code, count)
+        batched_rate, batched_work = _sweep(BatchedEngine, pattern, code, count)
+        assert batched_work == reference_work, "engines disagree on Work"
+        rows.append(
+            [count, reference_rate, batched_rate, batched_rate / reference_rate]
+        )
+    return FigureResult(
+        figure_id="Bench engine throughput",
+        title=f"engine throughput, reference vs batched ({code}, ideal backend)",
+        headers=["instances", "reference inst/s", "batched inst/s", "speedup"],
+        rows=rows,
+        notes=[
+            "identical total Work under both engines is asserted before reporting",
+            "batched = compiled plan + flat array state + incremental candidate pool",
+            f"gate: >= {FULL_TARGET:g}x on the 1k sweep (full mode)",
+        ],
+    )
+
+
+def test_reference_vs_batched_throughput(report_figure, quick):
+    counts = (50, 200) if quick else (100, 1_000, 10_000)
+    result = report_figure(measure_engine_throughput(counts))
+    speedups = {row[0]: row[3] for row in result.rows}
+    if quick:
+        assert speedups[200] >= QUICK_TARGET, (
+            f"batched engine only {speedups[200]:.2f}x at 200 instances"
+        )
+    else:
+        assert speedups[1_000] >= FULL_TARGET, (
+            f"batched engine only {speedups[1_000]:.2f}x at 1k instances"
+        )

@@ -3,7 +3,10 @@
 Every benchmark regenerates one table/figure of the paper and both prints
 it and writes it under ``results/``.  Scale knobs (seed count, instance
 counts) default to values that keep the full suite at laptop scale; set
-``REPRO_BENCH_SEEDS`` to trade time for tighter averages.
+``REPRO_BENCH_SEEDS`` to trade time for tighter averages, or pass
+``--quick`` for the reduced-size smoke configuration CI runs on every
+push (fewer seeds, smaller sweeps, assertions relaxed to regression
+tripwires).
 """
 
 from __future__ import annotations
@@ -16,27 +19,47 @@ import pytest
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="reduced-size benchmark smoke: fewer seeds and smaller sweeps",
+    )
+
+
 @pytest.fixture(scope="session")
-def bench_seeds() -> tuple[int, ...]:
+def quick(request) -> bool:
+    """True when the suite runs in the reduced-size smoke configuration."""
+    return bool(request.config.getoption("--quick"))
+
+
+@pytest.fixture(scope="session")
+def bench_seeds(quick) -> tuple[int, ...]:
     """Pattern seeds each figure averages over."""
-    count = int(os.environ.get("REPRO_BENCH_SEEDS", "6"))
+    count = int(os.environ.get("REPRO_BENCH_SEEDS", "2" if quick else "6"))
     return tuple(range(count))
 
 
 @pytest.fixture
-def report_figure(capsys):
-    """Print a FigureResult and persist it to results/<figure_id>.txt."""
+def report_figure(capsys, quick):
+    """Print a FigureResult and persist it to results/<figure_id>.txt.
+
+    ``--quick`` runs print only: their reduced sweeps must not clobber
+    the recorded full-size baselines under ``results/``.
+    """
 
     def _report(result):
-        RESULTS_DIR.mkdir(exist_ok=True)
         text = result.render()
-        slug = (
-            result.figure_id.lower()
-            .replace(" ", "_")
-            .replace("(", "")
-            .replace(")", "")
-        )
-        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+        if not quick:
+            RESULTS_DIR.mkdir(exist_ok=True)
+            slug = (
+                result.figure_id.lower()
+                .replace(" ", "_")
+                .replace("(", "")
+                .replace(")", "")
+            )
+            (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
         with capsys.disabled():
             print()
             print(text)

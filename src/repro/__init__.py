@@ -45,6 +45,8 @@ from repro.core import (
     Comparison,
     CompleteSnapshot,
     Condition,
+    BatchedEngine,
+    CompiledPlan,
     DecisionFlowSchema,
     Engine,
     FALSE,
@@ -144,6 +146,8 @@ __all__ = [
     "is_exception",
     # engine
     "Engine",
+    "BatchedEngine",
+    "CompiledPlan",
     "ResultShare",
     "Strategy",
     "expand_pattern",

@@ -3,7 +3,9 @@
 This package is the canonical entry point for executing decision flows:
 
 * :class:`ExecutionConfig` — one immutable value holding every execution
-  knob (strategy, %Permitted, halt policy, result sharing, backend).
+  knob (strategy, %Permitted, halt policy, result sharing, backend, and
+  the ``engine`` selector: the name-keyed ``"reference"`` engine or the
+  compiled-plan ``"batched"`` engine for large instance populations).
 * The **backend registry** — named database substrates (``"ideal"``,
   ``"bounded"``, ``"profiled"``) behind :func:`create_backend`, extensible
   via :func:`register_backend`.

@@ -18,9 +18,14 @@ from typing import Any, Mapping
 from repro.core.strategy import Strategy
 from repro.errors import StrategyError
 
-__all__ = ["ExecutionConfig", "HALT_POLICIES"]
+__all__ = ["ExecutionConfig", "HALT_POLICIES", "ENGINES"]
 
 HALT_POLICIES = ("cancel", "drain")
+
+#: Execution-engine implementations selectable per config: the name-keyed
+#: reference engine, or the compiled-plan batched engine (identical
+#: observable semantics, faster on multi-instance sweeps).
+ENGINES = ("reference", "batched")
 
 #: Fields that live on the nested Strategy but are accepted by
 #: ``ExecutionConfig.replace`` / ``from_code`` for convenience.
@@ -35,7 +40,10 @@ class ExecutionConfig:
     string such as ``"PSE80"`` (coerced at construction).  ``backend``
     names a registered backend factory (``"ideal"``, ``"bounded"``,
     ``"profiled"``, or any third-party registration); ``backend_options``
-    are forwarded to that factory.
+    are forwarded to that factory.  ``engine`` selects the execution
+    engine: ``"reference"`` (the name-keyed paper engine) or
+    ``"batched"`` (compiled flow plans + flat array state; identical
+    observable behavior, built for large instance populations).
     """
 
     strategy: Strategy = field(default_factory=Strategy)
@@ -43,6 +51,7 @@ class ExecutionConfig:
     share_results: bool = False
     backend: str = "ideal"
     backend_options: Mapping[str, Any] = field(default_factory=dict)
+    engine: str = "reference"
 
     def __post_init__(self):
         if isinstance(self.strategy, str):
@@ -57,6 +66,8 @@ class ExecutionConfig:
             )
         if not isinstance(self.backend, str) or not self.backend:
             raise ValueError(f"backend must be a non-empty name string, got {self.backend!r}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
         # Freeze the options mapping so the config stays a value.
         object.__setattr__(
             self, "backend_options", MappingProxyType(dict(self.backend_options))
@@ -124,6 +135,8 @@ class ExecutionConfig:
 
     def __repr__(self) -> str:
         extras = []
+        if self.engine != "reference":
+            extras.append(f"engine={self.engine}")
         if self.halt_policy != "cancel":
             extras.append(f"halt={self.halt_policy}")
         if self.share_results:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.api.backends import Backend, create_backend
-from repro.api.config import ExecutionConfig
+from repro.api.config import ENGINES, ExecutionConfig
 from repro.api.events import (
     EventLog,
     InstanceCompleteEvent,
@@ -26,6 +26,7 @@ from repro.api.events import (
     QueryDoneEvent,
     _Dispatcher,
 )
+from repro.core.batch_engine import BatchedEngine
 from repro.core.engine import Engine
 from repro.core.instance import InstanceRuntime
 from repro.core.metrics import InstanceMetrics, MetricsSummary, summarize
@@ -34,6 +35,17 @@ from repro.core.strategy import Strategy
 from repro.errors import ExecutionError
 
 __all__ = ["DecisionService", "InstanceHandle"]
+
+#: Engine implementations behind ``ExecutionConfig.engine``; kept in
+#: lockstep with the validation list in :data:`repro.api.config.ENGINES`
+#: so a config that validates always resolves here.
+_ENGINE_CLASSES = {"reference": Engine, "batched": BatchedEngine}
+
+if set(_ENGINE_CLASSES) != set(ENGINES):  # pragma: no cover
+    raise AssertionError(
+        f"engine registry drift: config declares {ENGINES}, "
+        f"service implements {tuple(_ENGINE_CLASSES)}"
+    )
 
 
 class InstanceHandle:
@@ -144,7 +156,8 @@ class DecisionService:
         self.schema = schema
         self.config = config
         self._dispatcher = _Dispatcher(lambda: self.backend.simulation.now)
-        self.engine = Engine(
+        engine_cls = _ENGINE_CLASSES[config.engine]
+        self.engine = engine_cls(
             schema,
             config.strategy,
             self.backend.database,
@@ -262,8 +275,15 @@ class DecisionService:
         return tuple(h for h in self._handles if h.done)
 
     def summary(self) -> MetricsSummary:
-        """Aggregate metrics over all finished instances."""
-        return summarize(h.metrics for h in self._handles if h.done)
+        """Aggregate metrics over all finished instances.
+
+        A service with no finished instances (nothing submitted yet, or
+        everything still in flight) summarizes to a zeroed
+        :class:`MetricsSummary` with ``count == 0`` rather than raising.
+        """
+        return summarize(
+            (h.metrics for h in self._handles if h.done), empty_ok=True
+        )
 
     # -- observation ----------------------------------------------------------
 

@@ -13,10 +13,12 @@ from repro.core.conditions import (
     conjoin,
     resolver_from_mapping,
 )
+from repro.core.batch_engine import BatchedEngine, BatchedInstance
 from repro.core.engine import Engine
 from repro.core.graph import DependencyGraph, EdgeKind
 from repro.core.instance import InstanceRuntime
 from repro.core.metrics import InstanceMetrics, MetricsSummary, summarize
+from repro.core.plan import CompiledPlan, compile_condition
 from repro.core.module import Module, flatten
 from repro.core.predicates import (
     AttrRef,
@@ -28,7 +30,7 @@ from repro.core.predicates import (
     attr,
 )
 from repro.core.prequalifier import candidate_pool
-from repro.core.propagation import NeededTracker
+from repro.core.propagation import EdgeTable, NeededTracker, edge_table
 from repro.core.sharing import ResultShare, freeze, share_key
 from repro.core.rules import CombiningPolicy, Rule, RuleSetTask, rule_set
 from repro.core.scheduler import rank_key, select_for_launch
@@ -116,6 +118,12 @@ __all__ = [
     "expand_pattern",
     "ALL_STRATEGY_CODES",
     "Engine",
+    "BatchedEngine",
+    "BatchedInstance",
+    "CompiledPlan",
+    "compile_condition",
+    "EdgeTable",
+    "edge_table",
     "InstanceRuntime",
     "InstanceMetrics",
     "MetricsSummary",

@@ -1,0 +1,635 @@
+"""The batched multi-instance engine: compiled plans over flat array state.
+
+:class:`BatchedEngine` executes the same algorithm as the reference
+:class:`~repro.core.engine.Engine` — identical launches, identical
+metrics, identical observer events — but stores per-instance attribute
+state in flat per-flow arrays indexed by a
+:class:`~repro.core.plan.CompiledPlan` instead of dict-keyed
+:class:`~repro.core.instance.InstanceRuntime` graphs:
+
+* readiness/enablement live in ``bytearray``s, pending-input counts in a
+  plain int list, and the evaluation phase walks int-encoded consumer
+  lists — no per-attribute cell objects, no string hashing in the hot
+  propagation loop;
+* enabling conditions run as plan-compiled closures over the stable-value
+  list, and the backward-propagation dead-edge analysis operates on the
+  plan's pre-cascaded edge arrays;
+* the prequalifier pool is maintained *incrementally* (an attribute
+  enters candidacy when it becomes READY or its condition enables) and
+  the scheduling phase sorts precomputed scalar ranks, instead of
+  re-scanning and re-keying the whole schema between DES events;
+* instances created from identical source values replay a cached start
+  state (one array copy) rather than re-deriving the initial
+  propagation fixpoint per instance — enabled only for schemas whose
+  start phase runs no user code (no synthesis tasks, no user-coded
+  conditions), since those must execute per instance.
+
+The engine-level event handling (query completion, sharing, halting) is
+*inherited* from the reference engine, so the two can only diverge in
+the instance layer — which the differential harness in
+``tests/test_engine_differential.py`` pins down property-by-property.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.engine import Engine
+from repro.core.metrics import InstanceMetrics
+from repro.core.conditions import UNRESOLVED
+from repro.core.plan import (
+    CompiledPlan,
+    E_DISABLED,
+    E_ENABLED,
+    E_UNKNOWN,
+    R_COMPUTED,
+    R_PENDING,
+    R_READY,
+    T_TRUE,
+    T_UNKNOWN,
+)
+from repro.core.scheduler import permitted_slots
+from repro.core.state import AttributeState, Enablement, Readiness, derive_state
+from repro.errors import ExecutionError, IllegalTransitionError
+from repro.nulls import NULL
+
+__all__ = ["BatchedEngine", "BatchedInstance"]
+
+
+class _BatchCell:
+    """Read-only cell adapter over one attribute of a batched instance.
+
+    Presents the :class:`~repro.core.state.AttributeCell` surface
+    (``state``/``stable``/``value``/...) that handles, observers, and the
+    inherited engine paths read, backed by the flat arrays.
+    """
+
+    __slots__ = ("_instance", "_index", "name")
+
+    def __init__(self, instance: "BatchedInstance", index: int):
+        self._instance = instance
+        self._index = index
+        self.name = instance.plan.names[index]
+
+    @property
+    def readiness(self) -> Readiness:
+        return Readiness(self._instance._readiness[self._index])
+
+    @property
+    def enablement(self) -> Enablement:
+        return Enablement(self._instance._enablement[self._index])
+
+    @property
+    def state(self) -> AttributeState:
+        return derive_state(self.readiness, self.enablement)
+
+    @property
+    def stable(self) -> bool:
+        return self._instance._sv[self._index] is not UNRESOLVED
+
+    @property
+    def value(self) -> object:
+        value = self._instance._sv[self._index]
+        if value is UNRESOLVED:
+            raise ValueError(f"attribute {self.name!r} is not stable (state {self.state})")
+        return value
+
+    @property
+    def speculative_value(self) -> object:
+        if self._instance._readiness[self._index] != R_COMPUTED:
+            raise ValueError(f"attribute {self.name!r} has no computed value")
+        return self._instance._raw[self._index]
+
+    def __repr__(self) -> str:
+        return f"<_BatchCell {self.name} {self.state.value}>"
+
+
+class _CellMap:
+    """Name-keyed mapping view materializing :class:`_BatchCell` adapters."""
+
+    __slots__ = ("_instance",)
+
+    def __init__(self, instance: "BatchedInstance"):
+        self._instance = instance
+
+    def __getitem__(self, name: str) -> _BatchCell:
+        return _BatchCell(self._instance, self._instance.plan.index[name])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instance.plan.index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._instance.plan.names)
+
+    def __len__(self) -> int:
+        return self._instance.plan.n
+
+    def items(self):
+        for name in self._instance.plan.names:
+            yield name, self[name]
+
+
+class BatchedInstance:
+    """One flow instance as flat arrays over a :class:`CompiledPlan`.
+
+    Mirrors the :class:`InstanceRuntime` contract attribute for
+    attribute; every mutator replicates the corresponding reference code
+    path (same traversal order, same metric increments, same error
+    types), so the engines' observable traces cannot diverge.
+    """
+
+    __slots__ = (
+        "plan",
+        "schema",
+        "strategy",
+        "instance_id",
+        "done",
+        "metrics",
+        "inflight",
+        "speculative_launch",
+        "_readiness",
+        "_enablement",
+        "_raw",
+        "_sv",
+        "_pending",
+        "_launched",
+        "_alive",
+        "_live_out",
+        "_unneeded",
+        "_external",
+        "_cand",
+        "_queue",
+        "_started",
+        "_start_key",
+        "_sources",
+    )
+
+    def __init__(
+        self,
+        plan: CompiledPlan,
+        instance_id: str,
+        source_values: Mapping[str, object],
+        start_time: float,
+    ):
+        self.plan = plan
+        self.schema = plan.schema
+        self.strategy = plan.strategy
+        self.instance_id = instance_id
+        self.done = False
+        self.metrics = InstanceMetrics(instance_id=instance_id, start_time=start_time)
+
+        missing = set(plan.schema.source_names) - set(source_values)
+        if missing:
+            raise ExecutionError(f"missing source values: {sorted(missing)}")
+
+        n = plan.n
+        self._readiness = bytearray(plan.readiness0)
+        self._enablement = bytearray(plan.enablement0)
+        self._raw: list[object] = [None] * n
+        self._sv: list[object] = [UNRESOLVED] * n
+        sources = {name: source_values[name] for name in plan.schema.source_names}
+        self._sources = sources
+        for name, value in sources.items():
+            i = plan.index[name]
+            self._raw[i] = value
+            self._sv[i] = value
+        self._start_key = plan.start_key(sources) if plan.start_cache_ok else None
+        self._pending = list(plan.pending0)
+        self._launched = bytearray(n)
+        if plan.strategy.propagation:
+            self._alive: bytearray | None = bytearray(plan.alive0)
+            self._live_out: list[int] | None = list(plan.live_out0)
+            self._unneeded: bytearray | None = bytearray(plan.unneeded0)
+            self._external: bytearray | None = bytearray(plan.external0)
+        else:
+            self._alive = None
+            self._live_out = None
+            self._unneeded = None
+            self._external = None
+
+        #: in-flight query handles keyed by attribute name (engine-facing)
+        self.inflight: dict[str, object] = {}
+        #: attribute names launched while their condition was UNKNOWN
+        self.speculative_launch: set[str] = set()
+        #: incrementally maintained candidate-pool members (indices)
+        self._cand: set[int] = set()
+        self._queue: deque[int] = deque()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Initial evaluation phase, replayed from the plan cache when hot."""
+        if self._started:
+            raise ExecutionError(f"instance {self.instance_id} already started")
+        self._started = True
+        plan = self.plan
+        cached = (
+            plan.lookup_start(self._start_key) if self._start_key is not None else None
+        )
+        if cached is not None:
+            (
+                readiness,
+                enablement,
+                raw,
+                sv,
+                pending,
+                alive,
+                live_out,
+                unneeded,
+                external,
+                cand,
+                synth_count,
+            ) = cached
+            self._readiness = bytearray(readiness)
+            self._enablement = bytearray(enablement)
+            self._raw = list(raw)
+            self._sv = list(sv)
+            # The snapshot's source slots hold the first submitter's
+            # objects; re-install this instance's own (typed-==-equal)
+            # values so caller objects are never aliased across
+            # instances.  Cacheable schemas run no tasks during start,
+            # so source slots are the only value-bearing entries.
+            index = plan.index
+            for name, value in self._sources.items():
+                i = index[name]
+                self._raw[i] = value
+                self._sv[i] = value
+            self._pending = list(pending)
+            if alive is not None:
+                self._alive = bytearray(alive)
+                self._live_out = list(live_out)
+                self._unneeded = bytearray(unneeded)
+                self._external = bytearray(external)
+            self._cand = set(cand)
+            self.metrics.synthesis_executed = synth_count
+            return
+        for i in plan.non_source_idx:
+            if self._pending[i] == 0:
+                self._mark_ready(i)
+        for i in plan.non_source_idx:
+            self._try_resolve_condition(i)
+        self.drain()
+        if self._start_key is None:
+            return
+        plan.remember_start(self._start_key, (
+            bytes(self._readiness),
+            bytes(self._enablement),
+            tuple(self._raw),
+            tuple(self._sv),
+            tuple(self._pending),
+            bytes(self._alive) if self._alive is not None else None,
+            tuple(self._live_out) if self._live_out is not None else None,
+            bytes(self._unneeded) if self._unneeded is not None else None,
+            bytes(self._external) if self._external is not None else None,
+            frozenset(self._cand),
+            self.metrics.synthesis_executed,
+        ))
+
+    def targets_stable(self) -> bool:
+        sv = self._sv
+        for i in self.plan.target_idx:
+            if sv[i] is UNRESOLVED:
+                return False
+        return True
+
+    # -- evaluation phase ----------------------------------------------------
+
+    def drain(self) -> None:
+        """Propagate stability/condition/synthesis consequences to a fixpoint."""
+        queue = self._queue
+        while True:
+            while queue:
+                self._on_stabilized(queue.popleft())
+            if not self._run_inline_synthesis():
+                break
+
+    def _mark_ready(self, i: int) -> None:
+        if self._readiness[i] != R_PENDING:
+            raise IllegalTransitionError(
+                f"{self.plan.names[i]}: mark_ready in readiness {Readiness(self._readiness[i])}"
+            )
+        self._readiness[i] = R_READY
+        if self.plan.is_query[i] and not self._launched[i]:
+            self._cand.add(i)
+
+    def _on_stabilized(self, i: int) -> None:
+        plan = self.plan
+        if self._alive is not None:
+            if self._external[i]:
+                self._external[i] = 0
+                self._decrement_live(i)
+            self._kill_in_edges(i, data=True, cond=True)
+        pending = self._pending
+        readiness = self._readiness
+        for consumer in plan.data_consumers[i]:
+            pending[consumer] -= 1
+            if pending[consumer] == 0 and readiness[consumer] == R_PENDING:
+                self._mark_ready(consumer)
+        for consumer in plan.enabling_consumers[i]:
+            self._try_resolve_condition(consumer)
+
+    def _try_resolve_condition(self, i: int) -> None:
+        if self._enablement[i] != E_UNKNOWN:
+            return
+        plan = self.plan
+        if self.strategy.propagation:
+            result = plan.cond_eval[i](self._sv)
+            if result == T_UNKNOWN:
+                return
+            truth = result == T_TRUE
+        else:
+            sv = self._sv
+            for ref in plan.cond_refs[i]:
+                if sv[ref] is UNRESOLVED:
+                    return
+            result = plan.cond_eval[i](sv)
+            if result == T_UNKNOWN:
+                # Mirrors Condition.eval_bool on an undetermined condition.
+                raise ValueError(
+                    f"condition of {plan.names[i]!r} is undetermined with stable inputs"
+                )
+            truth = result == T_TRUE
+        self._resolve_condition(i, truth)
+
+    def _resolve_condition(self, i: int, truth: bool) -> None:
+        plan = self.plan
+        was_computed = self._readiness[i] == R_COMPUTED
+        if truth:
+            self._enablement[i] = E_ENABLED
+            stable = was_computed
+            if stable:
+                self._sv[i] = self._raw[i]
+            elif (
+                self._readiness[i] == R_READY
+                and plan.is_query[i]
+                and not self._launched[i]
+            ):
+                self._cand.add(i)
+        else:
+            self._enablement[i] = E_DISABLED
+            stable = True
+            self._sv[i] = NULL
+            if was_computed and plan.names[i] in self.speculative_launch:
+                # The speculative query already completed; its result is now
+                # discarded — the full cost was wasted work.
+                self.metrics.speculative_wasted_queries += 1
+                self.metrics.speculative_wasted_units += plan.cost[i]
+        if self._alive is not None:
+            self._kill_in_edges(i, data=False, cond=True)
+        if stable:
+            self._queue.append(i)
+
+    def _set_computed(self, i: int, value: object) -> None:
+        if self._readiness[i] != R_READY:
+            raise IllegalTransitionError(
+                f"{self.plan.names[i]}: set_computed in readiness {Readiness(self._readiness[i])}"
+            )
+        self._readiness[i] = R_COMPUTED
+        self._raw[i] = value
+        enablement = self._enablement[i]
+        if enablement == E_ENABLED:
+            self._sv[i] = value
+            self._queue.append(i)
+        elif enablement == E_UNKNOWN and self._alive is not None:
+            self._kill_in_edges(i, data=True, cond=False)
+
+    def _run_inline_synthesis(self) -> bool:
+        """Execute every currently eligible synthesis task; True if any ran."""
+        ran = False
+        plan = self.plan
+        for i in plan.synth_idx:
+            if not self._is_executable(i):
+                continue
+            values = self._input_values(i)
+            self.metrics.synthesis_executed += 1
+            self._set_computed(i, plan.tasks[i].compute(values))
+            ran = True
+        return ran
+
+    def _is_executable(self, i: int) -> bool:
+        if self._readiness[i] != R_READY:
+            return False
+        enablement = self._enablement[i]
+        if enablement == E_DISABLED:
+            return False
+        if enablement == E_UNKNOWN and not self.strategy.speculative:
+            return False
+        if self._unneeded is not None and self._unneeded[i]:
+            return False
+        return True
+
+    def _input_values(self, i: int) -> dict[str, object]:
+        """Stable input values of attribute *i*'s task (READY invariant)."""
+        sv = self._sv
+        values: dict[str, object] = {}
+        for name, j in self.plan.task_inputs[i]:
+            value = sv[j]
+            if value is UNRESOLVED:
+                raise ExecutionError(f"{self.instance_id}: input {name!r} not stable")
+            values[name] = value
+        return values
+
+    # -- backward propagation (dead-edge analysis over plan arrays) ---------
+    #
+    # Index-based twin of NeededTracker._kill_in_edges/_decrement/
+    # _mark_unneeded (propagation.py) — change them together.  The
+    # differential suite compares unneeded detection between the engines
+    # on every scenario.
+
+    def _kill_in_edges(self, child: int, data: bool, cond: bool) -> None:
+        table = self.plan.edges
+        alive = self._alive
+        if data:
+            for edge_id, parent in table.data_in[child]:
+                if alive[edge_id]:
+                    alive[edge_id] = 0
+                    self._decrement_live(parent)
+        if cond:
+            for edge_id, parent in table.cond_in[child]:
+                if alive[edge_id]:
+                    alive[edge_id] = 0
+                    self._decrement_live(parent)
+
+    def _decrement_live(self, i: int) -> None:
+        self._live_out[i] -= 1
+        if self._live_out[i] == 0 and not self._unneeded[i]:
+            self._unneeded[i] = 1
+            self._kill_in_edges(i, data=True, cond=True)
+
+    # -- query results --------------------------------------------------------
+
+    def apply_query_result(self, name: str, value: object) -> bool:
+        """Install a completed query's value.  Returns False if discarded
+        (the attribute was disabled while the query was in flight)."""
+        i = self.plan.index[name]
+        if self._enablement[i] == E_DISABLED:
+            if self._readiness[i] == R_READY:
+                # retained as diagnostic only
+                self._readiness[i] = R_COMPUTED
+                self._raw[i] = value
+            return False
+        self._set_computed(i, value)
+        return True
+
+    # -- finalization -----------------------------------------------------------
+
+    def finalize_metrics(self) -> None:
+        """Fill end-of-instance attribute counters into the metrics record."""
+        plan = self.plan
+        value_count = disabled_count = unstable = 0
+        readiness = self._readiness
+        enablement = self._enablement
+        for i in plan.non_source_idx:
+            e = enablement[i]
+            if e == E_DISABLED:
+                disabled_count += 1
+            elif e == E_ENABLED and readiness[i] == R_COMPUTED:
+                value_count += 1
+            else:
+                unstable += 1
+        self.metrics.attrs_value = value_count
+        self.metrics.attrs_disabled = disabled_count
+        self.metrics.attrs_unstable = unstable
+        if self._unneeded is not None:
+            sv = self._sv
+            launched = self._launched
+            detected = 0
+            avoided = 0
+            for i in range(plan.n):
+                if self._unneeded[i] and sv[i] is UNRESOLVED:
+                    detected += 1
+                    if not launched[i]:
+                        avoided += plan.cost[i]
+            self.metrics.unneeded_detected = detected
+            self.metrics.unneeded_cost_avoided = avoided
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def cells(self) -> _CellMap:
+        """Name-keyed cell view (adapter parity with InstanceRuntime)."""
+        return _CellMap(self)
+
+    def stable_values(self, names: Sequence[str]) -> dict[str, object]:
+        values: dict[str, object] = {}
+        for name in names:
+            value = self._sv[self.plan.index[name]]
+            if value is UNRESOLVED:
+                raise ExecutionError(f"{self.instance_id}: input {name!r} not stable")
+            values[name] = value
+        return values
+
+    def state_map(self) -> dict[str, AttributeState]:
+        return {
+            name: derive_state(
+                Readiness(self._readiness[i]), Enablement(self._enablement[i])
+            )
+            for i, name in enumerate(self.plan.names)
+        }
+
+    def value_map(self) -> dict[str, object]:
+        sv = self._sv
+        return {
+            name: sv[i]
+            for i, name in enumerate(self.plan.names)
+            if sv[i] is not UNRESOLVED
+        }
+
+    def __repr__(self) -> str:
+        flag = " done" if self.done else ""
+        return f"<BatchedInstance {self.instance_id}{flag}>"
+
+
+class BatchedEngine(Engine):
+    """Executes decision-flow instances via a compiled plan and flat state.
+
+    A drop-in replacement for the reference :class:`Engine` (same
+    constructor, same submit/run surface, same observer hooks, same
+    error behavior) selected through
+    ``ExecutionConfig(engine="batched")``.  The submit path, query
+    completion, sharing, and halting logic are inherited; only instance
+    construction, the evaluation phase, and launch selection are
+    replaced by their array-based equivalents.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.plan = CompiledPlan(self.schema, self.strategy)
+
+    def _make_instance(
+        self,
+        source_values: Mapping[str, object],
+        instance_id: str,
+        start_time: float,
+    ) -> BatchedInstance:
+        return BatchedInstance(self.plan, instance_id, source_values, start_time)
+
+    def _tracks_unneeded(self, instance: BatchedInstance) -> bool:
+        return instance._unneeded is not None
+
+    def _is_unneeded(self, instance: BatchedInstance, name: str) -> bool:
+        return bool(instance._unneeded[self.plan.index[name]])
+
+    def _select(self, instance: BatchedInstance) -> Sequence[str]:
+        names = self.plan.names
+        return [names[i] for i in self._select_for_launch(instance)]
+
+    def _select_for_launch(self, instance: BatchedInstance) -> Sequence[int]:
+        """The scheduling phase over the incrementally maintained pool."""
+        cand = instance._cand
+        if not cand:
+            return ()
+        readiness = instance._readiness
+        enablement = instance._enablement
+        launched = instance._launched
+        unneeded = instance._unneeded
+        speculative_ok = self.strategy.speculative
+        pool: list[int] = []
+        dead: list[int] = []
+        for i in cand:
+            if (
+                launched[i]
+                or readiness[i] != R_READY
+                or enablement[i] == E_DISABLED
+                or (unneeded is not None and unneeded[i])
+            ):
+                dead.append(i)
+                continue
+            if enablement[i] == E_UNKNOWN and not speculative_ok:
+                continue  # stays a candidate: may enable later
+            pool.append(i)
+        for i in dead:
+            cand.discard(i)
+        if not pool:
+            return ()
+        inflight = sum(
+            1
+            for handle in instance.inflight.values()
+            if getattr(handle, "counts_for_parallelism", True)
+        )
+        slots = permitted_slots(len(pool), inflight, self.strategy.permitted)
+        if slots <= 0:
+            return ()
+        pool.sort(key=self.plan.rank.__getitem__)
+        return pool[:slots]
+
+    def _stage_launch(self, instance: BatchedInstance, name: str):
+        """Array-backed half of a launch; the inherited sharing/dispatch
+        protocol in :meth:`Engine._launch` runs unchanged on top."""
+        plan = self.plan
+        i = plan.index[name]
+        values = instance._input_values(i)
+        speculative = instance._enablement[i] == E_UNKNOWN
+        instance._launched[i] = 1
+        instance._cand.discard(i)
+        return plan.tasks[i], values, speculative
+
+    def __repr__(self) -> str:
+        done = sum(1 for i in self.instances if i.done)
+        shared = " shared" if self.share is not None else ""
+        return (
+            f"<BatchedEngine {self.schema.name!r} strategy={self.strategy.code}{shared} "
+            f"instances={done}/{len(self.instances)} done>"
+        )

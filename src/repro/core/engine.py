@@ -157,13 +157,7 @@ class Engine:
                 f"(simulation clock is at {self.sim.now})"
             )
         self._instance_ids.add(instance_id)
-        instance = InstanceRuntime(
-            self.schema,
-            self.strategy,
-            instance_id,
-            source_values or {},
-            start_time,
-        )
+        instance = self._make_instance(source_values or {}, instance_id, start_time)
         self.instances.append(instance)
         if on_complete is not None:
             self._on_complete[instance_id] = on_complete
@@ -189,6 +183,23 @@ class Engine:
 
     # -- internal event handlers -----------------------------------------------
 
+    def _make_instance(
+        self,
+        source_values: Mapping[str, object],
+        instance_id: str,
+        start_time: float,
+    ) -> InstanceRuntime:
+        """Instantiate the runtime representation of one flow instance.
+
+        The seam the :class:`~repro.core.batch_engine.BatchedEngine`
+        overrides to substitute its flat-array instances; everything else
+        in the submit path (id allocation, validation, scheduling the
+        start event) is engine-independent.
+        """
+        return InstanceRuntime(
+            self.schema, self.strategy, instance_id, source_values, start_time
+        )
+
     def _start(self, instance: InstanceRuntime) -> None:
         instance.start()
         if self.observer is not None:
@@ -200,12 +211,25 @@ class Engine:
         if instance.targets_stable():
             self._finish(instance)
             return
-        if self.strategy.cancel_unneeded and instance.needed is not None:
+        if self.strategy.cancel_unneeded and self._tracks_unneeded(instance):
             for name, handle in list(instance.inflight.items()):
-                if instance.needed.is_unneeded(name) and not self._has_waiters(handle):
+                if self._is_unneeded(instance, name) and not self._has_waiters(handle):
                     handle.cancel()
-        for name in select_for_launch(instance):
+        for name in self._select(instance):
             self._launch(instance, name)
+
+    # Instance-representation seams (overridden by the batched engine,
+    # like _make_instance/_stage_launch): the drain/finish/cancel/launch
+    # protocol above stays engine-independent.
+
+    def _tracks_unneeded(self, instance: InstanceRuntime) -> bool:
+        return instance.needed is not None
+
+    def _is_unneeded(self, instance: InstanceRuntime, name: str) -> bool:
+        return instance.needed.is_unneeded(name)
+
+    def _select(self, instance: InstanceRuntime):
+        return select_for_launch(instance)
 
     def _has_waiters(self, handle: object) -> bool:
         if self.share is None:
@@ -213,15 +237,25 @@ class Engine:
         key = self._handle_key.get(handle)
         return key is not None and self.share.waiter_count(key) > 0
 
-    def _launch(self, instance: InstanceRuntime, name: str) -> None:
-        spec = self.schema[name]
-        task = spec.task
+    def _stage_launch(self, instance: InstanceRuntime, name: str):
+        """Gather the launch inputs and mark *name* launched.
+
+        The instance-representation-specific half of a launch — the
+        batched engine overrides it to read its flat arrays — while the
+        sharing/dispatch protocol below stays engine-independent.
+        Returns ``(task, values, speculative)``.
+        """
+        task = self.schema[name].task
         # Inputs are stable by the READY invariant, and the paper's fixed-data
         # assumption makes the result independent of *when* the query runs —
         # this is what makes speculative execution (and result sharing) safe.
         values = instance.stable_values(task.inputs)
         speculative = instance.cells[name].enablement is Enablement.UNKNOWN
         instance.launched.add(name)
+        return task, values, speculative
+
+    def _launch(self, instance: InstanceRuntime, name: str) -> None:
+        task, values, speculative = self._stage_launch(instance, name)
 
         key: tuple | None = None
         if self.share is not None:

@@ -41,6 +41,22 @@ __all__ = ["InstanceRuntime"]
 class InstanceRuntime:
     """All mutable state of one running decision-flow instance."""
 
+    __slots__ = (
+        "schema",
+        "strategy",
+        "instance_id",
+        "done",
+        "metrics",
+        "cells",
+        "pending_inputs",
+        "needed",
+        "launched",
+        "inflight",
+        "speculative_launch",
+        "_stable_queue",
+        "_started",
+    )
+
     def __init__(
         self,
         schema: DecisionFlowSchema,

@@ -85,10 +85,29 @@ class MetricsSummary:
         return self.mean_elapsed / 1000.0
 
 
-def summarize(metrics: Iterable[InstanceMetrics]) -> MetricsSummary:
-    """Summarize finished instances; raises on an empty or unfinished set."""
+def summarize(
+    metrics: Iterable[InstanceMetrics], *, empty_ok: bool = False
+) -> MetricsSummary:
+    """Summarize finished instances.
+
+    By default an empty (or entirely unfinished) input raises
+    ``ValueError`` — a figure averaged over nothing is a bug in an
+    experiment driver.  Pass ``empty_ok=True`` to get a well-defined
+    zeroed summary (``count == 0``, all means ``0.0``) instead, which is
+    what live services report before any instance completes.
+    """
     finished: Sequence[InstanceMetrics] = [m for m in metrics if m.done]
     if not finished:
+        if empty_ok:
+            return MetricsSummary(
+                count=0,
+                mean_work=0.0,
+                std_work=0.0,
+                mean_elapsed=0.0,
+                std_elapsed=0.0,
+                mean_speculative_wasted_units=0.0,
+                mean_unneeded_detected=0.0,
+            )
         raise ValueError("no finished instances to summarize")
     works = [float(m.work_units) for m in finished]
     elapsed = [m.elapsed for m in finished]

@@ -1,0 +1,428 @@
+"""Compiled flow plans: schema + strategy lowered to index-based arrays.
+
+Data-centric workflow optimizers compile a flow graph once and reuse the
+plan across executions; the reference engine instead re-walks name-keyed
+dicts (`AttributeCell` maps, string-tuple edge dictionaries, condition
+ASTs) for every instance and every event.  A :class:`CompiledPlan` is the
+one-time lowering that the :class:`~repro.core.batch_engine.BatchedEngine`
+executes against:
+
+* attributes become dense indices in schema declaration order; all edge
+  lists (data inputs/consumers, enabling consumers, condition refs) are
+  int-encoded tuples;
+* every enabling condition is compiled to a closure over the instance's
+  flat stable-value list, returning a Kleene truth as a small int
+  (``0`` FALSE / ``1`` UNKNOWN / ``2`` TRUE, matching :class:`Tri`
+  values) — no AST walking, no enum allocation per evaluation;
+* the scheduling heuristic is precomputed into one scalar rank per
+  attribute (primary key × topo tie-break), so launch selection sorts
+  plain ints;
+* the backward-propagation dead-edge analysis is pre-cascaded: the plan
+  stores the post-construction alive/live-out/unneeded template every
+  instance starts from;
+* the *start state* — everything :meth:`InstanceRuntime.start` derives
+  purely from the source values (readiness, eagerly resolved conditions,
+  inline synthesis results, needed-tracker kills) — is cached per
+  distinct source valuation and replayed into new instances as flat
+  array copies.
+
+The plan never changes observable semantics: each compiled piece mirrors
+one reference code path exactly, and the engine differential harness
+asserts the equivalence end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.core.conditions import And, Condition, Literal, Not, Or, UNRESOLVED
+from repro.core.predicates import (
+    AttrRef,
+    Comparison,
+    IsException,
+    IsNull,
+    UserPredicate,
+)
+from repro.core.propagation import NeededTracker, edge_table
+from repro.core.schema import DecisionFlowSchema
+from repro.core.state import Enablement, Readiness
+from repro.core.strategy import Strategy
+from repro.nulls import NULL, ExceptionValue
+
+__all__ = ["CompiledPlan", "compile_condition", "START_CACHE_LIMIT"]
+
+#: Bound on cached start states per plan.  Service workloads with unique
+#: per-request source values get no reuse, so without a cap the cache
+#: would hold one full state snapshot (and references to caller-supplied
+#: source objects) per request for the life of the engine.
+START_CACHE_LIMIT = 256
+
+#: Readiness / enablement dimension codes used in the flat state arrays.
+#: They equal the corresponding enum ``.value``s so conversions are direct.
+R_PENDING, R_READY, R_COMPUTED = (
+    Readiness.PENDING.value,
+    Readiness.READY.value,
+    Readiness.COMPUTED.value,
+)
+E_UNKNOWN, E_ENABLED, E_DISABLED = (
+    Enablement.UNKNOWN.value,
+    Enablement.ENABLED.value,
+    Enablement.DISABLED.value,
+)
+
+#: Compiled Kleene truth values (== ``Tri.FALSE/UNKNOWN/TRUE .value``).
+T_FALSE, T_UNKNOWN, T_TRUE = 0, 1, 2
+
+#: A compiled condition: stable-value list -> T_FALSE | T_UNKNOWN | T_TRUE.
+CondFn = Callable[[List[object]], int]
+
+
+def _typed_freeze(value: object) -> object:
+    """A structural cache key that never conflates distinguishable values.
+
+    Like :func:`repro.core.sharing.freeze`, but each hashable leaf keys
+    as ``(type, value)`` so ``==``-equal values of different types (the
+    ``1`` / ``True`` / ``1.0`` family) get distinct entries, and each
+    unhashable leaf keys by object identity, forfeiting reuse instead of
+    risking a collision through equal ``repr``\\ s.
+    """
+    if isinstance(value, dict):
+        try:
+            return ("dict", tuple(sorted((k, _typed_freeze(v)) for k, v in value.items())))
+        except TypeError:  # unorderable mixed-type keys: forfeit reuse
+            return ("id", id(value))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(_typed_freeze(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", frozenset(_typed_freeze(v) for v in value))
+    try:
+        hash(value)
+    except TypeError:
+        return ("id", id(value))
+    return (value.__class__, value)
+
+
+def _contains_user_code(condition: Condition) -> bool:
+    """Whether evaluating *condition* may run arbitrary user callables.
+
+    Pure predicate ASTs (literals, comparisons, null/exception tests,
+    and their connectives) are side-effect free, so their start-phase
+    evaluation can be replayed from a cached snapshot.  UserPredicate —
+    and any third-party Condition subclass, conservatively — may observe
+    each evaluation, so instances must evaluate them individually.
+    """
+    if isinstance(condition, (Literal, Comparison, IsNull, IsException)):
+        return False
+    if isinstance(condition, (And, Or)):
+        return any(_contains_user_code(child) for child in condition.children)
+    if isinstance(condition, Not):
+        return _contains_user_code(condition.child)
+    return True
+
+
+# -- condition compilation -----------------------------------------------------
+
+
+def compile_condition(condition: Condition, index: dict[str, int]) -> CondFn:
+    """Compile a condition AST to a closure over the stable-value list.
+
+    The closure replicates :meth:`Condition.eval_tri` exactly — including
+    evaluation order, SQL-style ⊥ semantics, and exception-value
+    handling — over ``sv`` where ``sv[i]`` is :data:`UNRESOLVED` until
+    attribute *i* is stable and its observable value afterwards.
+    Unknown condition subclasses fall back to the interpreted
+    ``eval_tri`` through an index-based resolver.
+    """
+    if isinstance(condition, Literal):
+        result = T_TRUE if condition.value else T_FALSE
+        return lambda sv: result
+    if isinstance(condition, Comparison):
+        return _compile_comparison(condition, index)
+    if isinstance(condition, IsNull):
+        i = index[condition.name]
+
+        def is_null(sv):
+            value = sv[i]
+            if value is UNRESOLVED:
+                return T_UNKNOWN
+            return T_TRUE if value is NULL else T_FALSE
+
+        return is_null
+    if isinstance(condition, IsException):
+        i = index[condition.name]
+
+        def is_exception(sv):
+            value = sv[i]
+            if value is UNRESOLVED:
+                return T_UNKNOWN
+            return T_TRUE if isinstance(value, ExceptionValue) else T_FALSE
+
+        return is_exception
+    if isinstance(condition, And):
+        kids = tuple(compile_condition(child, index) for child in condition.children)
+
+        def conj(sv):
+            unknown = False
+            for kid in kids:
+                result = kid(sv)
+                if result == T_FALSE:
+                    return T_FALSE
+                if result == T_UNKNOWN:
+                    unknown = True
+            return T_UNKNOWN if unknown else T_TRUE
+
+        return conj
+    if isinstance(condition, Or):
+        kids = tuple(compile_condition(child, index) for child in condition.children)
+
+        def disj(sv):
+            unknown = False
+            for kid in kids:
+                result = kid(sv)
+                if result == T_TRUE:
+                    return T_TRUE
+                if result == T_UNKNOWN:
+                    unknown = True
+            return T_UNKNOWN if unknown else T_FALSE
+
+        return disj
+    if isinstance(condition, Not):
+        kid = compile_condition(condition.child, index)
+        return lambda sv: 2 - kid(sv)
+    if isinstance(condition, UserPredicate):
+        refs = tuple((name, index[name]) for name in condition._refs)
+        fn = condition.fn
+
+        def user(sv):
+            values: dict[str, object] = {}
+            for name, i in refs:
+                value = sv[i]
+                if value is UNRESOLVED:
+                    return T_UNKNOWN
+                values[name] = value
+            return T_TRUE if bool(fn(values)) else T_FALSE
+
+        return user
+    # Third-party Condition subclass: interpret via eval_tri.
+    return lambda sv: condition.eval_tri(lambda name: sv[index[name]]).value
+
+
+def _compile_comparison(node: Comparison, index: dict[str, int]) -> CondFn:
+    left_i = index[node.left]
+    op_fn = node.op.fn
+    if isinstance(node.right, AttrRef):
+        right_i = index[node.right.name]
+
+        def compare_attrs(sv):
+            left = sv[left_i]
+            if left is UNRESOLVED:
+                return T_UNKNOWN
+            right = sv[right_i]
+            if right is UNRESOLVED:
+                return T_UNKNOWN
+            if left is NULL or right is NULL:
+                return T_FALSE
+            if isinstance(left, ExceptionValue) or isinstance(right, ExceptionValue):
+                return T_FALSE
+            return T_TRUE if op_fn(left, right) else T_FALSE
+
+        return compare_attrs
+
+    right_const = node.right
+    right_degenerate = right_const is NULL or isinstance(right_const, ExceptionValue)
+
+    def compare_const(sv):
+        left = sv[left_i]
+        if left is UNRESOLVED:
+            return T_UNKNOWN
+        if left is NULL or right_degenerate:
+            return T_FALSE
+        if isinstance(left, ExceptionValue):
+            return T_FALSE
+        return T_TRUE if op_fn(left, right_const) else T_FALSE
+
+    return compare_const
+
+
+# -- the plan ------------------------------------------------------------------
+
+
+class CompiledPlan:
+    """One (schema, strategy) pair lowered to arrays, built once per engine."""
+
+    __slots__ = (
+        "schema",
+        "strategy",
+        "n",
+        "names",
+        "index",
+        "is_source",
+        "is_query",
+        "source_idx",
+        "non_source_idx",
+        "target_idx",
+        "synth_idx",
+        "tasks",
+        "cost",
+        "task_inputs",
+        "data_consumers",
+        "enabling_consumers",
+        "cond_refs",
+        "cond_eval",
+        "rank",
+        "edges",
+        "readiness0",
+        "enablement0",
+        "pending0",
+        "alive0",
+        "live_out0",
+        "unneeded0",
+        "external0",
+        "start_cache_ok",
+        "_start_cache",
+    )
+
+    def __init__(self, schema: DecisionFlowSchema, strategy: Strategy):
+        self.schema = schema
+        self.strategy = strategy
+        graph = schema.graph
+        names = graph.names
+        self.names = names
+        self.n = len(names)
+        index = {name: i for i, name in enumerate(names)}
+        self.index = index
+
+        self.is_source = bytearray(self.n)
+        self.is_query = bytearray(self.n)
+        self.tasks = []
+        self.cost = []
+        self.task_inputs = []
+        self.cond_refs = []
+        self.cond_eval = []
+        synth: list[int] = []
+        for i, name in enumerate(names):
+            spec = schema[name]
+            task = spec.task
+            self.tasks.append(task)
+            self.cost.append(spec.cost)
+            self.is_source[i] = 1 if spec.is_source else 0
+            if task is not None:
+                self.task_inputs.append(
+                    tuple((input_name, index[input_name]) for input_name in task.inputs)
+                )
+                if task.is_query:
+                    self.is_query[i] = 1
+                elif not spec.is_source:
+                    synth.append(i)
+            else:
+                self.task_inputs.append(())
+            self.cond_refs.append(tuple(index[ref] for ref in sorted(spec.condition.refs())))
+            self.cond_eval.append(compile_condition(spec.condition, index))
+
+        self.source_idx = tuple(i for i in range(self.n) if self.is_source[i])
+        self.non_source_idx = tuple(i for i in range(self.n) if not self.is_source[i])
+        self.target_idx = tuple(index[name] for name in schema.target_names)
+        self.synth_idx = tuple(synth)
+
+        self.data_consumers = tuple(
+            tuple(index[consumer] for consumer in graph.data_consumers[name])
+            for name in names
+        )
+        self.enabling_consumers = tuple(
+            tuple(index[consumer] for consumer in graph.enabling_consumers[name])
+            for name in names
+        )
+
+        # One scalar per attribute implementing rank_key: the heuristic's
+        # primary key with the (unique) topological index as tie-break.
+        if strategy.heuristic == "earliest":
+            primary = [graph.depth[name] for name in names]
+        else:
+            primary = [schema[name].cost for name in names]
+        topo = graph.topo_index
+        self.rank = [primary[i] * (self.n + 1) + topo[name] for i, name in enumerate(names)]
+
+        # -- pre-start state template ------------------------------------
+        table = edge_table(schema)
+        self.readiness0 = bytearray(self.n)
+        self.enablement0 = bytearray(self.n)
+        for i in self.source_idx:
+            self.readiness0[i] = R_COMPUTED
+            self.enablement0[i] = E_ENABLED
+        self.pending0 = [0] * self.n
+        for i in self.non_source_idx:
+            self.pending0[i] = sum(
+                1
+                for _, parent_idx in table.data_in[i]
+                if not self.is_source[parent_idx]
+            )
+
+        # Backward-propagation template with the initial cascade applied
+        # (attributes with no live path to a target are dead on arrival).
+        self.edges = table
+        # Run the reference NeededTracker once and snapshot its arrays,
+        # so the *initial* cascade is never reimplemented here.  (The
+        # runtime cascade is intentionally duplicated in
+        # BatchedInstance._kill_in_edges/_decrement_live for speed —
+        # keep it in lockstep with NeededTracker; the engine
+        # differential suite compares the two on every scenario.)
+        tracker = NeededTracker(schema)
+        self.alive0 = bytearray(tracker._alive)
+        self.live_out0 = list(tracker._live_out)
+        self.unneeded0 = bytearray(self.n)
+        for name in tracker.unneeded:
+            self.unneeded0[index[name]] = 1
+        self.external0 = bytearray(self.n)
+        for target in tracker._external:
+            self.external0[target] = 1
+
+        #: Start states are replayable only when the start phase runs no
+        #: user code: synthesis tasks and user-coded conditions must
+        #: execute per instance (they may be impure or return mutable
+        #: objects each instance must own).
+        self.start_cache_ok = not synth and not any(
+            _contains_user_code(schema[name].condition) for name in names
+        )
+        #: typed-frozen source values -> post-start state snapshot (see
+        #: BatchedInstance.start); LRU-bounded to START_CACHE_LIMIT.
+        self._start_cache: dict[object, tuple] = {}
+
+    def start_key(self, source_values: dict[str, object]) -> object:
+        """Cache key for the start-state snapshot of one source valuation.
+
+        Unlike the result-sharing key (``==``-based by design), the start
+        cache must never replay one valuation's state into a
+        *distinguishable* one, so leaves are keyed by (type, value) —
+        ``1``, ``True`` and ``1.0`` are three entries — and unhashable
+        leaves key by object identity (no reuse rather than wrong reuse).
+        """
+        return _typed_freeze(source_values)
+
+    def lookup_start(self, key: object) -> tuple | None:
+        """The cached snapshot for *key*, refreshing its LRU recency."""
+        cache = self._start_cache
+        snapshot = cache.get(key)
+        if snapshot is not None and next(reversed(cache)) != key:
+            # Re-insert so hot valuations are the last evicted.
+            del cache[key]
+            cache[key] = snapshot
+        return snapshot
+
+    def remember_start(self, key: object, snapshot: tuple) -> None:
+        """Cache a post-start state snapshot, evicting LRU at the cap.
+
+        With :meth:`lookup_start` refreshing recency on every hit, hot
+        valuations survive arbitrarily long all-unique churn; without the
+        cap, a unique-per-request stream would hold one full snapshot
+        (plus caller-supplied source objects) per request forever.
+        """
+        cache = self._start_cache
+        if len(cache) >= START_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        cache[key] = snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledPlan {self.schema.name!r} {self.strategy.code} "
+            f"|A|={self.n} edges={self.edges.edge_count}>"
+        )

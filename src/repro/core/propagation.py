@@ -26,89 +26,150 @@ Propagation_Algorithm.
 
 from __future__ import annotations
 
-from repro.core.graph import DependencyGraph, EdgeKind
+from repro.core.graph import EdgeKind
 from repro.core.schema import DecisionFlowSchema
 
-__all__ = ["NeededTracker"]
+__all__ = ["EdgeTable", "edge_table", "NeededTracker"]
+
+
+class EdgeTable:
+    """Int-encoded dependency edges of a schema, shared by trackers.
+
+    Both the name-keyed :class:`NeededTracker` (reference engine) and the
+    index-based :class:`~repro.core.plan.CompiledPlan` (batched engine)
+    run the same dead-edge analysis; this table is the common compiled
+    form.  Edges are numbered in :meth:`DependencyGraph.edges` order; for
+    every attribute index the table lists its incoming data and enabling
+    edge ids together with the parent's attribute index.
+    """
+
+    __slots__ = (
+        "names",
+        "index",
+        "edge_count",
+        "data_in",
+        "cond_in",
+        "out_degree",
+        "target_idx",
+    )
+
+    def __init__(self, schema: DecisionFlowSchema):
+        graph = schema.graph
+        self.names: tuple[str, ...] = graph.names
+        self.index: dict[str, int] = {name: i for i, name in enumerate(self.names)}
+        out_degree = [0] * len(self.names)
+        data_in: list[tuple[tuple[int, int], ...]] = []
+        cond_in: list[tuple[tuple[int, int], ...]] = []
+        edge_id = 0
+        for child in self.names:
+            data: list[tuple[int, int]] = []
+            for parent in graph.data_inputs[child]:
+                parent_idx = self.index[parent]
+                data.append((edge_id, parent_idx))
+                out_degree[parent_idx] += 1
+                edge_id += 1
+            cond: list[tuple[int, int]] = []
+            for parent in sorted(graph.cond_inputs[child]):
+                parent_idx = self.index[parent]
+                cond.append((edge_id, parent_idx))
+                out_degree[parent_idx] += 1
+                edge_id += 1
+            data_in.append(tuple(data))
+            cond_in.append(tuple(cond))
+        self.edge_count = edge_id
+        self.data_in = tuple(data_in)
+        self.cond_in = tuple(cond_in)
+        self.out_degree = out_degree
+        self.target_idx = tuple(self.index[name] for name in schema.target_names)
+
+
+def edge_table(schema: DecisionFlowSchema) -> EdgeTable:
+    """The schema's :class:`EdgeTable`, cached on its dependency graph."""
+    graph = schema.graph
+    table = getattr(graph, "_edge_table", None)
+    if table is None:
+        table = EdgeTable(schema)
+        graph._edge_table = table
+    return table
 
 
 class NeededTracker:
     """Tracks which attributes are still needed for instance completion."""
 
-    __slots__ = ("_alive", "_live_out", "_external", "unneeded", "_schema")
+    __slots__ = ("_table", "_alive", "_live_out", "_external", "unneeded")
 
     def __init__(self, schema: DecisionFlowSchema):
-        self._schema = schema
-        graph: DependencyGraph = schema.graph
-        self._alive: dict[tuple[str, str, str], bool] = {}
-        self._live_out: dict[str, int] = {name: 0 for name in graph.names}
+        table = edge_table(schema)
+        self._table = table
+        self._alive = bytearray(b"\x01") * table.edge_count
+        self._live_out = list(table.out_degree)
         self.unneeded: set[str] = set()
-
-        for parent, child, kind in graph.edges():
-            self._alive[(parent, child, kind)] = True
-            self._live_out[parent] += 1
 
         # Each target has one external consumer (the caller of the flow),
         # which keeps the target and its ancestors needed until it is stable.
-        self._external: set[str] = set(schema.target_names)
-        for name in self._external:
-            self._live_out[name] += 1
+        self._external: set[int] = set(table.target_idx)
+        for idx in self._external:
+            self._live_out[idx] += 1
 
         # Attributes with no live path to a target are unneeded from the start.
-        for name in graph.names:
-            if self._live_out[name] == 0:
-                self._mark_unneeded(name)
+        for idx in range(len(table.names)):
+            if self._live_out[idx] == 0:
+                self._mark_unneeded(idx)
 
     # -- event entry points ----------------------------------------------
 
     def on_stabilized(self, name: str) -> None:
         """The attribute reached VALUE or DISABLED: all its in-edges die."""
-        if name in self._external:
-            self._external.discard(name)
-            self._decrement(name)
-        self._kill_in_edges(name, kinds=(EdgeKind.DATA, EdgeKind.ENABLING))
+        idx = self._table.index[name]
+        if idx in self._external:
+            self._external.discard(idx)
+            self._decrement(idx)
+        self._kill_in_edges(idx, kinds=(EdgeKind.DATA, EdgeKind.ENABLING))
 
     def on_condition_resolved(self, name: str) -> None:
         """The enabling condition of *name* is decided: enabling in-edges die."""
-        self._kill_in_edges(name, kinds=(EdgeKind.ENABLING,))
+        self._kill_in_edges(self._table.index[name], kinds=(EdgeKind.ENABLING,))
 
     def on_computed(self, name: str) -> None:
         """The value of *name* was computed (speculatively): data in-edges die."""
-        self._kill_in_edges(name, kinds=(EdgeKind.DATA,))
+        self._kill_in_edges(self._table.index[name], kinds=(EdgeKind.DATA,))
 
     def is_unneeded(self, name: str) -> bool:
         return name in self.unneeded
 
     # -- internals ---------------------------------------------------------
+    #
+    # The batched engine keeps an index-based twin of this cascade
+    # (BatchedInstance._kill_in_edges/_decrement_live) — change them
+    # together.
 
-    def _kill_in_edges(self, child: str, kinds: tuple[str, ...]) -> None:
-        graph = self._schema.graph
+    def _kill_in_edges(self, child: int, kinds: tuple[str, ...]) -> None:
+        table = self._table
         if EdgeKind.DATA in kinds:
-            for parent in graph.data_inputs[child]:
-                self._kill(parent, child, EdgeKind.DATA)
+            for edge_id, parent in table.data_in[child]:
+                if self._alive[edge_id]:
+                    self._alive[edge_id] = 0
+                    self._decrement(parent)
         if EdgeKind.ENABLING in kinds:
-            for parent in graph.cond_inputs[child]:
-                self._kill(parent, child, EdgeKind.ENABLING)
+            for edge_id, parent in table.cond_in[child]:
+                if self._alive[edge_id]:
+                    self._alive[edge_id] = 0
+                    self._decrement(parent)
 
-    def _kill(self, parent: str, child: str, kind: str) -> None:
-        key = (parent, child, kind)
-        if self._alive.get(key):
-            self._alive[key] = False
-            self._decrement(parent)
+    def _decrement(self, idx: int) -> None:
+        self._live_out[idx] -= 1
+        if self._live_out[idx] == 0:
+            self._mark_unneeded(idx)
 
-    def _decrement(self, name: str) -> None:
-        self._live_out[name] -= 1
-        if self._live_out[name] == 0:
-            self._mark_unneeded(name)
-
-    def _mark_unneeded(self, name: str) -> None:
+    def _mark_unneeded(self, idx: int) -> None:
+        name = self._table.names[idx]
         if name in self.unneeded:
             return
         self.unneeded.add(name)
         # Nothing downstream needs *name*, so nothing *name* consumes is
         # needed on its account: cascade by killing its in-edges.
-        self._kill_in_edges(name, kinds=(EdgeKind.DATA, EdgeKind.ENABLING))
+        self._kill_in_edges(idx, kinds=(EdgeKind.DATA, EdgeKind.ENABLING))
 
     def live_out_degree(self, name: str) -> int:
         """Remaining live out-edges (diagnostics and tests)."""
-        return self._live_out[name]
+        return self._live_out[self._table.index[name]]

@@ -25,7 +25,21 @@ import math
 from repro.core.instance import InstanceRuntime
 from repro.core.prequalifier import candidate_pool
 
-__all__ = ["rank_key", "select_for_launch"]
+__all__ = ["rank_key", "permitted_slots", "select_for_launch"]
+
+
+def permitted_slots(pool_size: int, inflight: int, permitted: int) -> int:
+    """Launch slots the %Permitted cut grants right now (may be <= 0).
+
+    The per-instance in-flight target is ``max(1, ceil(p/100 · (pool +
+    inflight)))``; the slots are whatever of that target is not already
+    in flight.  Shared by the reference scheduler and the batched
+    engine's index-based selection, so the cut can never drift between
+    engines.
+    """
+    total = pool_size + inflight
+    target = max(1, math.ceil(permitted / 100.0 * total))
+    return target - inflight
 
 
 def rank_key(instance: InstanceRuntime, name: str):
@@ -56,9 +70,7 @@ def select_for_launch(instance: InstanceRuntime) -> list[str]:
         for handle in instance.inflight.values()
         if getattr(handle, "counts_for_parallelism", True)
     )
-    total = len(pool) + inflight
-    target = max(1, math.ceil(instance.strategy.permitted / 100.0 * total))
-    slots = target - inflight
+    slots = permitted_slots(len(pool), inflight, instance.strategy.permitted)
     if slots <= 0:
         return []
     pool.sort(key=lambda name: rank_key(instance, name))

@@ -7,17 +7,24 @@ from typing import Mapping, Sequence
 from repro import (
     Attribute,
     Comparison,
+    DbParams,
     DecisionFlowSchema,
     Engine,
     IdealDatabase,
     NULL,
     Op,
+    PatternParams,
     QueryTask,
     Simulation,
+    SimulatedDatabase,
     Strategy,
     SynthesisTask,
+    generate_pattern,
 )
 from repro.core.tasks import constant
+from repro.simdb.database import DatabaseServer, ProfiledDatabase
+from repro.simdb.profiler import DbFunction
+from repro.workload.generator import GeneratedPattern
 
 
 def q(name: str, inputs: Sequence[str] = (), value: object = None, cost: int = 1, fn=None) -> QueryTask:
@@ -85,3 +92,60 @@ def run_engine(
     instance = engine.submit_instance(source_values)
     simulation.run()
     return instance.metrics, instance
+
+
+# -- differential-scenario helpers ---------------------------------------------
+#
+# Shared by the kernel differential suite (coalesced vs per-unit databases,
+# tests/test_simdb_differential.py) and the engine differential suite
+# (reference vs batched engines, tests/test_engine_differential.py), so
+# there is exactly one scenario generator to keep honest.
+
+#: A rising contention curve so Gmpl changes genuinely re-price units.
+RISING_DB = DbFunction(
+    ((1.0, 10.0), (2.0, 14.0), (4.0, 21.0), (8.0, 33.0), (16.0, 61.0))
+)
+
+
+def make_database(
+    backend: str,
+    kernel: str,
+    sim: Simulation,
+    seed: int,
+    failure_prob: float = 0.0,
+) -> DatabaseServer:
+    """A fresh database server of the named backend bound to *sim*.
+
+    ``kernel`` selects the coalesced or per-unit cost model for the
+    ideal/profiled servers; the bounded server is inherently per-visit
+    and ignores it.
+    """
+    if backend == "ideal":
+        return IdealDatabase(sim, failure_prob=failure_prob, seed=seed, kernel=kernel)
+    if backend == "profiled":
+        return ProfiledDatabase(
+            sim, RISING_DB, failure_prob=failure_prob, seed=seed, kernel=kernel
+        )
+    if backend == "bounded":
+        return SimulatedDatabase(sim, DbParams(failure_prob=failure_prob), seed=seed)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def scenario_pattern(
+    seed: int,
+    *,
+    nb_nodes: int = 24,
+    nb_rows: int = 4,
+    pct_enabled: float = 50.0,
+    max_cost: int = 6,
+) -> GeneratedPattern:
+    """The generated schema pattern the differential scenarios execute."""
+    return generate_pattern(
+        PatternParams(
+            nb_nodes=nb_nodes,
+            nb_rows=nb_rows,
+            pct_enabled=pct_enabled,
+            max_cost=max_cost,
+            seed=seed,
+        )
+    )

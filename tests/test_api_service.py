@@ -137,6 +137,30 @@ class TestServiceBasics:
         assert summary.mean_work == 2.0
         assert "3/3 done" in repr(service)
 
+    def test_summary_of_empty_service_is_zeroed(self):
+        """Regression: no completed instances must not raise ValueError."""
+        schema, _ = diamond_schema()
+        service = DecisionService(schema)
+        summary = service.summary()
+        assert summary.count == 0
+        assert summary.total_work == 0
+        assert summary.mean_work == 0.0
+        assert summary.std_work == 0.0
+        assert summary.mean_elapsed == 0.0
+        assert summary.mean_queries_launched == 0.0
+        assert summary.mean_time_in_units() == 0.0
+        assert summary.mean_time_in_seconds() == 0.0
+
+    def test_summary_with_only_inflight_instances_is_zeroed(self):
+        """Submitted-but-unfinished instances do not enter the summary."""
+        schema, source_values = diamond_schema()
+        service = DecisionService(schema)
+        service.submit(source_values, at=10.0)
+        summary = service.summary()
+        assert summary.count == 0
+        service.run()
+        assert service.summary().count == 1
+
 
 class TestArrivalHelpers:
     def test_submit_stream_with_shared_values(self):

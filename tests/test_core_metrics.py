@@ -59,6 +59,16 @@ class TestSummarize:
         with pytest.raises(ValueError, match="no finished"):
             summarize([InstanceMetrics(instance_id="u", start_time=0.0)])
 
+    def test_empty_ok_returns_zeroed_summary(self):
+        for metrics in ([], [InstanceMetrics(instance_id="u", start_time=0.0)]):
+            summary = summarize(metrics, empty_ok=True)
+            assert summary.count == 0
+            assert summary.total_work == 0
+            assert summary.mean_work == 0.0
+            assert summary.mean_elapsed == 0.0
+            assert summary.mean_speculative_wasted_units == 0.0
+            assert summary.mean_unneeded_detected == 0.0
+
     def test_summary_conversions(self):
         summary = summarize([finished(10, 500.0)])
         assert summary.mean_time_in_units(unit_duration=1.0) == 500.0

@@ -1,0 +1,337 @@
+"""Differential harness: the batched engine vs the reference engine.
+
+The :class:`~repro.core.batch_engine.BatchedEngine` replaces the
+reference engine's name-keyed instance graphs with compiled-plan arrays.
+This suite is the lockdown: seeded *generated* scenarios sweep every
+execution dimension — strategy (eager ``P*`` / lazy ``N*`` including the
+``PSE*`` parallelism family), result sharing, halt policies, failure
+injection, unneeded-cancellation, and all three backends under both DES
+kernels — and each scenario runs through both engines, asserting the
+full observable trace is identical:
+
+* per-instance completed-value maps (targets *and* intermediates),
+* every :class:`InstanceMetrics` counter, including Work and
+  finish times (TimeInUnits on the ideal backend), cancellation /
+  failure / sharing / speculation / unneeded counts,
+* database-level work, completion/cancellation totals, and mean Gmpl,
+* the engine-observer event stream, compared both as the per-run
+  multiset the contract guarantees and as the exact sequence the
+  deterministic DES actually produces.
+
+Both engines drive the *same* database implementations, so times are
+required to match exactly (not approximately): a divergence anywhere in
+launch ordering would shift submission ids and show up immediately.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, fields
+
+import pytest
+
+from repro import BatchedEngine, Engine, Simulation, Strategy
+from repro.api import DecisionService, ExecutionConfig
+from repro.api.backends import Backend
+from repro.core.engine import EngineObserver
+from repro.core.metrics import InstanceMetrics
+
+from tests._support import chain_schema, diamond_schema, make_database, scenario_pattern
+
+ENGINE_CLASSES = {"reference": Engine, "batched": BatchedEngine}
+
+#: Every InstanceMetrics counter participates in the trace comparison.
+METRIC_FIELDS = tuple(f.name for f in fields(InstanceMetrics))
+
+
+class RecordingObserver(EngineObserver):
+    """Flattens every observer callback into a comparable event tuple."""
+
+    def __init__(self):
+        self.events: list[tuple] = []
+
+    def on_instance_start(self, instance):
+        self.events.append(("start", instance.instance_id))
+
+    def on_launch(self, instance, name, *, speculative, shared):
+        self.events.append(("launch", instance.instance_id, name, speculative, shared))
+
+    def on_query_done(self, instance, name, *, units, completed):
+        self.events.append(("done", instance.instance_id, name, units, completed))
+
+    def on_instance_complete(self, instance):
+        self.events.append(("complete", instance.instance_id))
+
+
+# -- scenario generation -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One generated execution configuration (seed-independent)."""
+
+    backend: str = "ideal"
+    kernel: str = "coalesced"
+    code: str = "PSE50"
+    halt_policy: str = "cancel"
+    share: bool = False
+    failure_prob: float = 0.0
+    cancel_unneeded: bool = False
+    instances: int = 5
+    spacing: float = 2.0
+    nb_nodes: int = 24
+    pct_enabled: float = 50.0
+    max_cost: int = 6
+
+    @property
+    def label(self) -> str:
+        bits = [self.backend, self.kernel, self.code, self.halt_policy]
+        if self.share:
+            bits.append("share")
+        if self.failure_prob:
+            bits.append(f"fail{self.failure_prob:g}")
+        if self.cancel_unneeded:
+            bits.append("cu")
+        bits.append(f"i{self.instances}x{self.spacing:g}")
+        return "-".join(bits)
+
+
+#: Corner cases that must always be present: the paper's eager (P*) and
+#: lazy (N*) strategies, the PSE* parallelism family, every backend and
+#: kernel, sharing, both halt policies, failures, and cancel-unneeded.
+CORNERS = [
+    Scenario(code="PSE0"),
+    Scenario(code="PSE50"),
+    Scenario(code="PSE100", spacing=0.0),
+    Scenario(code="PCE0"),
+    Scenario(code="NSE50"),
+    Scenario(code="NCC80", halt_policy="drain"),
+    Scenario(code="PSC100", share=True, spacing=0.0),
+    Scenario(code="PSE80", share=True, failure_prob=0.2),
+    Scenario(code="PSE50", halt_policy="drain", share=True),
+    Scenario(code="PSE50", failure_prob=0.3),
+    Scenario(code="PCC50", cancel_unneeded=True),
+    Scenario(code="PSE100", cancel_unneeded=True, halt_policy="drain"),
+    Scenario(backend="ideal", kernel="per-unit", code="PSE50"),
+    Scenario(backend="profiled", code="PSE100", spacing=0.0),
+    Scenario(backend="profiled", code="PSE50", share=True, failure_prob=0.25),
+    Scenario(backend="profiled", kernel="per-unit", code="PCE0", halt_policy="drain"),
+    Scenario(backend="bounded", code="PSE50", instances=4, nb_nodes=16),
+    Scenario(backend="bounded", code="NSE100", share=True, instances=4, nb_nodes=16),
+]
+
+
+def generate_scenarios(total: int = 26, seed: int = 20260729) -> list[Scenario]:
+    """The corner list topped up with seeded random configurations."""
+    rng = random.Random(seed)
+    scenarios = list(CORNERS)
+    seen = set(scenarios)
+    while len(scenarios) < total:
+        backend = rng.choice(["ideal", "ideal", "profiled", "bounded"])
+        candidate = Scenario(
+            backend=backend,
+            kernel="coalesced" if backend == "bounded" else rng.choice(["coalesced", "per-unit"]),
+            code=(
+                rng.choice("PN")
+                + rng.choice("SC")
+                + rng.choice("EC")
+                + str(rng.choice([0, 25, 50, 80, 100]))
+            ),
+            halt_policy=rng.choice(["cancel", "drain"]),
+            share=rng.random() < 0.4,
+            failure_prob=rng.choice([0.0, 0.0, 0.15, 0.3]),
+            cancel_unneeded=rng.random() < 0.3,
+            instances=rng.randint(4, 6) if backend != "bounded" else 4,
+            spacing=rng.choice([0.0, 1.0, 2.0]),
+            nb_nodes=rng.choice([16, 24]) if backend != "bounded" else 16,
+            pct_enabled=rng.choice([30.0, 50.0, 70.0]),
+            max_cost=rng.choice([4, 6]),
+        )
+        if candidate not in seen:
+            seen.add(candidate)
+            scenarios.append(candidate)
+    return scenarios
+
+
+SCENARIOS = generate_scenarios()
+
+
+def test_scenario_coverage():
+    """The generated sweep honors the acceptance floor and spans the grid."""
+    assert len(SCENARIOS) >= 20
+    assert {s.backend for s in SCENARIOS} == {"ideal", "profiled", "bounded"}
+    assert {s.kernel for s in SCENARIOS} >= {"coalesced", "per-unit"}
+    assert any(s.code.startswith("N") for s in SCENARIOS)  # lazy evaluation
+    assert any(s.code.startswith("P") for s in SCENARIOS)  # eager evaluation
+    assert {s.code for s in SCENARIOS} >= {"PSE0", "PSE50", "PSE100"}  # PSE* family
+    assert any(s.share for s in SCENARIOS)
+    assert any(s.halt_policy == "drain" for s in SCENARIOS)
+    assert any(s.failure_prob > 0 for s in SCENARIOS)
+    assert any(s.cancel_unneeded for s in SCENARIOS)
+
+
+# -- trace capture -------------------------------------------------------------
+
+
+def run_scenario(engine_kind: str, scenario: Scenario, seed: int) -> dict:
+    """Execute one scenario on one engine; returns the observable trace."""
+    pattern = scenario_pattern(
+        seed,
+        nb_nodes=scenario.nb_nodes,
+        pct_enabled=scenario.pct_enabled,
+        max_cost=scenario.max_cost,
+    )
+    sim = Simulation()
+    database = make_database(
+        scenario.backend, scenario.kernel, sim, seed, scenario.failure_prob
+    )
+    observer = RecordingObserver()
+    engine = ENGINE_CLASSES[engine_kind](
+        pattern.schema,
+        Strategy.parse(scenario.code, cancel_unneeded=scenario.cancel_unneeded),
+        database,
+        halt_policy=scenario.halt_policy,
+        share_results=scenario.share,
+        observer=observer,
+    )
+    for index in range(scenario.instances):
+        engine.submit_instance(pattern.source_values, at=index * scenario.spacing)
+    sim.run()
+    return {
+        "values": [
+            (inst.instance_id, inst.done, tuple(sorted(
+                (name, repr(value)) for name, value in inst.value_map().items()
+            )))
+            for inst in engine.instances
+        ],
+        "metrics": [
+            tuple(getattr(inst.metrics, name) for name in METRIC_FIELDS)
+            for inst in engine.instances
+        ],
+        "database": (
+            database.total_units,
+            database.queries_completed,
+            database.queries_cancelled,
+            database.queries_failed,
+            database.mean_gmpl(),
+        ),
+        "end_time": sim.now,
+        "events": observer.events,
+    }
+
+
+def assert_traces_identical(reference: dict, batched: dict) -> None:
+    assert batched["values"] == reference["values"]
+    assert batched["metrics"] == reference["metrics"]
+    assert batched["database"] == reference["database"]
+    assert batched["end_time"] == reference["end_time"]
+    # The contract: observer event *multisets* match.  The deterministic
+    # DES makes the stronger sequence equality hold too; assert both so a
+    # future ordering regression is caught with the sharper message.
+    assert Counter(batched["events"]) == Counter(reference["events"])
+    assert batched["events"] == reference["events"]
+
+
+# -- the seeded sweep ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=[s.label for s in SCENARIOS])
+def test_engines_produce_identical_traces(scenario: Scenario, seed: int):
+    reference = run_scenario("reference", scenario, seed)
+    batched = run_scenario("batched", scenario, seed)
+    assert_traces_identical(reference, batched)
+    # Sanity: the scenario actually exercised the engine.
+    assert any(done for _, done, _ in reference["values"])
+
+
+# -- hand-built schemas (synthesis tasks, disabled branches) -------------------
+
+
+def _run_handbuilt(engine_kind: str, schema, source_values, code: str,
+                   failure_prob: float) -> dict:
+    """Generated patterns are query-only; these schemas mix in synthesis
+    tasks and statically disabled branches."""
+    sim = Simulation()
+    database = make_database("ideal", "coalesced", sim, 0, failure_prob)
+    observer = RecordingObserver()
+    engine = ENGINE_CLASSES[engine_kind](
+        schema, Strategy.parse(code), database, observer=observer
+    )
+    for index in range(4):
+        engine.submit_instance(source_values, at=index * 1.0)
+    sim.run()
+    return {
+        "values": [
+            tuple(sorted((n, repr(v)) for n, v in inst.value_map().items()))
+            for inst in engine.instances
+        ],
+        "states": [
+            tuple(sorted((n, s.value) for n, s in inst.state_map().items()))
+            for inst in engine.instances
+        ],
+        "metrics": [
+            tuple(getattr(inst.metrics, name) for name in METRIC_FIELDS)
+            for inst in engine.instances
+        ],
+        "events": observer.events,
+    }
+
+
+@pytest.mark.parametrize("code", ["PCE0", "PSE100", "NSC100", "NCE50"])
+@pytest.mark.parametrize("failure_prob", [0.0, 0.4])
+def test_handbuilt_schemas_with_synthesis_match(code, failure_prob):
+    for schema, source_values in (diamond_schema(), chain_schema(length=5, cost=2)):
+        reference = _run_handbuilt("reference", schema, source_values, code, failure_prob)
+        batched = _run_handbuilt("batched", schema, source_values, code, failure_prob)
+        assert batched == reference
+
+
+# -- service-level closed loop -------------------------------------------------
+
+
+def _run_closed_loop(engine_kind: str, backend: str, code: str, seed: int) -> dict:
+    """Closed system through the facade: replacement instances start inside
+    completion dispatches, exercising same-instant start/completion ties."""
+    pattern = scenario_pattern(seed, nb_nodes=20, pct_enabled=60.0, max_cost=5)
+    sim = Simulation()
+    database = make_database(backend, "coalesced", sim, seed)
+    bundle = Backend(
+        backend, sim, database, time_unit="units" if backend == "ideal" else "ms"
+    )
+    service = DecisionService(
+        pattern.schema,
+        ExecutionConfig.from_code(code, engine=engine_kind, share_results=True),
+        backend=bundle,
+    )
+    log = service.attach_log()
+    service.run_closed(12, concurrency=3, values=pattern.source_values)
+    summary = service.summary()
+    return {
+        "per_instance": [
+            (handle.instance_id, handle.done, handle.metrics.work_units,
+             handle.metrics.finish_time, tuple(sorted(handle.result().items(), key=repr)))
+            for handle in service.handles
+        ],
+        "summary": (summary.count, summary.total_work, summary.mean_work,
+                    summary.mean_elapsed, summary.mean_queries_launched),
+        "events": Counter(
+            (type(event).__name__,) + tuple(
+                getattr(event, name)
+                for name in ("instance_id", "attribute", "units", "completed", "shared")
+                if hasattr(event, name)
+            )
+            for event in log.events
+        ),
+        "end_time": sim.now,
+    }
+
+
+@pytest.mark.parametrize("backend", ["ideal", "profiled"])
+@pytest.mark.parametrize("code", ["PSE50", "PSE100"])
+def test_closed_loop_service_traces_match(backend: str, code: str):
+    for seed in range(3):
+        reference = _run_closed_loop("reference", backend, code, seed)
+        batched = _run_closed_loop("batched", backend, code, seed)
+        assert batched == reference

@@ -1,0 +1,155 @@
+"""EngineObserver ordering guarantees, asserted against both engines.
+
+Per instance, the engine promises:
+
+* ``on_instance_start`` fires first, exactly once;
+* every ``on_launch`` falls strictly between start and completion (the
+  engine never decides a launch for a finished instance);
+* each attribute is launched at most once, and its ``on_query_done``
+  (if any) follows its ``on_launch``;
+* ``on_instance_complete`` fires exactly once, after the instance's
+  targets stabilized;
+* the only events that may trail completion are ``on_query_done``
+  notifications — queries still in flight when the instance halted
+  (cancelled under ``halt_policy="cancel"``, run to completion under
+  ``"drain"``).
+
+The scenarios deliberately include result sharing (hit/join launches)
+and cancellation pressure (halt-cancel plus ``cancel_unneeded``), the
+paths most likely to scramble hook ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BatchedEngine, Engine, Simulation, Strategy
+
+from tests._support import make_database, scenario_pattern
+
+ENGINE_CLASSES = {"reference": Engine, "batched": BatchedEngine}
+
+
+class OrderRecorder:
+    def __init__(self):
+        self.by_instance: dict[str, list[tuple]] = {}
+
+    def _record(self, instance, event: tuple) -> None:
+        self.by_instance.setdefault(instance.instance_id, []).append(event)
+
+    def on_instance_start(self, instance):
+        self._record(instance, ("start",))
+
+    def on_launch(self, instance, name, *, speculative, shared):
+        self._record(instance, ("launch", name, shared))
+
+    def on_query_done(self, instance, name, *, units, completed):
+        self._record(instance, ("done", name, completed))
+
+    def on_instance_complete(self, instance):
+        self._record(instance, ("complete",))
+
+
+def run_recorded(engine_kind: str, *, code: str, halt_policy: str, share: bool,
+                 cancel_unneeded: bool, seed: int) -> OrderRecorder:
+    pattern = scenario_pattern(seed, nb_nodes=24, pct_enabled=40.0, max_cost=6)
+    sim = Simulation()
+    database = make_database("ideal", "coalesced", sim, seed)
+    recorder = OrderRecorder()
+    engine = ENGINE_CLASSES[engine_kind](
+        pattern.schema,
+        Strategy.parse(code, cancel_unneeded=cancel_unneeded),
+        database,
+        halt_policy=halt_policy,
+        share_results=share,
+        observer=recorder,
+    )
+    for index in range(5):
+        engine.submit_instance(pattern.source_values, at=index * 1.0)
+    sim.run()
+    assert all(instance.done for instance in engine.instances)
+    return recorder
+
+
+def assert_instance_ordering(events: list[tuple]) -> None:
+    # Exactly one start, and it comes first.
+    assert events[0] == ("start",)
+    assert sum(1 for e in events if e[0] == "start") == 1
+    # Exactly one completion.
+    completes = [i for i, e in enumerate(events) if e[0] == "complete"]
+    assert len(completes) == 1
+    complete_at = completes[0]
+    # Launches fall strictly between start and completion, one per attribute.
+    launch_positions = {
+        e[1]: i for i, e in enumerate(events) if e[0] == "launch"
+    }
+    launches = [e for e in events if e[0] == "launch"]
+    assert len(launches) == len(launch_positions), "an attribute launched twice"
+    assert all(0 < i < complete_at for i in launch_positions.values())
+    # Every query_done follows that attribute's launch; shared hits and
+    # joins deliver without a query_done of their own.
+    for i, event in enumerate(events):
+        if event[0] == "done":
+            assert event[1] in launch_positions, "done without launch"
+            assert i > launch_positions[event[1]]
+    # Only query_done stragglers (halted in-flight queries) trail completion.
+    assert all(e[0] == "done" for e in events[complete_at + 1:])
+
+
+SCENARIOS = [
+    ("PSE100", "cancel", True, False),
+    ("PSE100", "cancel", True, True),
+    ("PSE80", "drain", True, False),
+    ("PSE50", "cancel", False, True),
+    ("PCE0", "cancel", False, False),
+    ("NSC100", "drain", True, False),
+]
+
+
+@pytest.mark.parametrize("engine_kind", ["reference", "batched"])
+@pytest.mark.parametrize(
+    "code,halt_policy,share,cancel_unneeded",
+    SCENARIOS,
+    ids=[f"{c}-{h}{'-share' if s else ''}{'-cu' if u else ''}" for c, h, s, u in SCENARIOS],
+)
+def test_observer_ordering_per_instance(engine_kind, code, halt_policy, share, cancel_unneeded):
+    for seed in range(3):
+        recorder = run_recorded(
+            engine_kind,
+            code=code,
+            halt_policy=halt_policy,
+            share=share,
+            cancel_unneeded=cancel_unneeded,
+            seed=seed,
+        )
+        assert len(recorder.by_instance) == 5
+        for events in recorder.by_instance.values():
+            assert_instance_ordering(events)
+
+
+@pytest.mark.parametrize("engine_kind", ["reference", "batched"])
+def test_shared_hits_and_joins_keep_ordering(engine_kind):
+    """Sharing-heavy runs (identical instances, zero spacing) stay ordered."""
+    pattern = scenario_pattern(3, nb_nodes=20, pct_enabled=60.0, max_cost=5)
+    sim = Simulation()
+    database = make_database("ideal", "coalesced", sim, 3)
+    recorder = OrderRecorder()
+    engine = ENGINE_CLASSES[engine_kind](
+        pattern.schema,
+        Strategy.parse("PSE100"),
+        database,
+        share_results=True,
+        observer=recorder,
+    )
+    for _ in range(6):
+        engine.submit_instance(pattern.source_values)
+    sim.run()
+    shared = [
+        event
+        for events in recorder.by_instance.values()
+        for event in events
+        if event[0] == "launch" and event[2] is not None
+    ]
+    assert shared, "scenario failed to exercise sharing"
+    for events in recorder.by_instance.values():
+        assert_instance_ordering(events)

@@ -20,18 +20,8 @@ from __future__ import annotations
 import pytest
 
 from repro import Engine, Simulation, Strategy
-from repro.simdb.database import IdealDatabase, ProfiledDatabase
-from repro.simdb.profiler import DbFunction
-from repro.workload import PatternParams, generate_pattern
 
-#: A rising contention curve so Gmpl changes genuinely re-price units.
-RISING_DB = DbFunction(((1.0, 10.0), (2.0, 14.0), (4.0, 21.0), (8.0, 33.0), (16.0, 61.0)))
-
-
-def _make_database(backend: str, kernel: str, sim: Simulation, seed: int, failure_prob: float):
-    if backend == "ideal":
-        return IdealDatabase(sim, failure_prob=failure_prob, seed=seed, kernel=kernel)
-    return ProfiledDatabase(sim, RISING_DB, failure_prob=failure_prob, seed=seed, kernel=kernel)
+from tests._support import make_database, scenario_pattern
 
 
 def run_scenario(
@@ -50,17 +40,11 @@ def run_scenario(
     max_cost: int = 6,
 ):
     """One engine run; returns the full observable trace."""
-    pattern = generate_pattern(
-        PatternParams(
-            nb_nodes=nb_nodes,
-            nb_rows=4,
-            pct_enabled=pct_enabled,
-            max_cost=max_cost,
-            seed=seed,
-        )
+    pattern = scenario_pattern(
+        seed, nb_nodes=nb_nodes, pct_enabled=pct_enabled, max_cost=max_cost
     )
     sim = Simulation()
-    database = _make_database(backend, kernel, sim, seed, failure_prob)
+    database = make_database(backend, kernel, sim, seed, failure_prob)
     engine = Engine(
         pattern.schema,
         Strategy.parse(code),
@@ -198,11 +182,9 @@ def _run_closed_loop(kernel: str, backend: str, seed: int, code: str):
     from repro.api import DecisionService, ExecutionConfig
     from repro.api.backends import Backend
 
-    pattern = generate_pattern(
-        PatternParams(nb_nodes=20, nb_rows=4, pct_enabled=60.0, max_cost=5, seed=seed)
-    )
+    pattern = scenario_pattern(seed, nb_nodes=20, pct_enabled=60.0, max_cost=5)
     sim = Simulation()
-    database = _make_database(backend, kernel, sim, seed, failure_prob=0.0)
+    database = make_database(backend, kernel, sim, seed, failure_prob=0.0)
     bundle = Backend(backend, sim, database, time_unit="units" if backend == "ideal" else "ms")
     service = DecisionService(pattern.schema, ExecutionConfig.from_code(code), backend=bundle)
     service.run_closed(12, concurrency=3, values=pattern.source_values)
