@@ -68,16 +68,22 @@ from repro.core import (
     UserPredicate,
     attr,
     check_against_snapshot,
+    config_from_dict,
+    config_to_dict,
     dumps_schema,
+    dumps_strategy,
     evaluate_schema,
     expand_pattern,
     flatten,
     loads_schema,
+    loads_strategy,
     query,
     rule_set,
     schema_from_dict,
     schema_to_dict,
     source_attribute,
+    strategy_from_dict,
+    strategy_to_dict,
     summarize,
     synthesize,
 )
@@ -99,6 +105,13 @@ from repro.api import (
     available_backends,
     create_backend,
     register_backend,
+)
+from repro.runtime import (
+    MergedEventLog,
+    ShardStats,
+    ShardedDecisionService,
+    ShardedInstanceHandle,
+    create_service,
 )
 from repro.workload import PatternParams, GeneratedPattern, generate_pattern
 
@@ -136,6 +149,12 @@ __all__ = [
     "loads_schema",
     "schema_to_dict",
     "schema_from_dict",
+    "dumps_strategy",
+    "loads_strategy",
+    "strategy_to_dict",
+    "strategy_from_dict",
+    "config_to_dict",
+    "config_from_dict",
     "AttributeState",
     "CompleteSnapshot",
     "evaluate_schema",
@@ -170,6 +189,12 @@ __all__ = [
     "register_backend",
     "create_backend",
     "available_backends",
+    # sharded runtime
+    "ShardedDecisionService",
+    "ShardedInstanceHandle",
+    "ShardStats",
+    "MergedEventLog",
+    "create_service",
     # workload
     "PatternParams",
     "GeneratedPattern",

@@ -9,6 +9,8 @@ Usage::
 
     python -m repro simulate --code PSE80 --backend bounded --rate 10 \\
         --instances 200                  # drive a DecisionService directly
+    python -m repro simulate --code PSE80 --instances 10000 \\
+        --shards 4 --executor process    # sharded fleet on a worker pool
 
 Each experiment prints its table (and an ASCII shape chart) and, with
 ``--out``, also writes it to ``<out>/<figure_id>.txt``.  ``--json``
@@ -16,7 +18,9 @@ switches to machine-readable output (and ``.json`` files with ``--out``).
 
 ``simulate`` runs a Table-1 workload pattern through the high-level
 :class:`repro.api.DecisionService` on any registered backend, either as a
-closed loop (``--concurrency``) or an open Poisson stream (``--rate``).
+closed loop (``--concurrency``) or an open Poisson stream (``--rate``);
+``--shards N`` partitions the population across the sharded runtime
+(``--executor process`` drives it on a worker pool).
 """
 
 from __future__ import annotations
@@ -109,6 +113,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="closed system: instances kept in flight (default 1; ignored with --rate)",
     )
     simulate.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="hash-partition instances across N independent engine+DES shards "
+        "(default 1 = a plain DecisionService)",
+    )
+    simulate.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default="serial",
+        help="how to drive the shards: in-process ('serial', deterministic "
+        "default) or a multiprocessing worker pool ('process')",
+    )
+    simulate.add_argument(
         "--halt", choices=("cancel", "drain"), default="cancel", help="halt policy"
     )
     simulate.add_argument(
@@ -140,7 +158,8 @@ def run_experiment(name: str, seeds: int, out: Path | None, as_json: bool = Fals
 
 
 def run_simulate(args: argparse.Namespace) -> int:
-    from repro.api import DecisionService, ExecutionConfig
+    from repro.api import ExecutionConfig
+    from repro.runtime import ShardedDecisionService, create_service
     from repro.simdb.rng import derive_rng
     from repro.workload.generator import generate_pattern
     from repro.workload.params import PatternParams
@@ -157,6 +176,8 @@ def run_simulate(args: argparse.Namespace) -> int:
         halt_policy=args.halt,
         share_results=args.share,
         backend=args.backend,
+        shards=args.shards,
+        executor=args.executor,
         # Every built-in backend accepts a seed; third-party factories may
         # not, so only forward it where it is known to be understood.
         backend_options=(
@@ -165,7 +186,7 @@ def run_simulate(args: argparse.Namespace) -> int:
             else {}
         ),
     )
-    service = DecisionService(pattern.schema, config)
+    service = create_service(pattern.schema, config)
 
     if args.rate is not None:
         arrival_rng = derive_rng(args.seed, "simulate-arrivals", args.code, args.rate)
@@ -182,19 +203,29 @@ def run_simulate(args: argparse.Namespace) -> int:
         mode = f"closed x{args.concurrency}"
 
     summary = service.summary()
+    sharded = isinstance(service, ShardedDecisionService)
+    if sharded:
+        time_unit = service.time_unit()
+        mean_gmpl = service.mean_gmpl()
+        mode = f"{mode} [{config.shards} shards, {config.executor}]"
+    else:
+        time_unit = service.backend.time_unit
+        mean_gmpl = service.database.mean_gmpl()
     payload = {
         "schema": pattern.schema.name,
         "strategy": config.code,
-        "backend": service.backend.name,
-        "time_unit": service.backend.time_unit,
+        "backend": config.backend,
+        "time_unit": time_unit,
         "mode": mode,
+        "shards": config.shards,
+        "executor": config.executor,
         "instances": summary.count,
         "mean_work": summary.mean_work,
         "mean_elapsed": summary.mean_elapsed,
         "mean_queries_launched": summary.mean_queries_launched,
         "total_work": summary.total_work,
         "sim_time": service.now,
-        "mean_gmpl": service.database.mean_gmpl(),
+        "mean_gmpl": mean_gmpl,
     }
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -205,7 +236,7 @@ def run_simulate(args: argparse.Namespace) -> int:
         )
         print(
             f"  mean Work = {payload['mean_work']:.1f} units   "
-            f"mean response = {payload['mean_elapsed']:.1f} {service.backend.time_unit}"
+            f"mean response = {payload['mean_elapsed']:.1f} {time_unit}"
         )
         print(
             f"  total work = {payload['total_work']} units   "

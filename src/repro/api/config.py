@@ -18,7 +18,7 @@ from typing import Any, Mapping
 from repro.core.strategy import Strategy
 from repro.errors import StrategyError
 
-__all__ = ["ExecutionConfig", "HALT_POLICIES", "ENGINES"]
+__all__ = ["ExecutionConfig", "HALT_POLICIES", "ENGINES", "EXECUTORS"]
 
 HALT_POLICIES = ("cancel", "drain")
 
@@ -26,6 +26,13 @@ HALT_POLICIES = ("cancel", "drain")
 #: reference engine, or the compiled-plan batched engine (identical
 #: observable semantics, faster on multi-instance sweeps).
 ENGINES = ("reference", "batched")
+
+#: Shard-executor implementations selectable per config: ``"serial"``
+#: drives every shard in-process on one thread (deterministic, the
+#: differential reference), ``"process"`` ships shard workloads to a
+#: ``multiprocessing`` pool.  Kept in lockstep with the registry in
+#: :mod:`repro.runtime.executors`.
+EXECUTORS = ("serial", "process")
 
 #: Fields that live on the nested Strategy but are accepted by
 #: ``ExecutionConfig.replace`` / ``from_code`` for convenience.
@@ -44,6 +51,15 @@ class ExecutionConfig:
     engine: ``"reference"`` (the name-keyed paper engine) or
     ``"batched"`` (compiled flow plans + flat array state; identical
     observable behavior, built for large instance populations).
+
+    ``shards`` and ``executor`` configure the sharded runtime
+    (:class:`repro.runtime.ShardedDecisionService`): instances are
+    hash-partitioned across ``shards`` independent engine + DES + database
+    replicas, driven either in-process (``executor="serial"``) or by a
+    worker-process pool (``executor="process"``).  A plain
+    :class:`~repro.api.service.DecisionService` is single-shard by
+    definition and ignores both fields; :func:`repro.runtime.create_service`
+    picks the right facade from them.
     """
 
     strategy: Strategy = field(default_factory=Strategy)
@@ -52,6 +68,8 @@ class ExecutionConfig:
     backend: str = "ideal"
     backend_options: Mapping[str, Any] = field(default_factory=dict)
     engine: str = "reference"
+    shards: int = 1
+    executor: str = "serial"
 
     def __post_init__(self):
         if isinstance(self.strategy, str):
@@ -68,6 +86,16 @@ class ExecutionConfig:
             raise ValueError(f"backend must be a non-empty name string, got {self.backend!r}")
         if self.engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if (
+            not isinstance(self.shards, int)
+            or isinstance(self.shards, bool)
+            or self.shards < 1
+        ):
+            raise ValueError(f"shards must be an int >= 1, got {self.shards!r}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
         # Freeze the options mapping so the config stays a value.
         object.__setattr__(
             self, "backend_options", MappingProxyType(dict(self.backend_options))
@@ -137,6 +165,8 @@ class ExecutionConfig:
         extras = []
         if self.engine != "reference":
             extras.append(f"engine={self.engine}")
+        if self.shards != 1 or self.executor != "serial":
+            extras.append(f"shards={self.shards}x{self.executor}")
         if self.halt_policy != "cancel":
             extras.append(f"halt={self.halt_policy}")
         if self.share_results:

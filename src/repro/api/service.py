@@ -34,7 +34,7 @@ from repro.core.schema import DecisionFlowSchema
 from repro.core.strategy import Strategy
 from repro.errors import ExecutionError
 
-__all__ = ["DecisionService", "InstanceHandle"]
+__all__ = ["DecisionService", "InstanceHandle", "coerce_config"]
 
 #: Engine implementations behind ``ExecutionConfig.engine``; kept in
 #: lockstep with the validation list in :data:`repro.api.config.ENGINES`
@@ -46,6 +46,27 @@ if set(_ENGINE_CLASSES) != set(ENGINES):  # pragma: no cover
         f"engine registry drift: config declares {ENGINES}, "
         f"service implements {tuple(_ENGINE_CLASSES)}"
     )
+
+
+def coerce_config(config: "ExecutionConfig | Strategy | str | None") -> ExecutionConfig:
+    """Normalize the flexible ``config`` argument services accept.
+
+    ``None`` means the default config; a code string parses as a strategy;
+    a :class:`Strategy` wraps into a default config.  Shared by
+    :class:`DecisionService` and the sharded runtime so both facades accept
+    exactly the same spellings.
+    """
+    if config is None:
+        return ExecutionConfig()
+    if isinstance(config, str):
+        return ExecutionConfig.from_code(config)
+    if isinstance(config, Strategy):
+        return ExecutionConfig(strategy=config)
+    if not isinstance(config, ExecutionConfig):
+        raise TypeError(
+            f"config must be ExecutionConfig, Strategy, or code string, got {config!r}"
+        )
+    return config
 
 
 class InstanceHandle:
@@ -130,16 +151,7 @@ class DecisionService:
         backend: Backend | str | None = None,
         **backend_options: Any,
     ):
-        if config is None:
-            config = ExecutionConfig()
-        elif isinstance(config, str):
-            config = ExecutionConfig.from_code(config)
-        elif isinstance(config, Strategy):
-            config = ExecutionConfig(strategy=config)
-        elif not isinstance(config, ExecutionConfig):
-            raise TypeError(
-                f"config must be ExecutionConfig, Strategy, or code string, got {config!r}"
-            )
+        config = coerce_config(config)
         if isinstance(backend, Backend):
             if backend_options or config.backend_options:
                 raise ValueError("backend_options are ignored with a pre-built Backend")
@@ -218,17 +230,30 @@ class DecisionService:
         *,
         concurrency: int = 1,
         values: Mapping[str, object] | Callable[[int], Mapping[str, object]] | None = None,
+        instance_ids: Sequence[str] | None = None,
+        run: bool = True,
     ) -> list[InstanceHandle]:
         """Closed-system helper: keep *concurrency* instances in flight.
 
         Submits *concurrency* instances immediately and replaces each one
         the moment it completes, until *n* have been submitted in total;
         then drains.  Returns the handles of all *n* instances.
+
+        *instance_ids* (when given) supplies the id of each submission in
+        order — the sharded runtime uses this to keep ids globally unique
+        across shards.  ``run=False`` arms the loop without driving the
+        clock (the replacement chain still fires once someone runs it);
+        the returned list is the live handle list and keeps growing as
+        replacements are submitted.
         """
         if n < 1:
             raise ValueError(f"n must be >= 1, got {n}")
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        if instance_ids is not None and len(instance_ids) != n:
+            raise ValueError(
+                f"instance_ids must supply exactly n={n} ids, got {len(instance_ids)}"
+            )
         handles: list[InstanceHandle] = []
 
         def source_for(index: int) -> Mapping[str, object] | None:
@@ -239,14 +264,18 @@ class DecisionService:
             if index >= n:
                 return
             instance = self.engine.submit_instance(
-                source_for(index), on_complete=lambda metrics: submit_next()
+                source_for(index),
+                instance_id=instance_ids[index] if instance_ids is not None else None,
+                on_complete=lambda metrics: submit_next(),
             )
-            handles.append(InstanceHandle(self, instance))
+            handle = InstanceHandle(self, instance)
+            handles.append(handle)
+            self._handles.append(handle)
 
         for _ in range(min(concurrency, n)):
             submit_next()
-        self.run()
-        self._handles.extend(handles)
+        if run:
+            self.run()
         return handles
 
     # -- driving and reading --------------------------------------------------

@@ -37,10 +37,16 @@ from repro.core.scheduler import rank_key, select_for_launch
 from repro.core.schema import DecisionFlowSchema
 from repro.core.serialize import (
     SerializationError,
+    config_from_dict,
+    config_to_dict,
     dumps_schema,
+    dumps_strategy,
     loads_schema,
+    loads_strategy,
     schema_from_dict,
     schema_to_dict,
+    strategy_from_dict,
+    strategy_to_dict,
 )
 from repro.core.snapshot import CompleteSnapshot, check_against_snapshot, evaluate_schema
 from repro.core.state import (
@@ -105,6 +111,12 @@ __all__ = [
     "loads_schema",
     "schema_to_dict",
     "schema_from_dict",
+    "dumps_strategy",
+    "loads_strategy",
+    "strategy_to_dict",
+    "strategy_from_dict",
+    "config_to_dict",
+    "config_from_dict",
     "CompleteSnapshot",
     "evaluate_schema",
     "check_against_snapshot",

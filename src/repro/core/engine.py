@@ -49,7 +49,34 @@ from repro.errors import ExecutionError
 from repro.nulls import ExceptionValue
 from repro.simdb.database import DatabaseServer
 
-__all__ = ["Engine", "EngineObserver"]
+__all__ = ["Engine", "EngineObserver", "claim_instance_id"]
+
+
+def claim_instance_id(
+    instance_id: str | None,
+    schema_name: str,
+    seq: "itertools.count",
+    claimed: set[str],
+    scope: str = "engine",
+) -> str:
+    """Allocate or validate an instance id against the *claimed* set.
+
+    Generated ids are ``{schema_name}#{n}`` and skip any name a caller
+    already claimed; an explicit id that is already claimed raises.  The
+    caller adds the returned id to *claimed* once the submission is
+    accepted (a rejected submission must not burn the name).  Shared by
+    the engine and the sharded runtime so preassigned ids can never
+    drift from engine-generated ones.
+    """
+    if instance_id is None:
+        instance_id = f"{schema_name}#{next(seq)}"
+        while instance_id in claimed:
+            instance_id = f"{schema_name}#{next(seq)}"
+    elif instance_id in claimed:
+        raise ExecutionError(
+            f"duplicate instance id {instance_id!r}: ids must be unique per {scope}"
+        )
+    return instance_id
 
 
 class EngineObserver:
@@ -142,15 +169,9 @@ class Engine:
     ) -> InstanceRuntime:
         """Create an instance and schedule its start (default: immediately)."""
         start_time = self.sim.now if at is None else at
-        if instance_id is None:
-            # Generated ids skip any name a caller already claimed.
-            instance_id = f"{self.schema.name}#{next(self._id_seq)}"
-            while instance_id in self._instance_ids:
-                instance_id = f"{self.schema.name}#{next(self._id_seq)}"
-        elif instance_id in self._instance_ids:
-            raise ExecutionError(
-                f"duplicate instance id {instance_id!r}: ids must be unique per engine"
-            )
+        instance_id = claim_instance_id(
+            instance_id, self.schema.name, self._id_seq, self._instance_ids
+        )
         if start_time < self.sim.now:
             raise ExecutionError(
                 f"instance {instance_id!r}: cannot start at past time {start_time} "

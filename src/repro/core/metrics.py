@@ -13,7 +13,8 @@ The paper's three measures (section 5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from math import sqrt
 from statistics import mean, pstdev
 from typing import Iterable, Sequence
 
@@ -84,6 +85,65 @@ class MetricsSummary:
     def mean_time_in_seconds(self) -> float:
         return self.mean_elapsed / 1000.0
 
+    @classmethod
+    def empty(cls) -> "MetricsSummary":
+        """The zeroed summary of no instances (``count == 0``)."""
+        return cls(
+            count=0,
+            mean_work=0.0,
+            std_work=0.0,
+            mean_elapsed=0.0,
+            std_elapsed=0.0,
+            mean_speculative_wasted_units=0.0,
+            mean_unneeded_detected=0.0,
+        )
+
+    @classmethod
+    def merge(cls, *summaries: "MetricsSummary") -> "MetricsSummary":
+        """Combine summaries of disjoint instance sets into one.
+
+        Means are count-weighted; standard deviations pool the population
+        variances.  Empty summaries (``count == 0``) contribute nothing,
+        and merging none — or only empties — yields the same zeroed
+        summary as ``summarize([], empty_ok=True)``.  A single non-empty
+        input is returned as an exact copy, so one-shard aggregations
+        reproduce their shard's summary bit for bit.
+        """
+        live = [s for s in summaries if s.count > 0]
+        if not live:
+            return cls.empty()
+        if len(live) == 1:
+            return replace(live[0])
+        count = sum(s.count for s in live)
+
+        def weighted(attr: str) -> float:
+            return sum(s.count * getattr(s, attr) for s in live) / count
+
+        def pooled_std(mean_attr: str, std_attr: str, combined_mean: float) -> float:
+            # E[x^2] per part is var + mean^2; recombine and re-center.
+            second_moment = (
+                sum(
+                    s.count * (getattr(s, std_attr) ** 2 + getattr(s, mean_attr) ** 2)
+                    for s in live
+                )
+                / count
+            )
+            return sqrt(max(0.0, second_moment - combined_mean**2))
+
+        mean_work = weighted("mean_work")
+        mean_elapsed = weighted("mean_elapsed")
+        return cls(
+            count=count,
+            mean_work=mean_work,
+            std_work=pooled_std("mean_work", "std_work", mean_work),
+            mean_elapsed=mean_elapsed,
+            std_elapsed=pooled_std("mean_elapsed", "std_elapsed", mean_elapsed),
+            mean_speculative_wasted_units=weighted("mean_speculative_wasted_units"),
+            mean_unneeded_detected=weighted("mean_unneeded_detected"),
+            total_work=sum(s.total_work for s in live),
+            mean_queries_launched=weighted("mean_queries_launched"),
+        )
+
 
 def summarize(
     metrics: Iterable[InstanceMetrics], *, empty_ok: bool = False
@@ -99,15 +159,7 @@ def summarize(
     finished: Sequence[InstanceMetrics] = [m for m in metrics if m.done]
     if not finished:
         if empty_ok:
-            return MetricsSummary(
-                count=0,
-                mean_work=0.0,
-                std_work=0.0,
-                mean_elapsed=0.0,
-                std_elapsed=0.0,
-                mean_speculative_wasted_units=0.0,
-                mean_unneeded_detected=0.0,
-            )
+            return MetricsSummary.empty()
         raise ValueError("no finished instances to summarize")
     works = [float(m.work_units) for m in finished]
     elapsed = [m.elapsed for m in finished]

@@ -13,6 +13,12 @@ which covers every schema the workload generator produces, so generated
 patterns can be persisted and reloaded bit-for-bit.  Tasks wrapping
 arbitrary Python callables raise :class:`SerializationError` with a
 pointer to what must be rewritten declaratively.
+
+Beyond schemas, the module round-trips the two execution-recipe values —
+:class:`~repro.core.strategy.Strategy` and
+:class:`~repro.api.config.ExecutionConfig` — which is what lets the
+sharded runtime ship complete shard workloads (schema + strategy +
+config) to worker processes as plain dicts.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.core.conditions import And, Condition, Literal, Not, Or
 from repro.core.predicates import AttrRef, Comparison, IsException, IsNull, Op
 from repro.core.rules import Rule, RuleSetTask
 from repro.core.schema import DecisionFlowSchema
+from repro.core.strategy import Strategy
 from repro.core.tasks import QueryTask, SynthesisTask, Task, constant
 from repro.errors import ReproError
 from repro.nulls import NULL
@@ -39,6 +46,12 @@ __all__ = [
     "schema_from_dict",
     "dumps_schema",
     "loads_schema",
+    "strategy_to_dict",
+    "strategy_from_dict",
+    "dumps_strategy",
+    "loads_strategy",
+    "config_to_dict",
+    "config_from_dict",
 ]
 
 
@@ -260,3 +273,101 @@ def dumps_schema(schema: DecisionFlowSchema, indent: int | None = 2) -> str:
 def loads_schema(text: str) -> DecisionFlowSchema:
     """JSON text → schema."""
     return schema_from_dict(json.loads(text))
+
+
+# -- strategies ----------------------------------------------------------------
+
+
+def strategy_to_dict(strategy: Strategy) -> dict:
+    """Encode a strategy as a plain dict (JSON-able).
+
+    The paper-style code carries the four section-5 options; the
+    ``cancel_unneeded`` extension travels as its own flag.
+    """
+    if not isinstance(strategy, Strategy):
+        raise SerializationError(f"expected a Strategy, got {strategy!r}")
+    return {"code": strategy.code, "cancel_unneeded": strategy.cancel_unneeded}
+
+
+def strategy_from_dict(data: dict) -> Strategy:
+    """Reconstruct a strategy encoded by :func:`strategy_to_dict`."""
+    try:
+        code = data["code"]
+    except (TypeError, KeyError):
+        raise SerializationError(f"not a strategy encoding: {data!r}") from None
+    return Strategy.parse(code, cancel_unneeded=bool(data.get("cancel_unneeded", False)))
+
+
+def dumps_strategy(strategy: Strategy, indent: int | None = None) -> str:
+    """Strategy → JSON text."""
+    return json.dumps(strategy_to_dict(strategy), indent=indent)
+
+
+def loads_strategy(text: str) -> Strategy:
+    """JSON text → strategy."""
+    return strategy_from_dict(json.loads(text))
+
+
+# -- execution configs ---------------------------------------------------------
+#
+# ExecutionConfig lives one layer up in repro.api; importing it lazily keeps
+# repro.core importable on its own while still giving the storage format a
+# single home next to the schema codec it travels with.
+
+
+def config_to_dict(config) -> dict:
+    """Encode an :class:`~repro.api.config.ExecutionConfig` as plain dicts.
+
+    Backend options must themselves be plain values (scalars and
+    sequences); anything richer — a pre-built ``DbFunction``, a
+    ``DbParams`` — raises :class:`SerializationError` naming the option,
+    since a worker process must be able to rebuild the backend from the
+    registry alone.
+    """
+    from repro.api.config import ExecutionConfig
+
+    if not isinstance(config, ExecutionConfig):
+        raise SerializationError(f"expected an ExecutionConfig, got {config!r}")
+    options = {}
+    for key, value in config.backend_options.items():
+        try:
+            options[key] = _value_to_dict(value)
+        except SerializationError:
+            raise SerializationError(
+                f"backend option {key!r} of backend {config.backend!r} holds "
+                f"non-serializable value {value!r}; pass plain scalars (or let "
+                "the backend factory rebuild it from them)"
+            ) from None
+    return {
+        "strategy": strategy_to_dict(config.strategy),
+        "halt_policy": config.halt_policy,
+        "share_results": config.share_results,
+        "backend": config.backend,
+        "backend_options": options,
+        "engine": config.engine,
+        "shards": config.shards,
+        "executor": config.executor,
+    }
+
+
+def config_from_dict(data: dict):
+    """Reconstruct a config encoded by :func:`config_to_dict`."""
+    from repro.api.config import ExecutionConfig
+
+    try:
+        strategy_data = data["strategy"]
+    except (TypeError, KeyError):
+        raise SerializationError(f"not a config encoding: {data!r}") from None
+    return ExecutionConfig(
+        strategy=strategy_from_dict(strategy_data),
+        halt_policy=data.get("halt_policy", "cancel"),
+        share_results=bool(data.get("share_results", False)),
+        backend=data.get("backend", "ideal"),
+        backend_options={
+            key: _value_from_dict(value)
+            for key, value in data.get("backend_options", {}).items()
+        },
+        engine=data.get("engine", "reference"),
+        shards=data.get("shards", 1),
+        executor=data.get("executor", "serial"),
+    )

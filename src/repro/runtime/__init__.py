@@ -1,0 +1,43 @@
+"""repro.runtime — the sharded execution runtime.
+
+Scale-out layer over :mod:`repro.api`: a
+:class:`ShardedDecisionService` presents the ``DecisionService`` facade
+while hash-partitioning instances across independent engine + DES +
+database shards, driven in-process (``executor="serial"``) or by a
+``multiprocessing`` worker pool (``executor="process"``).
+
+Quickstart::
+
+    from repro.api import ExecutionConfig
+    from repro.runtime import create_service
+
+    config = ExecutionConfig.from_code("PSE80", shards=4, executor="process")
+    service = create_service(pattern.schema, config)
+    service.submit_stream(arrivals, values=pattern.source_values)
+    print(service.summary().count, service.total_units)
+"""
+
+from repro.runtime.executors import ShardStats
+from repro.runtime.sharding import (
+    MergedEventLog,
+    ShardedDecisionService,
+    ShardedInstanceHandle,
+    create_service,
+    merge_shard_events,
+    shard_of,
+)
+from repro.runtime.worker import InstanceRecord, ShardOutcome, ShardTask, execute_shard
+
+__all__ = [
+    "ShardedDecisionService",
+    "ShardedInstanceHandle",
+    "ShardStats",
+    "MergedEventLog",
+    "create_service",
+    "merge_shard_events",
+    "shard_of",
+    "ShardTask",
+    "ShardOutcome",
+    "InstanceRecord",
+    "execute_shard",
+]

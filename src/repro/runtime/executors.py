@@ -1,0 +1,354 @@
+"""Shard executors: how a sharded service drives its fleet of shards.
+
+Two implementations behind one duck-typed interface, selected by
+``ExecutionConfig.executor``:
+
+* :class:`SerialExecutor` — every shard is a live, in-process
+  :class:`~repro.api.service.DecisionService` driven on the calling
+  thread, one shard after another.  Deterministic, incremental (submit /
+  run / submit again), and the reference the differential suite locks the
+  process executor against.
+* :class:`ProcessExecutor` — submissions buffer as plain-data ops; one
+  ``run()`` ships each non-empty shard's workload to a
+  ``multiprocessing`` pool as a :class:`~repro.runtime.worker.ShardTask`
+  and collects :class:`~repro.runtime.worker.ShardOutcome` results for
+  merging.  Batch-oriented: exactly one execution round, to completion.
+
+Both present the same per-shard operations to
+:class:`~repro.runtime.sharding.ShardedDecisionService`; the service owns
+routing, id allocation, and cross-shard aggregation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.api.config import EXECUTORS, ExecutionConfig
+from repro.api.service import DecisionService, InstanceHandle
+from repro.core.metrics import MetricsSummary
+from repro.core.schema import DecisionFlowSchema
+from repro.core.serialize import SerializationError, config_to_dict, schema_to_dict
+from repro.errors import ExecutionError
+from repro.runtime.worker import InstanceRecord, ShardOutcome, ShardTask, execute_shard
+
+__all__ = ["ShardStats", "SerialExecutor", "ProcessExecutor", "EXECUTOR_CLASSES"]
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's aggregate state: population, work, and clock."""
+
+    shard: int
+    instances: int
+    completed: int
+    total_units: int
+    queries_completed: int
+    queries_cancelled: int
+    queries_failed: int
+    mean_gmpl: float
+    end_time: float
+
+
+def _shard_config(config: ExecutionConfig) -> ExecutionConfig:
+    """The per-shard view of a sharded config: one shard, driven in-place."""
+    return config.replace(shards=1, executor="serial")
+
+
+class SerialExecutor:
+    """All shards live in-process; ``run`` drives them one after another."""
+
+    name = "serial"
+    live = True
+
+    def __init__(self, schema: DecisionFlowSchema, config: ExecutionConfig, shards: int):
+        shard_config = _shard_config(config)
+        self.services = [DecisionService(schema, shard_config) for _ in range(shards)]
+
+    def submit(
+        self,
+        shard: int,
+        instance_id: str,
+        source_values: Mapping[str, object] | None,
+        at: float | None,
+    ) -> InstanceHandle:
+        return self.services[shard].submit(
+            source_values, at=at, instance_id=instance_id
+        )
+
+    def start_closed(
+        self,
+        shard: int,
+        instance_ids: Sequence[str],
+        values_list: Sequence[Mapping[str, object] | None],
+        concurrency: int,
+    ) -> list[InstanceHandle]:
+        return self.services[shard].run_closed(
+            len(instance_ids),
+            concurrency=concurrency,
+            values=lambda index: values_list[index],
+            instance_ids=instance_ids,
+            run=False,
+        )
+
+    def run(self, until: float | None = None, collect_events: bool = False) -> None:
+        for service in self.services:
+            service.run(until)
+
+    def record_for(self, instance_id: str) -> InstanceRecord | None:
+        return None  # serial handles are live; nothing to materialize
+
+    # -- observation ---------------------------------------------------------
+
+    _SUBSCRIBERS = {
+        "launch": "on_launch",
+        "query_done": "on_query_done",
+        "complete": "on_instance_complete",
+    }
+
+    def subscribe(self, kind: str, handler: Callable) -> None:
+        for service in self.services:
+            getattr(service, self._SUBSCRIBERS[kind])(handler)
+
+    def attach_sink(self, sink: Callable[[int, object], None]) -> None:
+        """Feed every shard's typed events into ``sink(shard, event)``."""
+        for index, service in enumerate(self.services):
+            recorder = self._recorder(index, sink)
+            service.on_launch(recorder)
+            service.on_query_done(recorder)
+            service.on_instance_complete(recorder)
+
+    @staticmethod
+    def _recorder(shard: int, sink: Callable[[int, object], None]) -> Callable:
+        return lambda event: sink(shard, event)
+
+    # -- aggregation ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return max(service.now for service in self.services)
+
+    def shard_summaries(self) -> list[MetricsSummary]:
+        return [service.summary() for service in self.services]
+
+    def shard_stats(self) -> list[ShardStats]:
+        return [
+            ShardStats(
+                shard=index,
+                instances=len(service.handles),
+                completed=len(service.completed),
+                total_units=service.database.total_units,
+                queries_completed=service.database.queries_completed,
+                queries_cancelled=service.database.queries_cancelled,
+                queries_failed=service.database.queries_failed,
+                mean_gmpl=service.database.mean_gmpl(),
+                end_time=service.now,
+            )
+            for index, service in enumerate(self.services)
+        ]
+
+    def time_unit(self) -> str | None:
+        return self.services[0].backend.time_unit if self.services else None
+
+
+class ProcessExecutor:
+    """Buffer shard workloads; one ``run`` executes them on a worker pool."""
+
+    name = "process"
+    live = False
+
+    def __init__(self, schema: DecisionFlowSchema, config: ExecutionConfig, shards: int):
+        self.schema = schema
+        self.config = config
+        self.shards = shards
+        self._ops: list[list[tuple]] = [[] for _ in range(shards)]
+        self._outcomes: list[ShardOutcome] | None = None
+        self._records: dict[str, InstanceRecord] = {}
+        #: last (mapping, frozen copy) pair: sweeps submit one shared
+        #: mapping thousands of times, and reusing its frozen copy keeps
+        #: the buffered ops — and the pickled ShardTask, via the pickler's
+        #: memo — O(1) instead of O(n) in the mapping size.
+        self._freeze_cache: tuple[object, dict | None] = (None, None)
+
+    @property
+    def ran(self) -> bool:
+        return self._outcomes is not None
+
+    def _ensure_open(self, action: str) -> None:
+        if self.ran:
+            raise ExecutionError(
+                f"cannot {action}: the process executor executes exactly one "
+                "round; use executor='serial' for incremental submission"
+            )
+
+    def submit(
+        self,
+        shard: int,
+        instance_id: str,
+        source_values: Mapping[str, object] | None,
+        at: float | None,
+    ) -> None:
+        self._ensure_open("submit more instances after run()")
+        if at is not None and at < 0.0:
+            raise ExecutionError(
+                f"instance {instance_id!r}: cannot start at past time {at} "
+                "(shard clocks start at 0)"
+            )
+        self._ops[shard].append(("submit", instance_id, self._frozen(source_values), at))
+        return None
+
+    def _frozen(self, source_values: Mapping[str, object] | None) -> dict | None:
+        """A snapshot of *source_values* as buffered (mutations after
+        submit must not leak into the run), shared across repeat submits
+        of the same mapping object."""
+        if source_values is None:
+            return None
+        cached_key, cached_copy = self._freeze_cache
+        if source_values is cached_key and cached_copy == source_values:
+            return cached_copy
+        frozen = dict(source_values)
+        self._freeze_cache = (source_values, frozen)
+        return frozen
+
+    def start_closed(
+        self,
+        shard: int,
+        instance_ids: Sequence[str],
+        values_list: Sequence[Mapping[str, object] | None],
+        concurrency: int,
+    ) -> None:
+        self._ensure_open("start a closed loop after run()")
+        frozen = [self._frozen(v) for v in values_list]
+        self._ops[shard].append(("closed", list(instance_ids), frozen, concurrency))
+        return None
+
+    def run(self, until: float | None = None, collect_events: bool = False) -> None:
+        if until is not None:
+            raise ExecutionError(
+                "the process executor always drains shards to completion; "
+                "run(until=...) needs executor='serial'"
+            )
+        if self.ran:
+            return
+        try:
+            schema_data = schema_to_dict(self.schema)
+            config_data = config_to_dict(self.config)
+        except SerializationError as error:
+            raise ExecutionError(
+                "the process executor ships work to workers via "
+                f"core.serialize and cannot encode this workload: {error}"
+            ) from error
+        tasks = [
+            ShardTask(shard, schema_data, config_data, ops, collect_events)
+            for shard, ops in enumerate(self._ops)
+            if ops
+        ]
+        by_shard = {
+            shard: ShardOutcome.idle(shard, self.config.backend, collect_events)
+            for shard in range(self.shards)
+        }
+        if tasks:
+            for outcome in self._execute(tasks):
+                by_shard[outcome.shard] = outcome
+        self._outcomes = [by_shard[shard] for shard in range(self.shards)]
+        self._records = {
+            record.instance_id: record
+            for outcome in self._outcomes
+            for record in outcome.records
+        }
+
+    def _execute(self, tasks: list[ShardTask]) -> list[ShardOutcome]:
+        if len(tasks) == 1:
+            # One busy shard gains nothing from a pool; skip the fork/pickle.
+            return [execute_shard(tasks[0])]
+        # Fork skips re-import in the workers, but only Linux treats it as
+        # safe; everywhere else (macOS made spawn the default because fork
+        # is not) the platform default start method is the right one, and
+        # tasks/outcomes are fully picklable either way.
+        if sys.platform == "linux":
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - exercised on non-Linux CI hosts
+            context = multiprocessing.get_context()
+        workers = min(len(tasks), os.cpu_count() or len(tasks))
+        with context.Pool(processes=workers) as pool:
+            return pool.map(execute_shard, tasks)
+
+    def record_for(self, instance_id: str) -> InstanceRecord | None:
+        return self._records.get(instance_id)
+
+    # -- aggregation ---------------------------------------------------------
+
+    @property
+    def outcomes(self) -> list[ShardOutcome]:
+        if self._outcomes is None:
+            raise ExecutionError("the process executor has not run yet")
+        return self._outcomes
+
+    @property
+    def now(self) -> float:
+        if self._outcomes is None:
+            return 0.0
+        return max((o.end_time for o in self._outcomes), default=0.0)
+
+    def shard_summaries(self) -> list[MetricsSummary]:
+        if self._outcomes is None:
+            return [MetricsSummary.empty() for _ in range(self.shards)]
+        return [outcome.summary for outcome in self._outcomes]
+
+    def shard_stats(self) -> list[ShardStats]:
+        if self._outcomes is None:
+            return [
+                ShardStats(
+                    shard=shard,
+                    instances=self._count_ops(self._ops[shard]),
+                    completed=0,
+                    total_units=0,
+                    queries_completed=0,
+                    queries_cancelled=0,
+                    queries_failed=0,
+                    mean_gmpl=0.0,
+                    end_time=0.0,
+                )
+                for shard in range(self.shards)
+            ]
+        return [
+            ShardStats(
+                shard=outcome.shard,
+                instances=len(outcome.records),
+                completed=sum(1 for record in outcome.records if record.done),
+                total_units=outcome.total_units,
+                queries_completed=outcome.queries_completed,
+                queries_cancelled=outcome.queries_cancelled,
+                queries_failed=outcome.queries_failed,
+                mean_gmpl=outcome.mean_gmpl,
+                end_time=outcome.end_time,
+            )
+            for outcome in self._outcomes
+        ]
+
+    @staticmethod
+    def _count_ops(ops: list[tuple]) -> int:
+        return sum(len(op[1]) if op[0] == "closed" else 1 for op in ops)
+
+    def time_unit(self) -> str | None:
+        if self._outcomes is None:
+            return None
+        for outcome in self._outcomes:
+            if outcome.time_unit is not None:
+                return outcome.time_unit
+        return None
+
+
+#: Executor implementations behind ``ExecutionConfig.executor``; kept in
+#: lockstep with the validation list in :data:`repro.api.config.EXECUTORS`
+#: so a config that validates always resolves here.
+EXECUTOR_CLASSES = {"serial": SerialExecutor, "process": ProcessExecutor}
+
+if set(EXECUTOR_CLASSES) != set(EXECUTORS):  # pragma: no cover
+    raise AssertionError(
+        f"executor registry drift: config declares {EXECUTORS}, "
+        f"runtime implements {tuple(EXECUTOR_CLASSES)}"
+    )

@@ -1,0 +1,141 @@
+"""Worker-side execution of one shard's workload.
+
+A shard workload crosses the process boundary as a :class:`ShardTask`:
+the schema and :class:`~repro.api.config.ExecutionConfig` travel as the
+plain dicts of :mod:`repro.core.serialize`, and the submissions travel as
+an ordered op list (individual submits and closed-loop specs).  The
+worker rebuilds a single-shard :class:`~repro.api.service.DecisionService`
+from them, replays the ops, drains the shard's private simulation, and
+returns a :class:`ShardOutcome` — per-instance value maps and metrics,
+the shard's :class:`~repro.core.metrics.MetricsSummary`, database totals,
+and (when requested) the shard's typed event sequence.
+
+Everything here is deliberately process-agnostic: :func:`execute_shard`
+is a pure function of its task, so the serial test suite calls it
+in-process to pin down exactly what the multiprocessing executor ships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.service import DecisionService
+from repro.core.metrics import InstanceMetrics, MetricsSummary
+from repro.core.serialize import config_from_dict, schema_from_dict
+from repro.errors import ExecutionError
+
+__all__ = ["ShardTask", "ShardOutcome", "InstanceRecord", "execute_shard"]
+
+
+@dataclass
+class ShardTask:
+    """One shard's complete workload, in plain picklable form.
+
+    ``ops`` replays in order; each op is either
+    ``("submit", instance_id, source_values, at)`` or
+    ``("closed", instance_ids, values_list, concurrency)``.
+    """
+
+    shard: int
+    schema_data: dict
+    config_data: dict
+    ops: list[tuple]
+    collect_events: bool = False
+
+
+@dataclass
+class InstanceRecord:
+    """The materialized result of one instance: values plus final metrics."""
+
+    instance_id: str
+    done: bool
+    values: dict[str, object]
+    metrics: InstanceMetrics
+
+
+@dataclass
+class ShardOutcome:
+    """Everything a shard reports back for cross-shard aggregation."""
+
+    shard: int
+    records: list[InstanceRecord]
+    summary: MetricsSummary
+    total_units: int
+    queries_completed: int
+    queries_cancelled: int
+    queries_failed: int
+    mean_gmpl: float
+    end_time: float
+    backend_name: str
+    time_unit: str | None
+    events: list[object] | None
+
+    @classmethod
+    def idle(cls, shard: int, backend_name: str, collect_events: bool) -> "ShardOutcome":
+        """The outcome of a shard that received no work."""
+        return cls(
+            shard=shard,
+            records=[],
+            summary=MetricsSummary.empty(),
+            total_units=0,
+            queries_completed=0,
+            queries_cancelled=0,
+            queries_failed=0,
+            mean_gmpl=0.0,
+            end_time=0.0,
+            backend_name=backend_name,
+            time_unit=None,
+            events=[] if collect_events else None,
+        )
+
+
+def _replay_ops(service: DecisionService, ops: list[tuple]) -> None:
+    for op in ops:
+        kind = op[0]
+        if kind == "submit":
+            _, instance_id, source_values, at = op
+            service.submit(source_values, at=at, instance_id=instance_id)
+        elif kind == "closed":
+            _, instance_ids, values_list, concurrency = op
+            service.run_closed(
+                len(instance_ids),
+                concurrency=concurrency,
+                values=lambda index: values_list[index],
+                instance_ids=instance_ids,
+                run=False,
+            )
+        else:  # pragma: no cover - guarded by the executor's op builders
+            raise ExecutionError(f"unknown shard op {kind!r}")
+
+
+def execute_shard(task: ShardTask) -> ShardOutcome:
+    """Rebuild, replay, and drain one shard; return its outcome."""
+    schema = schema_from_dict(task.schema_data)
+    config = config_from_dict(task.config_data).replace(shards=1, executor="serial")
+    service = DecisionService(schema, config)
+    log = service.attach_log() if task.collect_events else None
+    _replay_ops(service, task.ops)
+    service.run()
+    database = service.database
+    return ShardOutcome(
+        shard=task.shard,
+        records=[
+            InstanceRecord(
+                instance_id=handle.instance_id,
+                done=handle.done,
+                values=dict(handle.instance.value_map()),
+                metrics=handle.metrics,
+            )
+            for handle in service.handles
+        ],
+        summary=service.summary(),
+        total_units=database.total_units,
+        queries_completed=database.queries_completed,
+        queries_cancelled=database.queries_cancelled,
+        queries_failed=database.queries_failed,
+        mean_gmpl=database.mean_gmpl(),
+        end_time=service.now,
+        backend_name=service.backend.name,
+        time_unit=service.backend.time_unit,
+        events=list(log.events) if log is not None else None,
+    )

@@ -131,6 +131,23 @@ def make_database(
     raise ValueError(f"unknown backend {backend!r}")
 
 
+def backend_options(backend: str, seed: int, failure_prob: float = 0.0) -> dict:
+    """Registry ``backend_options`` matching :func:`make_database` exactly.
+
+    The sharded differential suite builds services through the backend
+    registry (one fresh replica per shard); these options make the
+    registry path produce the same substrate :func:`make_database` wires
+    by hand, so both differential suites execute the same databases.
+    """
+    if backend == "ideal":
+        return {"seed": seed, "failure_prob": failure_prob}
+    if backend == "profiled":
+        return {"db_function": RISING_DB, "seed": seed, "failure_prob": failure_prob}
+    if backend == "bounded":
+        return {"params": DbParams(failure_prob=failure_prob), "seed": seed}
+    raise ValueError(f"unknown backend {backend!r}")
+
+
 def scenario_pattern(
     seed: int,
     *,

@@ -91,6 +91,32 @@ class TestExecutionConfig:
         text = repr(ExecutionConfig.from_code("PSE80", share_results=True))
         assert "PSE80" in text and "ideal" in text and "shared" in text
 
+    def test_sharding_defaults(self):
+        config = ExecutionConfig()
+        assert config.shards == 1
+        assert config.executor == "serial"
+
+    @pytest.mark.parametrize("shards", [0, -3, 1.5, "4", True])
+    def test_bad_shards_rejected_naming_the_value(self, shards):
+        with pytest.raises(ValueError, match=f"shards must be an int >= 1, got {shards!r}"):
+            ExecutionConfig(shards=shards)
+
+    @pytest.mark.parametrize("executor", ["threads", "", "Serial"])
+    def test_bad_executor_rejected_naming_the_value(self, executor):
+        with pytest.raises(ValueError, match="executor must be one of"):
+            ExecutionConfig(executor=executor)
+
+    def test_sharding_fields_via_from_code_and_replace(self):
+        config = ExecutionConfig.from_code("PSE80", shards=4, executor="process")
+        assert (config.shards, config.executor) == (4, "process")
+        reduced = config.replace(shards=2, executor="serial")
+        assert (reduced.shards, reduced.executor) == (2, "serial")
+        assert (config.shards, config.executor) == (4, "process")  # value semantics
+
+    def test_repr_mentions_sharding_when_non_default(self):
+        assert "shards=4xprocess" in repr(ExecutionConfig(shards=4, executor="process"))
+        assert "shards" not in repr(ExecutionConfig())
+
 
 class TestBackendRegistry:
     def test_builtins_registered(self):

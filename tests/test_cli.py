@@ -136,3 +136,42 @@ class TestSimulate:
 
         assert run_with_seed(0) == run_with_seed(0)  # deterministic
         assert run_with_seed(0)["mean_elapsed"] != run_with_seed(9)["mean_elapsed"]
+
+    def test_sharded_simulate_matches_plain(self, capsys):
+        def run(extra):
+            assert main(
+                [
+                    "simulate",
+                    "--code", "PSE80",
+                    "--nb-nodes", "16",
+                    "--instances", "8",
+                    "--json",
+                    *extra,
+                ]
+            ) == 0
+            return json.loads(capsys.readouterr().out)
+
+        plain = run([])
+        sharded = run(["--shards", "2"])
+        assert sharded["shards"] == 2 and sharded["executor"] == "serial"
+        assert "2 shards" in sharded["mode"]
+        # On the ideal backend partitioning never changes results.
+        for key in ("instances", "mean_work", "mean_elapsed", "total_work"):
+            assert sharded[key] == plain[key], key
+
+    def test_process_executor_flag_accepted(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--code", "PCE0",
+                "--nb-nodes", "12",
+                "--instances", "4",
+                "--shards", "2",
+                "--executor", "process",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executor"] == "process"
+        assert payload["instances"] == 4
+        assert payload["total_work"] > 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.metrics import InstanceMetrics, summarize
+from repro.core.metrics import InstanceMetrics, MetricsSummary, summarize
 
 
 def finished(work=10, elapsed=5.0, instance_id="i"):
@@ -73,3 +73,68 @@ class TestSummarize:
         summary = summarize([finished(10, 500.0)])
         assert summary.mean_time_in_units(unit_duration=1.0) == 500.0
         assert summary.mean_time_in_seconds() == 0.5
+
+
+class TestMerge:
+    """MetricsSummary.merge: cross-shard aggregation of disjoint sets."""
+
+    def _population(self, spec):
+        """spec: list of (work, elapsed) per instance."""
+        return [
+            finished(work, elapsed, instance_id=f"i{k}")
+            for k, (work, elapsed) in enumerate(spec)
+        ]
+
+    def test_merge_nothing_is_the_zeroed_summary(self):
+        assert MetricsSummary.merge() == MetricsSummary.empty()
+        assert MetricsSummary.merge() == summarize([], empty_ok=True)
+
+    def test_merge_only_empties_is_zeroed(self):
+        merged = MetricsSummary.merge(MetricsSummary.empty(), MetricsSummary.empty())
+        assert merged.count == 0
+        assert merged == summarize([], empty_ok=True)
+
+    def test_single_nonempty_summary_passes_through_exactly(self):
+        # Count 3 so a weighted recombination would drift by float ulps.
+        original = summarize(self._population([(3, 7.0), (5, 11.0), (9, 2.0)]))
+        merged = MetricsSummary.merge(MetricsSummary.empty(), original)
+        assert merged == original
+        assert merged is not original  # a copy, not an alias
+
+    def test_merge_equals_summarize_of_concatenation(self):
+        part_a = self._population([(3, 7.0), (5, 11.0)])
+        part_b = self._population([(9, 2.0), (1, 4.0), (6, 6.0)])
+        merged = MetricsSummary.merge(summarize(part_a), summarize(part_b))
+        combined = summarize(part_a + part_b)
+        assert merged.count == combined.count
+        assert merged.total_work == combined.total_work
+        for name in (
+            "mean_work",
+            "std_work",
+            "mean_elapsed",
+            "std_elapsed",
+            "mean_speculative_wasted_units",
+            "mean_unneeded_detected",
+            "mean_queries_launched",
+        ):
+            assert getattr(merged, name) == pytest.approx(getattr(combined, name)), name
+
+    def test_merge_weights_by_count(self):
+        heavy = summarize(self._population([(10, 1.0)] * 3))
+        light = summarize(self._population([(1, 10.0)]))
+        merged = MetricsSummary.merge(heavy, light)
+        assert merged.count == 4
+        assert merged.mean_work == pytest.approx((3 * 10 + 1) / 4)
+        assert merged.mean_elapsed == pytest.approx((3 * 1.0 + 10.0) / 4)
+        assert merged.total_work == 31
+
+    def test_merge_is_associative_enough(self):
+        parts = [
+            summarize(self._population([(w, e)]))
+            for w, e in [(2, 3.0), (8, 1.0), (5, 9.0)]
+        ]
+        left = MetricsSummary.merge(MetricsSummary.merge(parts[0], parts[1]), parts[2])
+        flat = MetricsSummary.merge(*parts)
+        assert left.count == flat.count == 3
+        assert left.mean_work == pytest.approx(flat.mean_work)
+        assert left.std_elapsed == pytest.approx(flat.std_elapsed)

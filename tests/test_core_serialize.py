@@ -24,14 +24,21 @@ from repro import (
     rule_set,
     synthesize,
 )
+from repro.api import ExecutionConfig
 from repro.core.serialize import (
     SerializationError,
     condition_from_dict,
     condition_to_dict,
+    config_from_dict,
+    config_to_dict,
     dumps_schema,
+    dumps_strategy,
     loads_schema,
+    loads_strategy,
     schema_from_dict,
     schema_to_dict,
+    strategy_from_dict,
+    strategy_to_dict,
     task_from_dict,
     task_to_dict,
 )
@@ -179,3 +186,74 @@ def test_every_generated_pattern_round_trips(nb_nodes, pct_enabled, seed):
     recovered = evaluate_schema(restored, pattern.source_values)
     assert original.states == recovered.states
     assert original.values == recovered.values
+
+
+class TestStrategyRoundTrip:
+    @pytest.mark.parametrize(
+        "code", ["PCE0", "PSE80", "NCC100", "NSE50", "PCC25"]
+    )
+    @pytest.mark.parametrize("cancel_unneeded", [False, True])
+    def test_every_option_combination_round_trips(self, code, cancel_unneeded):
+        strategy = Strategy.parse(code, cancel_unneeded=cancel_unneeded)
+        restored = strategy_from_dict(strategy_to_dict(strategy))
+        assert restored == strategy
+        assert loads_strategy(dumps_strategy(strategy)) == strategy
+
+    def test_dict_form_is_plain(self):
+        data = strategy_to_dict(Strategy.parse("PSE80"))
+        assert data == {"code": "PSE80", "cancel_unneeded": False}
+
+    def test_not_a_strategy_rejected(self):
+        with pytest.raises(SerializationError, match="expected a Strategy"):
+            strategy_to_dict("PSE80")
+
+    def test_bad_encoding_rejected(self):
+        with pytest.raises(SerializationError, match="not a strategy encoding"):
+            strategy_from_dict({"permitted": 80})
+
+
+class TestConfigRoundTrip:
+    def test_default_config_round_trips(self):
+        config = ExecutionConfig()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_fully_loaded_config_round_trips(self):
+        config = ExecutionConfig.from_code(
+            "PSE80",
+            cancel_unneeded=True,
+            halt_policy="drain",
+            share_results=True,
+            backend="bounded",
+            backend_options={"seed": 7},
+            engine="batched",
+            shards=4,
+            executor="process",
+        )
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+        assert restored.strategy == config.strategy
+        assert dict(restored.backend_options) == {"seed": 7}
+        assert (restored.shards, restored.executor) == (4, "process")
+
+    def test_dict_form_is_json_able(self):
+        import json
+
+        config = ExecutionConfig.from_code("PSE50", shards=2, backend_options={"seed": 1})
+        text = json.dumps(config_to_dict(config))
+        assert config_from_dict(json.loads(text)) == config
+
+    def test_rich_backend_options_rejected_naming_the_option(self):
+        from repro.simdb.profiler import DbFunction
+
+        config = ExecutionConfig(
+            backend="profiled",
+            backend_options={"db_function": DbFunction(((1.0, 10.0),))},
+        )
+        with pytest.raises(SerializationError, match="db_function"):
+            config_to_dict(config)
+
+    def test_not_a_config_rejected(self):
+        with pytest.raises(SerializationError, match="expected an ExecutionConfig"):
+            config_to_dict(Strategy.parse("PCE0"))
+        with pytest.raises(SerializationError, match="not a config encoding"):
+            config_from_dict({"engine": "batched"})

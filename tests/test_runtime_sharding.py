@@ -1,0 +1,405 @@
+"""Unit tests for the sharded runtime: routing, executors, worker protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import DecisionService, ExecutionConfig
+from repro.api.backends import create_backend
+from repro.api.events import InstanceCompleteEvent, LaunchEvent, QueryDoneEvent
+from repro.core.serialize import config_to_dict, schema_to_dict
+from repro.errors import ExecutionError
+from repro.nulls import NULL
+from repro.runtime import (
+    MergedEventLog,
+    ShardedDecisionService,
+    ShardTask,
+    create_service,
+    execute_shard,
+    merge_shard_events,
+    shard_of,
+)
+from repro.runtime.sharding import _split_concurrency
+
+from tests._support import diamond_schema, scenario_pattern
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    return scenario_pattern(1)
+
+
+# -- routing -------------------------------------------------------------------
+
+
+class TestRouting:
+    def test_shard_of_is_stable_and_in_range(self):
+        for shards in (1, 2, 4, 7):
+            for index in range(50):
+                home = shard_of(f"flow#{index}", shards)
+                assert 0 <= home < shards
+                assert home == shard_of(f"flow#{index}", shards)  # deterministic
+
+    def test_shard_of_spreads_ids(self):
+        homes = {shard_of(f"flow#{i}", 4) for i in range(64)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_explicit_instance_id_routes_to_its_home(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig.from_code("PCE0", shards=4)
+        )
+        handle = service.submit(pattern.source_values, instance_id="custom-id")
+        assert handle.shard == shard_of("custom-id", 4)
+        assert handle.instance_id == "custom-id"
+
+    def test_duplicate_ids_rejected_across_shards(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig.from_code("PCE0", shards=4)
+        )
+        service.submit(pattern.source_values, instance_id="dup")
+        with pytest.raises(ExecutionError, match="duplicate instance id 'dup'"):
+            service.submit(pattern.source_values, instance_id="dup")
+
+    def test_split_concurrency(self):
+        assert _split_concurrency(4, 4) == [1, 1, 1, 1]
+        assert _split_concurrency(7, 3) == [3, 2, 2]
+        assert _split_concurrency(1, 3) == [1, 1, 1]  # every busy shard moves
+        assert _split_concurrency(5, 1) == [5]
+        assert _split_concurrency(3, 0) == []
+
+
+# -- facade behavior -----------------------------------------------------------
+
+
+class TestShardedFacade:
+    def test_rejects_prebuilt_backend(self, pattern):
+        backend = create_backend("ideal")
+        with pytest.raises(TypeError, match="registered backend name"):
+            ShardedDecisionService(
+                pattern.schema, ExecutionConfig(shards=2), backend=backend
+            )
+
+    def test_backend_name_and_options_override(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema,
+            ExecutionConfig.from_code("PCE0", shards=2),
+            backend="ideal",
+            seed=3,
+        )
+        assert service.config.backend == "ideal"
+        assert service.config.backend_options["seed"] == 3
+
+    def test_accepts_code_string_and_default_config(self, pattern):
+        service = ShardedDecisionService(pattern.schema, "PSE80")
+        assert service.shards == 1
+        handle = service.submit(pattern.source_values)
+        assert handle.wait().done
+
+    def test_handle_values_and_repr(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig.from_code("PCE0", shards=2)
+        )
+        handle = service.submit(pattern.source_values)
+        assert "running" in repr(handle)
+        result = handle.result()
+        assert set(result) == set(pattern.schema.target_names)
+        assert "done" in repr(handle)
+        assert handle.value_map()  # stable cells materialized
+        assert "shards=2" in repr(service)
+
+    def test_summary_empty_service_is_zeroed(self, pattern):
+        for executor in ("serial", "process"):
+            service = ShardedDecisionService(
+                pattern.schema,
+                ExecutionConfig.from_code("PCE0", shards=2, executor=executor),
+            )
+            summary = service.summary()
+            assert summary.count == 0
+            assert service.total_units == 0
+            assert service.now == 0.0
+
+    def test_mean_gmpl_is_time_weighted(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig.from_code("PSE100", shards=2)
+        )
+        service.submit_stream([0.0, 0.0, 0.0, 0.0], values=pattern.source_values)
+        stats = service.stats()
+        expected_total = sum(s.end_time for s in stats)
+        assert expected_total > 0
+        expected = sum(s.mean_gmpl * s.end_time for s in stats) / expected_total
+        assert service.mean_gmpl() == pytest.approx(expected)
+
+    def test_run_closed_covers_all_ids_in_order(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig.from_code("PCE0", shards=3)
+        )
+        handles = service.run_closed(10, concurrency=4, values=pattern.source_values)
+        assert [h.instance_id for h in handles] == [
+            f"{pattern.schema.name}#{k}" for k in range(1, 11)
+        ]
+        assert all(h.done for h in handles)
+        assert all(h.shard == service.shard_of(h.instance_id) for h in handles)
+        assert service.summary().count == 10
+
+    def test_run_closed_validation(self, pattern):
+        service = ShardedDecisionService(pattern.schema, ExecutionConfig(shards=2))
+        with pytest.raises(ValueError, match="n must be >= 1"):
+            service.run_closed(0)
+        with pytest.raises(ValueError, match="concurrency must be >= 1"):
+            service.run_closed(3, concurrency=0)
+
+    def test_create_service_picks_the_facade(self, pattern):
+        assert isinstance(create_service(pattern.schema, "PCE0"), DecisionService)
+        assert isinstance(
+            create_service(pattern.schema, ExecutionConfig(shards=2)),
+            ShardedDecisionService,
+        )
+        assert isinstance(
+            create_service(
+                pattern.schema, ExecutionConfig(executor="process")
+            ),
+            ShardedDecisionService,
+        )
+
+
+# -- merged event ordering -----------------------------------------------------
+
+
+class _StampedEvent:
+    def __init__(self, time, label):
+        self.time = time
+        self.label = label
+
+    def __repr__(self):
+        return f"E({self.time}, {self.label})"
+
+
+class TestMergedEvents:
+    def test_merge_orders_by_time_then_shard_then_arrival(self):
+        a0, a1 = _StampedEvent(1.0, "a0"), _StampedEvent(3.0, "a1")
+        b0, b1 = _StampedEvent(1.0, "b0"), _StampedEvent(2.0, "b1")
+        merged = merge_shard_events([[a0, a1], [b0, b1]])
+        assert [e.label for e in merged] == ["a0", "b0", "b1", "a1"]
+
+    def test_merged_log_records_per_shard(self):
+        log = MergedEventLog(2)
+        first, second = _StampedEvent(2.0, "x"), _StampedEvent(1.0, "y")
+        log.record(0, first)
+        log.record(1, second)
+        assert len(log) == 2
+        assert log.per_shard(0) == (first,)
+        assert [e.label for e in log.events] == ["y", "x"]
+
+    def test_serial_log_matches_plain_service_log(self, pattern):
+        plain = DecisionService(pattern.schema, ExecutionConfig.from_code("PSE50"))
+        plain_log = plain.attach_log()
+        plain.submit_stream([0.0, 1.0, 2.0], values=pattern.source_values)
+
+        sharded = ShardedDecisionService(
+            pattern.schema, ExecutionConfig.from_code("PSE50", shards=1)
+        )
+        sharded_log = sharded.attach_log()
+        sharded.submit_stream([0.0, 1.0, 2.0], values=pattern.source_values)
+
+        assert len(sharded_log) == len(plain_log.events)
+        assert sharded_log.of_type(LaunchEvent) == plain_log.of_type(LaunchEvent)
+        assert sharded_log.events == plain_log.events
+
+
+# -- the worker protocol, exercised in-process ---------------------------------
+
+
+class TestWorkerProtocol:
+    def _task(self, pattern, ops, collect_events=True, shard=0):
+        config = ExecutionConfig.from_code("PSE50", engine="batched")
+        return ShardTask(
+            shard=shard,
+            schema_data=schema_to_dict(pattern.schema),
+            config_data=config_to_dict(config),
+            ops=ops,
+            collect_events=collect_events,
+        )
+
+    def test_execute_shard_replays_submits(self, pattern):
+        sources = dict(pattern.source_values)
+        task = self._task(
+            pattern,
+            ops=[
+                ("submit", "w#1", sources, None),
+                ("submit", "w#2", sources, 5.0),
+            ],
+        )
+        outcome = execute_shard(task)
+        assert outcome.shard == 0
+        assert [r.instance_id for r in outcome.records] == ["w#1", "w#2"]
+        assert all(r.done for r in outcome.records)
+        assert outcome.summary.count == 2
+        assert outcome.total_units > 0
+        assert outcome.backend_name == "ideal"
+        assert outcome.time_unit == "units"
+        assert outcome.events  # collected
+        # The outcome mirrors a hand-driven service with the same workload.
+        mirror = DecisionService(
+            pattern.schema, ExecutionConfig.from_code("PSE50", engine="batched")
+        )
+        mirror.submit(sources, instance_id="w#1")
+        mirror.submit(sources, at=5.0, instance_id="w#2")
+        mirror.run()
+        assert outcome.records[0].metrics == mirror.handles[0].metrics
+        assert outcome.records[1].values == dict(mirror.handles[1].instance.value_map())
+
+    def test_execute_shard_replays_closed_loops(self, pattern):
+        sources = dict(pattern.source_values)
+        task = self._task(
+            pattern,
+            ops=[("closed", ["c#1", "c#2", "c#3"], [sources] * 3, 2)],
+            collect_events=False,
+        )
+        outcome = execute_shard(task)
+        assert [r.instance_id for r in outcome.records] == ["c#1", "c#2", "c#3"]
+        assert outcome.summary.count == 3
+        assert outcome.events is None
+
+    def test_unknown_op_rejected(self, pattern):
+        task = self._task(pattern, ops=[("warp", "w#1")])
+        with pytest.raises(ExecutionError, match="unknown shard op"):
+            execute_shard(task)
+
+
+# -- the process executor ------------------------------------------------------
+
+
+def run_trace(service_factory, pattern):
+    service = service_factory()
+    log = service.attach_log()
+    events = []
+    service.on_instance_complete(lambda event: events.append(event.instance_id))
+    service.submit_stream(
+        [0.0, 1.0, 2.0, 3.0, 4.0, 5.0], values=pattern.source_values
+    )
+    return {
+        "metrics": [h.metrics for h in service.handles],
+        "values": [h.value_map() for h in service.handles],
+        "stats": service.stats(),
+        "summary": service.summary(),
+        "log": [
+            (type(e).__name__, e.time, e.instance_id) for e in log.events
+        ],
+        "completions": events,
+        "now": service.now,
+        "time_unit": service.time_unit(),
+    }
+
+
+class TestProcessExecutor:
+    def test_process_matches_serial_exactly(self, pattern):
+        def factory(executor):
+            return lambda: ShardedDecisionService(
+                pattern.schema,
+                ExecutionConfig.from_code(
+                    "PSE50", engine="batched", shards=3, executor=executor
+                ),
+            )
+
+        serial = run_trace(factory("serial"), pattern)
+        process = run_trace(factory("process"), pattern)
+        assert process["metrics"] == serial["metrics"]
+        assert process["values"] == serial["values"]
+        assert process["stats"] == serial["stats"]
+        assert process["summary"] == serial["summary"]
+        assert process["log"] == serial["log"]
+        # Handler *population* is executor-independent; live (serial)
+        # delivery is shard-major while process replay follows the merged
+        # global order, so only the multiset is contractual.
+        assert sorted(process["completions"]) == sorted(serial["completions"])
+        assert process["now"] == serial["now"]
+        assert process["time_unit"] == serial["time_unit"]
+
+    def test_single_round_contract(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig(shards=2, executor="process")
+        )
+        handle = service.submit(pattern.source_values)
+        assert not handle.done
+        with pytest.raises(ValueError, match="has no metrics yet"):
+            handle.metrics
+        some_attr = next(iter(pattern.schema)).name
+        assert handle.value(some_attr) is NULL  # nothing materialized yet
+        with pytest.raises(KeyError):  # typos raise like the live facade
+            handle.value("no-such-attribute")
+        service.run()
+        assert handle.done
+        with pytest.raises(ExecutionError, match="exactly one round"):
+            service.submit(pattern.source_values)
+        with pytest.raises(ExecutionError, match="exactly one round"):
+            service.run_closed(2, values=pattern.source_values)
+        service.run()  # idempotent second run is fine
+
+    def test_run_until_unsupported(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig(shards=2, executor="process")
+        )
+        with pytest.raises(ExecutionError, match="to completion"):
+            service.run(until=10.0)
+
+    def test_past_time_submission_rejected_up_front(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig(shards=2, executor="process")
+        )
+        with pytest.raises(ExecutionError, match="past time"):
+            service.submit(pattern.source_values, at=-1.0)
+
+    def test_observers_must_attach_before_run(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig(shards=2, executor="process")
+        )
+        service.submit(pattern.source_values)
+        service.run()
+        with pytest.raises(ExecutionError, match="before run"):
+            service.attach_log()
+        with pytest.raises(ExecutionError, match="before run"):
+            service.on_launch(lambda event: None)
+
+    def test_non_declarative_schema_raises_helpfully(self):
+        schema, source_values = diamond_schema()
+        service = ShardedDecisionService(
+            schema, ExecutionConfig(shards=2, executor="process")
+        )
+        service.submit(source_values)
+        with pytest.raises(ExecutionError, match="core.serialize"):
+            service.run()
+
+    def test_non_plain_backend_options_raise_helpfully(self, pattern):
+        from repro.simdb.profiler import DbFunction
+
+        service = ShardedDecisionService(
+            pattern.schema,
+            ExecutionConfig(
+                shards=2,
+                executor="process",
+                backend="profiled",
+                backend_options={"db_function": DbFunction(((1.0, 10.0),))},
+            ),
+        )
+        service.submit(pattern.source_values)
+        with pytest.raises(ExecutionError, match="db_function"):
+            service.run()
+
+    def test_wait_drives_the_whole_round(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig(shards=2, executor="process")
+        )
+        handles = [service.submit(pattern.source_values) for _ in range(4)]
+        metrics = handles[0].wait()
+        assert metrics.done
+        assert all(h.done for h in handles)  # one round drains everything
+
+    def test_process_run_closed(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema,
+            ExecutionConfig.from_code("PCE0", shards=2, executor="process"),
+        )
+        handles = service.run_closed(6, concurrency=2, values=pattern.source_values)
+        assert len(handles) == 6
+        assert all(h.done for h in handles)
+        assert service.summary().count == 6

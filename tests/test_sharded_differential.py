@@ -1,0 +1,219 @@
+"""Differential harness: the sharded runtime vs a plain DecisionService.
+
+The :class:`~repro.runtime.ShardedDecisionService` claims the
+``DecisionService`` facade with hash-partitioned execution.  This suite
+pins the claim down in three rings:
+
+* **shards=1 is the service, bit for bit** — every backend, both
+  engines, sharing and concurrency included: identical value maps, every
+  metrics counter, database totals, and the exact event sequence.
+* **Partitioning is invisible when instances don't interact** — on the
+  ideal backend (unbounded resources) under full overlap, and on the
+  ideal/profiled backends with non-overlapping arrivals: shards ∈ {2, 4}
+  produce identical per-instance results and merged database totals,
+  with the event stream equal as a multiset.
+* **On a contended stochastic backend only values are invariant** — the
+  bounded database draws per-replica service times, so response times
+  legitimately differ across partitionings, but decision outcomes must
+  not.
+
+Result sharing is deliberately per-shard (shards share nothing), so the
+cross-shard rings run with sharing off; the shards=1 ring keeps it on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import fields
+
+import pytest
+
+from repro.api import DecisionService, ExecutionConfig
+from repro.api.events import InstanceCompleteEvent, LaunchEvent, QueryDoneEvent
+from repro.core.metrics import InstanceMetrics
+from repro.runtime import ShardedDecisionService
+
+from tests._support import backend_options, scenario_pattern
+
+METRIC_FIELDS = tuple(f.name for f in fields(InstanceMetrics))
+
+#: Arrival gap guaranteeing no overlap on any backend (ideal units or ms).
+NO_OVERLAP = 1.0e6
+
+ENGINES = ("reference", "batched")
+
+
+def build_config(
+    code: str,
+    backend: str,
+    engine: str,
+    seed: int,
+    *,
+    shards: int = 1,
+    share: bool = False,
+    failure_prob: float = 0.0,
+) -> ExecutionConfig:
+    return ExecutionConfig.from_code(
+        code,
+        backend=backend,
+        engine=engine,
+        share_results=share,
+        backend_options=backend_options(backend, seed, failure_prob),
+        shards=shards,
+    )
+
+
+def project_event(event) -> tuple:
+    """A hashable, comparable projection of one typed service event."""
+    if isinstance(event, LaunchEvent):
+        return ("launch", event.time, event.instance_id, event.attribute,
+                event.speculative, event.shared)
+    if isinstance(event, QueryDoneEvent):
+        return ("done", event.time, event.instance_id, event.attribute,
+                event.units, event.completed)
+    if isinstance(event, InstanceCompleteEvent):
+        return ("complete", event.time, event.instance_id)
+    raise AssertionError(f"unexpected event {event!r}")
+
+
+def run_plain(pattern, config: ExecutionConfig, arrivals) -> dict:
+    service = DecisionService(pattern.schema, config.replace(shards=1))
+    log = service.attach_log()
+    service.submit_stream(arrivals, values=pattern.source_values)
+    database = service.database
+    return {
+        "values": [
+            (h.instance_id, h.done,
+             tuple(sorted((n, repr(v)) for n, v in h.instance.value_map().items())))
+            for h in service.handles
+        ],
+        "metrics": [
+            tuple(getattr(h.metrics, name) for name in METRIC_FIELDS)
+            for h in service.handles
+        ],
+        "totals": (
+            database.total_units,
+            database.queries_completed,
+            database.queries_cancelled,
+            database.queries_failed,
+        ),
+        "events": [project_event(e) for e in log.events],
+        "summary": service.summary(),
+    }
+
+
+def run_sharded(pattern, config: ExecutionConfig, arrivals) -> dict:
+    service = ShardedDecisionService(pattern.schema, config)
+    log = service.attach_log()
+    service.submit_stream(arrivals, values=pattern.source_values)
+    stats = service.stats()
+    assert len(stats) == config.shards
+    return {
+        "values": [
+            (h.instance_id, h.done,
+             tuple(sorted((n, repr(v)) for n, v in h.value_map().items())))
+            for h in service.handles
+        ],
+        "metrics": [
+            tuple(getattr(h.metrics, name) for name in METRIC_FIELDS)
+            for h in service.handles
+        ],
+        "totals": (
+            sum(s.total_units for s in stats),
+            sum(s.queries_completed for s in stats),
+            sum(s.queries_cancelled for s in stats),
+            sum(s.queries_failed for s in stats),
+        ),
+        "events": [project_event(e) for e in log.events],
+        "summary": service.summary(),
+    }
+
+
+def assert_summaries_close(sharded, plain, exact: bool) -> None:
+    assert sharded.count == plain.count
+    assert sharded.total_work == plain.total_work
+    for name in ("mean_work", "std_work", "mean_elapsed", "std_elapsed",
+                 "mean_speculative_wasted_units", "mean_unneeded_detected",
+                 "mean_queries_launched"):
+        if exact:
+            assert getattr(sharded, name) == getattr(plain, name), name
+        else:
+            assert getattr(sharded, name) == pytest.approx(getattr(plain, name)), name
+
+
+# -- ring 1: one shard is the plain service, bit for bit -----------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("backend", ["ideal", "profiled", "bounded"])
+@pytest.mark.parametrize("code,share", [("PSE50", True), ("PSE100", False)])
+def test_single_shard_is_bit_identical(backend, engine, code, share):
+    seed = 11
+    pattern = scenario_pattern(seed)
+    config = build_config(code, backend, engine, seed, shards=1, share=share)
+    arrivals = [index * 2.0 for index in range(5)]
+    plain = run_plain(pattern, config, arrivals)
+    sharded = run_sharded(pattern, config, arrivals)
+    assert sharded["values"] == plain["values"]
+    assert sharded["metrics"] == plain["metrics"]
+    assert sharded["totals"] == plain["totals"]
+    assert sharded["events"] == plain["events"]  # exact sequence, same clock
+    assert_summaries_close(sharded["summary"], plain["summary"], exact=True)
+
+
+# -- ring 2: partitioning is invisible without database coupling ---------------
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize(
+    "backend,spacing,code",
+    [
+        ("ideal", 0.0, "PSE100"),        # full overlap: no contention coupling
+        ("ideal", 2.0, "PSE50"),
+        ("ideal", NO_OVERLAP, "PCE0"),
+        ("profiled", NO_OVERLAP, "PSE50"),   # Gmpl-priced, so no overlap
+        ("profiled", NO_OVERLAP, "PSE100"),
+    ],
+)
+def test_sharded_matches_single_when_uncoupled(backend, spacing, code, engine, shards, seed):
+    pattern = scenario_pattern(seed)
+    config = build_config(code, backend, engine, seed, shards=shards)
+    arrivals = [index * spacing for index in range(6)]
+    plain = run_plain(pattern, config, arrivals)
+    sharded = run_sharded(pattern, config, arrivals)
+    assert sharded["values"] == plain["values"]
+    assert sharded["metrics"] == plain["metrics"]
+    assert sharded["totals"] == plain["totals"]
+    # Shard clocks are independent: global order is conventional, the
+    # event population is not.
+    assert Counter(sharded["events"]) == Counter(plain["events"])
+    assert_summaries_close(sharded["summary"], plain["summary"], exact=False)
+
+
+# -- ring 3: stochastic contention varies times, never decisions ---------------
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("engine", ENGINES)
+def test_bounded_backend_values_invariant_under_sharding(engine, shards):
+    seed = 5
+    pattern = scenario_pattern(seed, nb_nodes=16)
+    config = build_config("PCE0", "bounded", engine, seed, shards=shards)
+    arrivals = [index * NO_OVERLAP for index in range(4)]
+    plain = run_plain(pattern, config, arrivals)
+    sharded = run_sharded(pattern, config, arrivals)
+    assert sharded["values"] == plain["values"]
+    assert sharded["summary"].count == plain["summary"].count
+
+
+def test_multiple_shards_actually_used():
+    """The CRC routing genuinely spreads a population across shards."""
+    pattern = scenario_pattern(0)
+    config = build_config("PCE0", "ideal", "batched", 0, shards=4)
+    service = ShardedDecisionService(pattern.schema, config)
+    handles = [service.submit(pattern.source_values) for _ in range(32)]
+    service.run()
+    assert len({h.shard for h in handles}) == 4
+    assert all(h.done for h in handles)
