@@ -121,7 +121,7 @@ def measure_event_rate(instances: int | None = None) -> FigureResult:
     )
 
 
-def test_event_rate(benchmark, report_figure, quick):
+def test_event_rate(benchmark, report_figure, bench_artifact, quick):
     if quick and "REPRO_BENCH_EVENT_INSTANCES" not in os.environ:
         instances = 30
     else:
@@ -130,6 +130,20 @@ def test_event_rate(benchmark, report_figure, quick):
         measure_event_rate, args=(instances,), rounds=1, iterations=1
     )
     report_figure(result)
+    worst_ratio = min(row[3] for row in result.rows)
+    bench_artifact(
+        "bench_des_event_rate",
+        metrics={
+            backend: {"event_ratio": ratio, "events_coalesced": coalesced}
+            for backend, _per_unit, coalesced, ratio, *_ in result.rows
+        },
+        gate={
+            "description": ">= 5x fewer executed events on every backend",
+            "target": 5.0,
+            "measured": worst_ratio,
+            "passed": worst_ratio >= 5.0,
+        },
+    )
     for backend, per_unit_events, coalesced_events, ratio, *_ in result.rows:
         # Acceptance bar: >= 5x fewer executed events on a cost>=20 workload.
         assert ratio >= 5.0, f"{backend}: only {ratio:.1f}x fewer events"

@@ -93,10 +93,27 @@ def measure_engine_throughput(counts, code: str = "PSE100") -> FigureResult:
     )
 
 
-def test_reference_vs_batched_throughput(report_figure, quick):
+def test_reference_vs_batched_throughput(report_figure, bench_artifact, quick):
     counts = (50, 200) if quick else (100, 1_000, 10_000)
     result = report_figure(measure_engine_throughput(counts))
     speedups = {row[0]: row[3] for row in result.rows}
+    rates = {row[0]: row[2] for row in result.rows}
+    gate_count = 200 if quick else 1_000
+    target = QUICK_TARGET if quick else FULL_TARGET
+    bench_artifact(
+        "bench_engine_throughput",
+        metrics={
+            "instances": gate_count,
+            "batched_inst_per_s": rates[gate_count],
+            "speedup": speedups[gate_count],
+        },
+        gate={
+            "description": f"batched >= {target:g}x reference at {gate_count} instances",
+            "target": target,
+            "measured": speedups[gate_count],
+            "passed": speedups[gate_count] >= target,
+        },
+    )
     if quick:
         assert speedups[200] >= QUICK_TARGET, (
             f"batched engine only {speedups[200]:.2f}x at 200 instances"

@@ -1,0 +1,185 @@
+"""Micro-benchmark: instant-pooled dispatch + query share cache throughput.
+
+Not a paper figure — this measures the reproduction itself.  The PR-4
+ROADMAP baseline left **per-event Python dispatch** as the single-shard
+constant: at 10k instances the batched engine spends its time stepping
+the DES calendar one event at a time and re-issuing the same queries
+instance after instance.  This PR attacks both halves:
+
+* ``dispatch="pooled"`` — :meth:`Simulation.step_instant` pops every
+  event sharing the ``(time, priority band)`` frontier in one pass and
+  the engine consumes the pool in one call (identical trace; the
+  per-event step costs are paid once per instant);
+* ``query_cache=True`` — the :class:`QueryShareCache` coalesces
+  identical in-flight queries into one database dispatch with fan-out
+  delivery, and memo-serves re-issued ones, so an overlapping sweep
+  issues each distinct query once per shard instead of once per instance.
+
+The sweep runs one PSE100 population (ideal backend, batched engine,
+single shard — exactly the PR-4 baseline configuration) four ways and
+reports instances/sec: per-event without cache (the baseline), pooled
+alone, cache alone, and pooled + cache.  The gate: **pooled + cache must
+deliver >= 1.5x** the baseline on the 10 000-instance sweep.  Identical
+per-instance decision values across all four paths are asserted before
+any rate is reported (db work legitimately shrinks with the cache — that
+is the point — so Work is compared only between the two cache-less
+paths).
+
+``--quick`` (CI smoke) shrinks the population and relaxes the gate to a
+regression tripwire; both modes write a machine-readable
+``results/BENCH_*.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import usable_cores
+from repro import ExecutionConfig, PatternParams, generate_pattern
+from repro.api import DecisionService
+from repro.bench.figures import FigureResult
+
+#: Full-mode gate (10k instances): pooled dispatch + query cache vs the
+#: PR-4 single-shard per-event baseline.  Quick mode uses the tripwire.
+FULL_TARGET = 1.5
+TRIPWIRE = 1.1
+
+CODE = "PSE100"
+
+VARIANTS = (
+    ("per-event", False, "baseline (per-event)"),
+    ("pooled", False, "pooled"),
+    ("per-event", True, "cache"),
+    ("pooled", True, "pooled+cache"),
+)
+
+
+def _pattern():
+    return generate_pattern(PatternParams(nb_rows=4, pct_enabled=50, seed=7))
+
+
+def _sweep(pattern, instances: int, dispatch: str, query_cache: bool):
+    service = DecisionService(
+        pattern.schema,
+        ExecutionConfig.from_code(
+            CODE, engine="batched", dispatch=dispatch, query_cache=query_cache
+        ),
+    )
+    started = time.perf_counter()
+    for _ in range(instances):
+        service.submit(pattern.source_values)
+    service.run()
+    host_seconds = time.perf_counter() - started
+    summary = service.summary()
+    assert summary.count == instances
+    values = frozenset(
+        tuple(sorted((k, repr(v)) for k, v in h.instance.value_map().items()))
+        for h in service.handles
+    )
+    if dispatch == "pooled":
+        assert service.engine.pooled_batches > 0, "pooled dispatch never pooled"
+    return {
+        "rate": instances / host_seconds,
+        "db_units": service.database.total_units,
+        "values": values,
+        "cache_misses": summary.query_cache_misses,
+        "cache_shared": summary.query_cache_hits + summary.query_cache_coalesced,
+        "pooled_batches": service.engine.pooled_batches,
+        "pooled_events": service.engine.pooled_events,
+    }
+
+
+def measure_pooled_dispatch(counts) -> tuple[FigureResult, dict]:
+    """Returns the rendered figure plus the headline sweep's pool stats
+    (instants pooled / events per pool for the pooled+cache run)."""
+    pattern = _pattern()
+    rows = []
+    pool_stats: dict = {}
+    for count in counts:
+        runs = {
+            label: _sweep(pattern, count, dispatch, cache)
+            for dispatch, cache, label in VARIANTS
+        }
+        baseline = runs["baseline (per-event)"]
+        assert runs["pooled"]["db_units"] == baseline["db_units"], (
+            "pooled dispatch changed db work"
+        )
+        for label, run in runs.items():
+            assert run["values"] == baseline["values"], (
+                f"{label} changed decision values"
+            )
+        assert runs["pooled+cache"]["db_units"] < baseline["db_units"], (
+            "the cache did not remove db work on an overlapping sweep"
+        )
+        rows.append(
+            [
+                count,
+                baseline["rate"],
+                runs["pooled"]["rate"],
+                runs["cache"]["rate"],
+                runs["pooled+cache"]["rate"],
+                runs["pooled+cache"]["rate"] / baseline["rate"],
+            ]
+        )
+        combined = runs["pooled+cache"]
+        pool_stats = {
+            "pooled_batches": combined["pooled_batches"],
+            "pooled_events": combined["pooled_events"],
+            "mean_pool_size": combined["pooled_events"] / max(combined["pooled_batches"], 1),
+        }
+    figure = FigureResult(
+        figure_id="Bench pooled dispatch",
+        title=(
+            f"pooled dispatch + query share cache vs per-event baseline "
+            f"({CODE}, ideal backend, batched engine, single shard)"
+        ),
+        headers=[
+            "instances",
+            "baseline inst/s",
+            "pooled inst/s",
+            "cache inst/s",
+            "pooled+cache inst/s",
+            "combined speedup",
+        ],
+        rows=rows,
+        notes=[
+            "identical per-instance decision values across all four paths asserted",
+            "identical db work asserted between the two cache-less paths",
+            "cache = one db dispatch per distinct query; fan-out completions cost 0 units",
+            f"host cores: {usable_cores()}",
+            f"gate: pooled+cache >= {FULL_TARGET:g}x baseline at the 10k sweep (full mode)",
+        ],
+    )
+    return figure, pool_stats
+
+
+def test_pooled_dispatch_throughput(report_figure, bench_artifact, quick):
+    counts = (600,) if quick else (1_000, 10_000)
+    figure, pool_stats = measure_pooled_dispatch(counts)
+    result = report_figure(figure)
+    headline = counts[-1]
+    by_count = {row[0]: row for row in result.rows}
+    speedup = by_count[headline][5]
+    target = TRIPWIRE if quick else FULL_TARGET
+    bench_artifact(
+        "bench_pooled_dispatch",
+        metrics={
+            "instances": headline,
+            "baseline_inst_per_s": by_count[headline][1],
+            "pooled_inst_per_s": by_count[headline][2],
+            "cache_inst_per_s": by_count[headline][3],
+            "pooled_cache_inst_per_s": by_count[headline][4],
+            "speedup": speedup,
+            **pool_stats,
+        },
+        gate={
+            "description": f"pooled+cache >= {target:g}x per-event baseline",
+            "target": target,
+            "measured": speedup,
+            "passed": speedup >= target,
+        },
+    )
+    assert speedup >= target, (
+        f"pooled+cache only {speedup:.2f}x the per-event baseline at "
+        f"{headline} instances (target {target:g}x)"
+    )

@@ -30,9 +30,9 @@ only proves the machinery works).
 
 from __future__ import annotations
 
-import os
 import time
 
+from conftest import usable_cores
 from repro import ExecutionConfig, PatternParams, generate_pattern
 from repro.api import DecisionService
 from repro.bench.figures import FigureResult
@@ -46,13 +46,6 @@ TRIPWIRE = 0.25
 
 SHARDS = 4
 CODE = "PSE100"
-
-
-def usable_cores() -> int:
-    """Cores this process may actually run on (affinity-aware)."""
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
 
 
 def _pattern():
@@ -132,10 +125,33 @@ def measure_sharded_throughput(counts, shards: int = SHARDS) -> FigureResult:
     )
 
 
-def test_sharded_throughput(report_figure, quick):
+def test_sharded_throughput(report_figure, bench_artifact, quick):
     counts = (600,) if quick else (1_000, 10_000)
     result = report_figure(measure_sharded_throughput(counts))
     speedups = {row[0]: row[4] for row in result.rows}
+    headline = counts[-1]
+    rows = {row[0]: row for row in result.rows}
+    full_gate_armed = not quick and usable_cores() >= SHARDS
+    target = FULL_TARGET if full_gate_armed else TRIPWIRE
+    bench_artifact(
+        "bench_sharded_throughput",
+        metrics={
+            "instances": headline,
+            "shards": SHARDS,
+            "single_inst_per_s": rows[headline][1],
+            "process_inst_per_s": rows[headline][3],
+            "speedup": speedups[headline],
+        },
+        gate={
+            "description": (
+                f"{SHARDS}-shard process executor >= {target:g}x single-shard"
+                + ("" if full_gate_armed else " (tripwire: narrow host or quick mode)")
+            ),
+            "target": target,
+            "measured": speedups[headline],
+            "passed": speedups[headline] >= target,
+        },
+    )
     if quick:
         assert speedups[600] >= TRIPWIRE, (
             f"process executor only {speedups[600]:.2f}x at 600 instances"

@@ -11,12 +11,39 @@ tripwires).
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Keys every BENCH_*.json artifact must carry (CI asserts this schema).
+BENCH_ARTIFACT_KEYS = ("bench", "mode", "host_cores", "metrics", "gate")
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def validate_bench_artifact(data: dict) -> None:
+    """Schema check shared by the CI smoke step and the fixture itself."""
+    missing = [key for key in BENCH_ARTIFACT_KEYS if key not in data]
+    if missing:
+        raise ValueError(f"bench artifact missing keys: {missing}")
+    if data["mode"] not in ("full", "quick"):
+        raise ValueError(f"bench artifact mode must be full/quick, got {data['mode']!r}")
+    if not isinstance(data["metrics"], dict) or not data["metrics"]:
+        raise ValueError("bench artifact metrics must be a non-empty object")
+    gate = data["gate"]
+    if not isinstance(gate, dict) or "passed" not in gate:
+        raise ValueError("bench artifact gate must carry a 'passed' flag")
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -66,3 +93,36 @@ def report_figure(capsys, quick):
         return result
 
     return _report
+
+
+@pytest.fixture
+def bench_artifact(quick):
+    """Write a machine-readable ``results/BENCH_<name>.json`` artifact.
+
+    The throughput/event-rate benchmarks call this next to their
+    ``results/*.txt`` tables so the perf trajectory is trackable across
+    PRs: host cores, the headline metrics (inst/s, speedups, ...), and
+    the gate outcome.  Quick (CI smoke) runs write
+    ``BENCH_<name>_quick.json`` so reduced sweeps never clobber the
+    recorded full-size baselines.
+    """
+
+    def _write(name: str, metrics: dict, gate: dict) -> Path:
+        payload = {
+            "bench": name,
+            "mode": "quick" if quick else "full",
+            "host_cores": usable_cores(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "metrics": metrics,
+            "gate": gate,
+        }
+        validate_bench_artifact(payload)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        suffix = "_quick" if quick else ""
+        path = RESULTS_DIR / f"BENCH_{name}{suffix}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return _write

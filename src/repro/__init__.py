@@ -93,6 +93,7 @@ from repro.simdb import (
     DbParams,
     IdealDatabase,
     ProfiledDatabase,
+    QueryShareCache,
     Simulation,
     SimulatedDatabase,
     profile_database,
@@ -178,6 +179,7 @@ __all__ = [
     "IdealDatabase",
     "SimulatedDatabase",
     "ProfiledDatabase",
+    "QueryShareCache",
     "DbParams",
     "DbFunction",
     "profile_database",

@@ -130,6 +130,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--halt", choices=("cancel", "drain"), default="cancel", help="halt policy"
     )
     simulate.add_argument(
+        "--dispatch",
+        choices=("per-event", "pooled"),
+        default="per-event",
+        help="DES drain mode: step one event at a time ('per-event', the "
+        "reference) or consume same-instant event pools in one pass "
+        "('pooled'; identical results — pays off on pool-heavy sweeps, "
+        "best combined with --query-cache)",
+    )
+    simulate.add_argument(
+        "--query-cache",
+        action="store_true",
+        help="coalesce identical in-flight queries into one database dispatch "
+        "and memo-serve repeated ones (per shard; counters in the summary)",
+    )
+    simulate.add_argument(
         "--share", action="store_true", help="share query results across instances"
     )
     simulate.add_argument(
@@ -178,6 +193,8 @@ def run_simulate(args: argparse.Namespace) -> int:
         backend=args.backend,
         shards=args.shards,
         executor=args.executor,
+        dispatch=args.dispatch,
+        query_cache=args.query_cache,
         # Every built-in backend accepts a seed; third-party factories may
         # not, so only forward it where it is known to be understood.
         backend_options=(
@@ -226,6 +243,11 @@ def run_simulate(args: argparse.Namespace) -> int:
         "total_work": summary.total_work,
         "sim_time": service.now,
         "mean_gmpl": mean_gmpl,
+        "dispatch": config.dispatch,
+        "query_cache": config.query_cache,
+        "query_cache_hits": summary.query_cache_hits,
+        "query_cache_misses": summary.query_cache_misses,
+        "query_cache_coalesced": summary.query_cache_coalesced,
     }
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -242,6 +264,12 @@ def run_simulate(args: argparse.Namespace) -> int:
             f"  total work = {payload['total_work']} units   "
             f"sim time = {payload['sim_time']:.1f}   mean Gmpl = {payload['mean_gmpl']:.2f}"
         )
+        if config.query_cache:
+            print(
+                f"  query cache: {payload['query_cache_hits']} hits   "
+                f"{payload['query_cache_misses']} misses   "
+                f"{payload['query_cache_coalesced']} coalesced"
+            )
     return 0
 
 

@@ -18,9 +18,16 @@ from typing import Any, Mapping
 from repro.core.strategy import Strategy
 from repro.errors import StrategyError
 
-__all__ = ["ExecutionConfig", "HALT_POLICIES", "ENGINES", "EXECUTORS"]
+__all__ = ["ExecutionConfig", "HALT_POLICIES", "ENGINES", "EXECUTORS", "DISPATCH_MODES"]
 
 HALT_POLICIES = ("cancel", "drain")
+
+#: DES drain modes selectable per config: ``"per-event"`` steps the
+#: calendar one event at a time (the reference); ``"pooled"`` drains
+#: whole same-instant event pools through the engine's batch consumer
+#: (identical observable trace; pays off on pool-heavy sweeps, best
+#: combined with ``query_cache`` — thin pools can cost a few percent).
+DISPATCH_MODES = ("per-event", "pooled")
 
 #: Execution-engine implementations selectable per config: the name-keyed
 #: reference engine, or the compiled-plan batched engine (identical
@@ -52,6 +59,15 @@ class ExecutionConfig:
     ``"batched"`` (compiled flow plans + flat array state; identical
     observable behavior, built for large instance populations).
 
+    ``dispatch`` picks how each shard's DES calendar drains:
+    ``"per-event"`` (the reference stepper) or ``"pooled"`` (same-instant
+    event pools consumed in one pass by the engine — identical observable
+    trace, lower dispatch overhead on large sweeps).  ``query_cache``
+    arms the per-service :class:`~repro.simdb.database.QueryShareCache`:
+    identical in-flight queries coalesce into one database dispatch and
+    completed results memo-serve re-issues at zero cost (per shard;
+    hit/miss/coalesce counters surface in ``summary()``).
+
     ``shards`` and ``executor`` configure the sharded runtime
     (:class:`repro.runtime.ShardedDecisionService`): instances are
     hash-partitioned across ``shards`` independent engine + DES + database
@@ -70,6 +86,8 @@ class ExecutionConfig:
     engine: str = "reference"
     shards: int = 1
     executor: str = "serial"
+    dispatch: str = "per-event"
+    query_cache: bool = False
 
     def __post_init__(self):
         if isinstance(self.strategy, str):
@@ -95,6 +113,14 @@ class ExecutionConfig:
         if self.executor not in EXECUTORS:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_MODES}, got {self.dispatch!r}"
+            )
+        if not isinstance(self.query_cache, bool):
+            raise ValueError(
+                f"query_cache must be a bool, got {self.query_cache!r}"
             )
         # Freeze the options mapping so the config stays a value.
         object.__setattr__(
@@ -169,6 +195,10 @@ class ExecutionConfig:
             extras.append(f"shards={self.shards}x{self.executor}")
         if self.halt_policy != "cancel":
             extras.append(f"halt={self.halt_policy}")
+        if self.dispatch != "per-event":
+            extras.append(f"dispatch={self.dispatch}")
+        if self.query_cache:
+            extras.append("query-cache")
         if self.share_results:
             extras.append("shared")
         if self.cancel_unneeded:

@@ -15,6 +15,7 @@ through :class:`InstanceHandle`.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.api.backends import Backend, create_backend
@@ -176,7 +177,10 @@ class DecisionService:
             halt_policy=config.halt_policy,
             share_results=config.share_results,
             observer=self._dispatcher,
+            query_cache=config.query_cache,
         )
+        if config.dispatch == "pooled":
+            self.engine.enable_pooled_dispatch()
         self._handles: list[InstanceHandle] = []
 
     # -- submission -----------------------------------------------------------
@@ -309,10 +313,21 @@ class DecisionService:
         A service with no finished instances (nothing submitted yet, or
         everything still in flight) summarizes to a zeroed
         :class:`MetricsSummary` with ``count == 0`` rather than raising.
+        With the query share cache armed, the summary carries its
+        service-level hit/miss/coalesce counters.
         """
-        return summarize(
+        summary = summarize(
             (h.metrics for h in self._handles if h.done), empty_ok=True
         )
+        cache = self.engine.query_cache
+        if cache is not None:
+            summary = replace(
+                summary,
+                query_cache_hits=cache.hits,
+                query_cache_misses=cache.misses,
+                query_cache_coalesced=cache.coalesced,
+            )
+        return summary
 
     # -- observation ----------------------------------------------------------
 

@@ -163,6 +163,7 @@ class BatchedInstance:
         "_started",
         "_start_key",
         "_sources",
+        "_any_launched",
     )
 
     def __init__(
@@ -216,6 +217,10 @@ class BatchedInstance:
         self._cand: set[int] = set()
         self._queue: deque[int] = deque()
         self._started = False
+        #: False until the first launch: while False (and nothing is in
+        #: flight), the instance state is a pure function of its start
+        #: key, so the first scheduling round can replay a plan-level memo.
+        self._any_launched = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -549,9 +554,14 @@ class BatchedEngine(Engine):
     constructor, same submit/run surface, same observer hooks, same
     error behavior) selected through
     ``ExecutionConfig(engine="batched")``.  The submit path, query
-    completion, sharing, and halting logic are inherited; only instance
-    construction, the evaluation phase, and launch selection are
-    replaced by their array-based equivalents.
+    completion, sharing, halting, and pooled-dispatch (``drain_pooled``)
+    logic are inherited; only instance construction, the evaluation
+    phase, and launch selection are replaced by their array-based
+    equivalents.  Under instant pooling the cross-instance sweep lands
+    one layer down: every fresh instance drawn from the same start
+    valuation replays the plan-memoized first launch selection
+    (:meth:`_select_for_launch`) instead of re-pruning and re-sorting
+    its own candidate pool.
     """
 
     def __init__(self, *args, **kwargs):
@@ -577,10 +587,27 @@ class BatchedEngine(Engine):
         return [names[i] for i in self._select_for_launch(instance)]
 
     def _select_for_launch(self, instance: BatchedInstance) -> Sequence[int]:
-        """The scheduling phase over the incrementally maintained pool."""
+        """The scheduling phase over the incrementally maintained pool.
+
+        A *fresh* instance (started, nothing launched, nothing in
+        flight) is in a state fully determined by its start key, so its
+        first scheduling round is memoized per plan: fleets of instances
+        sharing a source valuation prune and sort the candidate pool
+        once, then replay ``(selected, pruned)`` as plain tuples.
+        """
         cand = instance._cand
         if not cand:
             return ()
+        fresh_key = None
+        if not instance._any_launched and not instance.inflight:
+            fresh_key = instance._start_key
+            if fresh_key is not None:
+                cached = self.plan.lookup_select(fresh_key)
+                if cached is not None:
+                    selected, pruned = cached
+                    for i in pruned:
+                        cand.discard(i)
+                    return selected
         readiness = instance._readiness
         enablement = instance._enablement
         launched = instance._launched
@@ -602,18 +629,23 @@ class BatchedEngine(Engine):
             pool.append(i)
         for i in dead:
             cand.discard(i)
-        if not pool:
-            return ()
-        inflight = sum(
-            1
-            for handle in instance.inflight.values()
-            if getattr(handle, "counts_for_parallelism", True)
-        )
-        slots = permitted_slots(len(pool), inflight, self.strategy.permitted)
-        if slots <= 0:
-            return ()
-        pool.sort(key=self.plan.rank.__getitem__)
-        return pool[:slots]
+        if pool:
+            inflight = sum(
+                1
+                for handle in instance.inflight.values()
+                if getattr(handle, "counts_for_parallelism", True)
+            )
+            slots = permitted_slots(len(pool), inflight, self.strategy.permitted)
+            if slots > 0:
+                pool.sort(key=self.plan.rank.__getitem__)
+                selected: Sequence[int] = pool[:slots]
+            else:
+                selected = ()
+        else:
+            selected = ()
+        if fresh_key is not None:
+            self.plan.remember_select(fresh_key, (tuple(selected), tuple(dead)))
+        return selected
 
     def _stage_launch(self, instance: BatchedInstance, name: str):
         """Array-backed half of a launch; the inherited sharing/dispatch
@@ -623,6 +655,7 @@ class BatchedEngine(Engine):
         values = instance._input_values(i)
         speculative = instance._enablement[i] == E_UNKNOWN
         instance._launched[i] = 1
+        instance._any_launched = True
         instance._cand.discard(i)
         return plan.tasks[i], values, speculative
 

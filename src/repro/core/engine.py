@@ -47,7 +47,7 @@ from repro.core.state import Enablement
 from repro.core.strategy import Strategy
 from repro.errors import ExecutionError
 from repro.nulls import ExceptionValue
-from repro.simdb.database import DatabaseServer
+from repro.simdb.database import DatabaseServer, QueryShareCache
 
 __all__ = ["Engine", "EngineObserver", "claim_instance_id"]
 
@@ -142,6 +142,7 @@ class Engine:
         halt_policy: str = "cancel",
         share_results: bool = False,
         observer: EngineObserver | None = None,
+        query_cache: QueryShareCache | bool | None = None,
     ):
         if halt_policy not in ("cancel", "drain"):
             raise ValueError(f"halt_policy must be 'cancel' or 'drain', got {halt_policy!r}")
@@ -152,11 +153,17 @@ class Engine:
         self.halt_policy = halt_policy
         self.observer = observer
         self.share: ResultShare | None = ResultShare() if share_results else None
+        if query_cache is True:
+            query_cache = QueryShareCache(database)
+        self.query_cache: QueryShareCache | None = query_cache or None
         self.instances: list[InstanceRuntime] = []
         self._instance_ids: set[str] = set()
         self._id_seq = itertools.count(1)
         self._on_complete: dict[str, Callable[[InstanceMetrics], None]] = {}
         self._handle_key: dict[object, tuple] = {}
+        #: instant-pool dispatch stats (0 until enable_pooled_dispatch)
+        self.pooled_batches = 0
+        self.pooled_events = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -253,10 +260,33 @@ class Engine:
         return select_for_launch(instance)
 
     def _has_waiters(self, handle: object) -> bool:
-        if self.share is None:
-            return False
-        key = self._handle_key.get(handle)
-        return key is not None and self.share.waiter_count(key) > 0
+        if self.share is not None:
+            key = self._handle_key.get(handle)
+            if key is not None and self.share.waiter_count(key) > 0:
+                return True
+        if self.query_cache is not None and self.query_cache.waiter_count(handle) > 0:
+            # Cancelling a coalesced primary would strand its followers
+            # behind a full-cost reissue; keep it running instead.
+            return True
+        return False
+
+    def _submit_query(
+        self,
+        task,
+        values: Mapping[str, object] | None,
+        on_complete,
+        share_key_hint: tuple | None = None,
+    ) -> object:
+        """Dispatch one query, through the share cache when configured.
+
+        ``share_key_hint`` lets callers that already computed the share
+        key (the launch path with ``share_results`` on, the share-layer
+        reissue) avoid freezing the input values a second time.
+        """
+        if self.query_cache is None:
+            return self.database.submit(task.cost, on_complete)
+        base = share_key_hint if share_key_hint is not None else share_key(task.name, values)
+        return self.query_cache.submit(base + (task.cost,), task.cost, on_complete)
 
     def _stage_launch(self, instance: InstanceRuntime, name: str):
         """Gather the launch inputs and mark *name* launched.
@@ -315,11 +345,13 @@ class Engine:
             instance.metrics.speculative_launched += 1
         if self.observer is not None:
             self.observer.on_launch(instance, name, speculative=speculative, shared=None)
-        handle = self.database.submit(
-            task.cost,
+        handle = self._submit_query(
+            task,
+            values,
             lambda processed, completed: self._query_done(
                 instance, name, value, key, processed, completed
             ),
+            share_key_hint=key,
         )
         instance.inflight[name] = handle
         if key is not None:
@@ -407,7 +439,9 @@ class Engine:
                 outcome = ExceptionValue(f"query for {name!r} failed") if failed else value
                 self.share.publish(key, outcome, cache=False)
 
-        holder["handle"] = self.database.submit(task.cost, on_reissue)
+        holder["handle"] = self._submit_query(
+            task, None, on_reissue, share_key_hint=key
+        )
 
     def _shared_done(self, instance: InstanceRuntime, name: str, value: object) -> None:
         """A shared result (cache hit or resolved join) reaches an instance."""
@@ -419,6 +453,36 @@ class Engine:
         instance.speculative_launch.discard(name)
         instance.apply_query_result(name, value)
         self._after_event(instance)
+
+    # -- pooled dispatch -------------------------------------------------------
+
+    def enable_pooled_dispatch(self) -> None:
+        """Register this engine as the simulation's instant-pool consumer.
+
+        After this, :meth:`Simulation.run` drains the calendar through
+        :meth:`Simulation.step_instant`, handing every same-``(time,
+        band)`` event pool to :meth:`drain_pooled` in one call.  The
+        observable trace is unchanged by construction — events still fire
+        in exactly per-event order — but the per-event step loop (head
+        re-peek, clock write, priority bookkeeping) is paid once per pool
+        instead of once per event.
+        """
+        self.sim.set_batch_consumer(self.drain_pooled)
+
+    def drain_pooled(self, events) -> int:
+        """Consume one instant pool, preserving per-event dispatch order.
+
+        Delegates the fire loop to :meth:`Simulation.fire_pooled`: events
+        run in exactly per-event order, and when a callback schedules an
+        event that sorts *before* the rest of the pool (a closed-loop
+        replacement start, say, which per-event stepping would run next),
+        consumption stops and the kernel re-queues the remainder.
+        Subclasses layer batch-level fast paths on top.
+        """
+        consumed = self.sim.fire_pooled(events)
+        self.pooled_batches += 1
+        self.pooled_events += consumed
+        return consumed
 
     def _finish(self, instance: InstanceRuntime) -> None:
         instance.done = True

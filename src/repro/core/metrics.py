@@ -67,7 +67,14 @@ class InstanceMetrics:
 
 @dataclass
 class MetricsSummary:
-    """Aggregates over a set of finished instances."""
+    """Aggregates over a set of finished instances.
+
+    The ``query_cache_*`` counters are service-level (one
+    :class:`~repro.simdb.database.QueryShareCache` per service/shard, not
+    per instance): zero unless the cache is armed, filled in by
+    ``DecisionService.summary()``, and summed — not averaged — by
+    :meth:`merge` so sharded aggregations report fleet totals.
+    """
 
     count: int
     mean_work: float
@@ -78,6 +85,9 @@ class MetricsSummary:
     mean_unneeded_detected: float
     total_work: int = 0
     mean_queries_launched: float = 0.0
+    query_cache_hits: int = 0
+    query_cache_misses: int = 0
+    query_cache_coalesced: int = 0
 
     def mean_time_in_units(self, unit_duration: float = 1.0) -> float:
         return self.mean_elapsed / unit_duration
@@ -109,11 +119,19 @@ class MetricsSummary:
         input is returned as an exact copy, so one-shard aggregations
         reproduce their shard's summary bit for bit.
         """
+        cache_totals = {
+            name: sum(getattr(s, name) for s in summaries)
+            for name in (
+                "query_cache_hits",
+                "query_cache_misses",
+                "query_cache_coalesced",
+            )
+        }
         live = [s for s in summaries if s.count > 0]
         if not live:
-            return cls.empty()
+            return replace(cls.empty(), **cache_totals)
         if len(live) == 1:
-            return replace(live[0])
+            return replace(live[0], **cache_totals)
         count = sum(s.count for s in live)
 
         def weighted(attr: str) -> float:
@@ -142,6 +160,7 @@ class MetricsSummary:
             mean_unneeded_detected=weighted("mean_unneeded_detected"),
             total_work=sum(s.total_work for s in live),
             mean_queries_launched=weighted("mean_queries_launched"),
+            **cache_totals,
         )
 
 

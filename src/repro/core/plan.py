@@ -280,6 +280,7 @@ class CompiledPlan:
         "external0",
         "start_cache_ok",
         "_start_cache",
+        "_select_cache",
     )
 
     def __init__(self, schema: DecisionFlowSchema, strategy: Strategy):
@@ -386,6 +387,14 @@ class CompiledPlan:
         #: typed-frozen source values -> post-start state snapshot (see
         #: BatchedInstance.start); LRU-bounded to START_CACHE_LIMIT.
         self._start_cache: dict[object, tuple] = {}
+        #: typed-frozen source values -> first-round launch selection
+        #: (selected indices, pruned-dead candidate indices).  The
+        #: scheduling phase of a *fresh* instance is a pure function of
+        #: its post-start state — which the start key determines — so
+        #: instance fleets sharing a source valuation compute it once per
+        #: plan instead of once per instance (the batched drain's
+        #: per-group sweep; see BatchedEngine._select_for_launch).
+        self._select_cache: dict[object, tuple[tuple[int, ...], tuple[int, ...]]] = {}
 
     def start_key(self, source_values: dict[str, object]) -> object:
         """Cache key for the start-state snapshot of one source valuation.
@@ -420,6 +429,19 @@ class CompiledPlan:
         if len(cache) >= START_CACHE_LIMIT:
             cache.pop(next(iter(cache)))
         cache[key] = snapshot
+
+    def lookup_select(self, key: object) -> tuple[tuple[int, ...], tuple[int, ...]] | None:
+        """The memoized fresh-instance launch selection for *key*."""
+        return self._select_cache.get(key)
+
+    def remember_select(
+        self, key: object, selection: tuple[tuple[int, ...], tuple[int, ...]]
+    ) -> None:
+        """Memoize a fresh instance's first launch selection (FIFO-bounded)."""
+        cache = self._select_cache
+        if len(cache) >= START_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        cache[key] = selection
 
     def __repr__(self) -> str:
         return (

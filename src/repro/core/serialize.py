@@ -347,6 +347,8 @@ def config_to_dict(config) -> dict:
         "engine": config.engine,
         "shards": config.shards,
         "executor": config.executor,
+        "dispatch": config.dispatch,
+        "query_cache": config.query_cache,
     }
 
 
@@ -370,4 +372,6 @@ def config_from_dict(data: dict):
         engine=data.get("engine", "reference"),
         shards=data.get("shards", 1),
         executor=data.get("executor", "serial"),
+        dispatch=data.get("dispatch", "per-event"),
+        query_cache=bool(data.get("query_cache", False)),
     )

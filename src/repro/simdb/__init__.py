@@ -5,6 +5,7 @@ from repro.simdb.database import (
     DbParams,
     IdealDatabase,
     ProfiledDatabase,
+    QueryShareCache,
     SimulatedDatabase,
 )
 from repro.simdb.des import Event, Simulation
@@ -22,6 +23,7 @@ __all__ = [
     "IdealDatabase",
     "SimulatedDatabase",
     "ProfiledDatabase",
+    "QueryShareCache",
     "DbParams",
     "DbFunction",
     "profile_database",

@@ -52,7 +52,14 @@ __all__ = [
     "IdealDatabase",
     "SimulatedDatabase",
     "ProfiledDatabase",
+    "QueryShareCache",
+    "QUERY_MEMO_LIMIT",
 ]
+
+#: Bound on completed-result memo entries per :class:`QueryShareCache`.
+#: Service workloads with unique per-request inputs get no reuse, so an
+#: unbounded memo would grow one entry per query forever.
+QUERY_MEMO_LIMIT = 4096
 
 
 def _query_priority(handle: QueryHandle) -> tuple[int, int]:
@@ -545,3 +552,246 @@ class ProfiledDatabase(_CoalescedServer):
         key = (when, handle.query_id)
         if self._next_key is None or key < self._next_key:
             self._arm(handle, key)
+
+
+class _CacheFollower:
+    """Placeholder handle for a query answered by the share cache.
+
+    Presents the :class:`~repro.simdb.query.QueryHandle` surface the
+    engine touches — ``cancel()``, ``failed``, ``counts_for_parallelism``
+    — without occupying the database: a follower costs the server
+    nothing, so it must not consume a %Permitted parallelism slot, and
+    cancelling it only flags the eventual delivery as cancelled (there is
+    no in-service unit to stop).
+    """
+
+    #: followers cost the database nothing, so the scheduler's in-flight
+    #: cut must ignore them (same contract as engine-level shared waits).
+    counts_for_parallelism = False
+
+    __slots__ = ("key", "cost", "on_complete", "cancel_requested", "finished", "failed")
+
+    def __init__(self, key: object, cost: int, on_complete: CompletionCallback):
+        self.key = key
+        self.cost = cost
+        self.on_complete = on_complete
+        self.cancel_requested = False
+        self.finished = False
+        self.failed = False
+
+    def cancel(self) -> None:
+        """Mark the pending delivery cancelled (resolved at fan-out)."""
+        if self.finished or self.cancel_requested:
+            return
+        self.cancel_requested = True
+
+    def __repr__(self) -> str:
+        status = "done" if self.finished else (
+            "cancelling" if self.cancel_requested else "waiting"
+        )
+        return f"<_CacheFollower cost={self.cost} {status}>"
+
+
+class QueryShareCache:
+    """Coalesce identical queries to one database dispatch per key.
+
+    The paper's thesis is that data-intensive decision flows win by
+    *sharing and avoiding* expensive source accesses; the survey
+    literature (Kougka & Gounaris) names result reuse/materialization as
+    the dominant lever next to task re-ordering.  This cache is that
+    lever at the database-access layer, below the engine's §6
+    ``share_results`` table (which shares *values* and rewires launches):
+
+    * an **in-flight** identical query (same key: task, frozen inputs,
+      cost) is *coalesced* — the second submission gets a
+      :class:`_CacheFollower` whose completion callback fires, with zero
+      units of work, when the one real query completes;
+    * a **completed** identical query is served from a bounded LRU memo
+      as a *hit* — a zero-delay band-2 delivery, the same priority as
+      engine-level shared-result deliveries, so per-event and pooled
+      dispatch order it identically;
+    * anything else is a **miss** and dispatches to the wrapped database.
+
+    Failed primaries resolve their followers (marked ``failed``) but are
+    never memoized, so the next identical query retries.  A cancelled
+    primary strands its followers; the cache reissues one fresh query on
+    behalf of the still-live ones (mirroring the engine share table's
+    abandon/reissue protocol).  Counters — ``hits`` / ``misses`` /
+    ``coalesced`` — surface through ``DecisionService.summary()``.
+
+    Semantics: like every sharing optimization, coalescing changes
+    execution *dynamics* relative to an uncached run — shared
+    completions arrive earlier, followers hold no %Permitted slot, and
+    one failure draw per real dispatch means followers inherit the
+    primary's outcome — while the value each completed query delivers
+    is unchanged (the paper's fixed-data assumption).  Cached runs are
+    themselves fully deterministic and identical across engines,
+    dispatch modes, and shard executors (the differential suites pin
+    this down); they are not bit-comparable to uncached runs.
+    """
+
+    def __init__(self, database: DatabaseServer, memo_limit: int = QUERY_MEMO_LIMIT):
+        if memo_limit < 1:
+            raise ValueError(f"memo_limit must be >= 1, got {memo_limit}")
+        self.database = database
+        self.memo_limit = memo_limit
+        #: key -> (primary handle, follower list), one entry per live key
+        self._inflight: dict[object, tuple[QueryHandle, list[_CacheFollower]]] = {}
+        #: primary handle -> key (waiter lookups, entry cleanup)
+        self._handle_key: dict[QueryHandle, object] = {}
+        #: completed keys, LRU-ordered (oldest first)
+        self._memo: dict[object, bool] = {}
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.reissues = 0
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, key: object, cost: int, on_complete: CompletionCallback):
+        """Dispatch, coalesce, or answer a query for *key* from the memo.
+
+        Returns the handle the caller should treat exactly like a
+        :meth:`DatabaseServer.submit` result.
+        """
+        if cost < 1:
+            raise ValueError(f"query cost must be >= 1, got {cost}")
+        memo = self._memo
+        if key in memo:
+            self.hits += 1
+            if next(reversed(memo)) != key:
+                # Refresh LRU recency so hot keys are the last evicted.
+                del memo[key]
+                memo[key] = True
+            follower = _CacheFollower(key, cost, on_complete)
+            # Deliver asynchronously (band 2, like engine-level shared
+            # results) so state changes stay event-driven and pooled
+            # dispatch sees the same event order as per-event stepping.
+            self.database.sim.schedule(
+                0.0, lambda: self._deliver(follower), priority=(2, 0)
+            )
+            return follower
+        entry = self._inflight.get(key)
+        if entry is not None:
+            self.coalesced += 1
+            follower = _CacheFollower(key, cost, on_complete)
+            entry[1].append(follower)
+            return follower
+        self.misses += 1
+        return self._dispatch(key, cost, on_complete)
+
+    def _dispatch(
+        self, key: object, cost: int, on_complete: CompletionCallback | None
+    ) -> QueryHandle:
+        """Issue the one real database query behind *key*."""
+        handle = self.database.submit(
+            cost, lambda processed, completed: self._primary_done(
+                key, on_complete, processed, completed
+            )
+        )
+        self._inflight[key] = (handle, [])
+        self._handle_key[handle] = key
+        return handle
+
+    # -- resolution ----------------------------------------------------------
+
+    def _primary_done(
+        self,
+        key: object,
+        on_complete: CompletionCallback | None,
+        processed: int,
+        completed: bool,
+    ) -> None:
+        primary, followers = self._inflight.pop(key)
+        del self._handle_key[primary]
+        if completed:
+            failed = primary.failed
+            if not failed:
+                # Memoize before the issuer advances: a same-key launch
+                # made inside its advance must hit, not re-dispatch.
+                self._remember(key)
+            if on_complete is not None:
+                on_complete(processed, completed)
+            self._fan_out(followers, failed)
+            return
+        # The primary was cancelled.  Resolve the issuer first (it keeps
+        # ownership of its own advance), then the followers.
+        if on_complete is not None:
+            on_complete(processed, completed)
+        live: list[_CacheFollower] = []
+        for follower in followers:
+            if follower.cancel_requested:
+                follower.finished = True
+                follower.on_complete(0, False)
+            else:
+                live.append(follower)
+        if not live:
+            return
+        # Reissue one fresh query on behalf of the stranded followers —
+        # unless the issuer's advance already re-dispatched the key, in
+        # which case they join that entry.
+        entry = self._inflight.get(key)
+        if entry is not None:
+            entry[1].extend(live)
+            return
+        self.reissues += 1
+        reissued = self._dispatch(key, live[0].cost, None)
+        self._inflight[key] = (reissued, live)
+
+    def _fan_out(self, followers: list[_CacheFollower], failed: bool) -> None:
+        """Resolve every follower of a completed primary, in join order."""
+        for follower in followers:
+            follower.finished = True
+            if follower.cancel_requested:
+                follower.on_complete(0, False)
+            else:
+                follower.failed = failed
+                follower.on_complete(0, True)
+
+    def _deliver(self, follower: _CacheFollower) -> None:
+        """Fire a memo hit's zero-delay delivery."""
+        follower.finished = True
+        if follower.cancel_requested:
+            follower.on_complete(0, False)
+        else:
+            follower.on_complete(0, True)
+
+    def _remember(self, key: object) -> None:
+        memo = self._memo
+        if key in memo:
+            return
+        if len(memo) >= self.memo_limit:
+            memo.pop(next(iter(memo)))
+        memo[key] = True
+
+    # -- inspection ----------------------------------------------------------
+
+    def waiter_count(self, handle: object) -> int:
+        """*Live* followers coalesced behind *handle* (0 for non-primaries).
+
+        Cancelled followers no longer need the result (they resolve as
+        cancelled either way), so they must not pin an otherwise
+        cancellable primary — e.g. under ``cancel_unneeded``, a primary
+        whose every waiter was itself cancelled should be cancelled too.
+        """
+        key = self._handle_key.get(handle)
+        if key is None:
+            return 0
+        return sum(
+            1 for follower in self._inflight[key][1] if not follower.cancel_requested
+        )
+
+    @property
+    def memo_size(self) -> int:
+        return len(self._memo)
+
+    @property
+    def inflight_keys(self) -> int:
+        return len(self._inflight)
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryShareCache memo={self.memo_size}/{self.memo_limit} "
+            f"inflight={self.inflight_keys} hits={self.hits} "
+            f"misses={self.misses} coalesced={self.coalesced}>"
+        )

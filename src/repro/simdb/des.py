@@ -22,6 +22,25 @@ and reschedule completion events instead of walking unit by unit:
   defined order — database events sort by query submission order in band
   1, between plain events (band 0) and zero-delay deliveries (band 2) —
   that both kernels realize identically.
+
+Instant pooling
+---------------
+
+Large sweeps concentrate thousands of events on a handful of instants
+(every instance starts at t=0; equal-cost queries complete together), and
+dispatching each through :meth:`Simulation.step` pays the full per-event
+loop: a head peek, a pop, a clock write, and a priority save/restore.
+:meth:`Simulation.step_instant` instead pops *every* live event sharing
+the ``(time, priority band)`` frontier in one pass and hands the run to a
+registered *batch consumer* (see :meth:`Simulation.set_batch_consumer`),
+which fires them through :meth:`Simulation.fire_pooled` — in exactly the
+order :meth:`step` would have — and may layer cross-event optimizations
+on top.
+The contract keeps pooling invisible: a consumer must stop early (and
+return how many events it consumed) whenever a freshly scheduled event
+sorts before the rest of the pool, because under per-event stepping that
+event would have preempted them; the kernel then re-queues the remainder.
+With no consumer registered, ``step_instant`` falls back to ``step``.
 """
 
 from __future__ import annotations
@@ -34,10 +53,15 @@ from repro.errors import SimulationError
 
 __all__ = ["Event", "Simulation"]
 
-#: Compaction threshold: rebuild the heap once more than this many events
-#: are dead *and* they outnumber the live ones.  Small enough to bound
-#: memory on reschedule-heavy runs, large enough to amortize the rebuild.
+#: Compaction thresholds: rebuild the heap once more than
+#: ``_COMPACT_MIN_CANCELLED`` events are dead *and* dead events exceed
+#: ``_COMPACT_LIVE_FRACTION`` of the live count.  Small enough to bound
+#: memory on reschedule-heavy runs, large enough to amortize the rebuild
+#: (a compaction is O(live + dead); firing between compactions skips dead
+#: events in O(1) each, so rebuilding below the fraction would cost more
+#: than the lazy skips it saves).
 _COMPACT_MIN_CANCELLED = 64
+_COMPACT_LIVE_FRACTION = 1.0
 
 
 #: Default event priority: band 0, no sub-rank — ties resolve by seq.
@@ -47,7 +71,7 @@ DEFAULT_PRIORITY = (0, 0)
 class Event:
     """A scheduled callback; cancellable until it fires."""
 
-    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "fired", "_sim")
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "fired", "popped", "_sim")
 
     def __init__(
         self,
@@ -63,6 +87,10 @@ class Event:
         self.fn = fn
         self.cancelled = False
         self.fired = False
+        #: True while the event sits in a popped instant pool rather than
+        #: the calendar heap — cancellations then must not touch the
+        #: dead-in-queue accounting (the event is not in the queue).
+        self.popped = False
         self._sim = sim
 
     def cancel(self) -> None:
@@ -71,7 +99,7 @@ class Event:
             return
         self.cancelled = True
         if self._sim is not None:
-            self._sim._on_cancel()
+            self._sim._on_cancel(self)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
@@ -96,6 +124,8 @@ class Simulation:
         self._events_executed = 0
         self._live = 0
         self._dead_in_queue = 0
+        self._cancelled_compactions = 0
+        self._batch_consumer: Callable[[list[Event]], int | None] | None = None
         #: priority of the event whose callback is currently running
         #: (None outside a dispatch) — lets re-planning code decide whether
         #: a same-time event with another priority has already fired.
@@ -128,20 +158,80 @@ class Simulation:
         self._live += 1
         return event
 
-    def _on_cancel(self) -> None:
+    def _on_cancel(self, event: Event) -> None:
         self._live -= 1
+        if event.popped:
+            # The event sits in a consumer's instant pool, not the heap;
+            # it either fires as a no-op or re-enters the queue (counted
+            # dead at that point).  Counting it here would let a
+            # concurrent _compact zero away a debt the queue never held.
+            return
         self._dead_in_queue += 1
         if (
             self._dead_in_queue > _COMPACT_MIN_CANCELLED
-            and self._dead_in_queue > self._live
+            and self._dead_in_queue > self._live * _COMPACT_LIVE_FRACTION
         ):
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled events and re-heapify what remains."""
-        self._queue = [event for event in self._queue if not event.cancelled]
+        """Drop cancelled events and re-heapify what remains.
+
+        Reached only once dead events pass the live-fraction threshold in
+        :meth:`_on_cancel`; a workload that cancels below it never pays a
+        rebuild (the dead events drain lazily as ``step`` skips them).
+        Mutates the queue list *in place*: a compaction can fire from a
+        callback inside :meth:`fire_pooled`, whose loop holds an alias to
+        the list for its preemption checks — rebinding would leave that
+        alias reading a dead snapshot.
+        """
+        self._queue[:] = [event for event in self._queue if not event.cancelled]
         heapq.heapify(self._queue)
         self._dead_in_queue = 0
+        self._cancelled_compactions += 1
+
+    def fire_pooled(self, events: list[Event]) -> int:
+        """Fire an instant pool in order; the consumer work loop.
+
+        Each live event dispatches exactly as :meth:`step` would (fired
+        flag, counters, :attr:`executing_priority` visible to its
+        callback), with a head-of-queue preemption check between events
+        — but the per-event costs are hoisted out of the loop: one
+        priority-context restore for the whole pool, and an
+        allocation-free preemption test exploiting the pool invariant
+        (every member shares the pool time, and ``schedule_at`` refuses
+        the past, so a queued event can only preempt by priority/seq
+        *at* that time).  Events cancelled after being popped (an
+        earlier pool member may cancel a later one) are skipped; their
+        accounting was already settled by :meth:`_on_cancel`.  Returns
+        the number of pool slots consumed; batch consumers delegate to
+        this and layer their own group work around it.
+        """
+        # Safe to alias across callbacks: _compact mutates in place.
+        queue = self._queue
+        count = len(events)
+        last = count - 1
+        previous = self.executing_priority
+        try:
+            for index, event in enumerate(events):
+                if not event.cancelled:
+                    event.fired = True
+                    self._live -= 1
+                    self._events_executed += 1
+                    self.executing_priority = event.priority
+                    event.fn()
+                if index < last and queue:
+                    head = queue[0]
+                    nxt = events[index + 1]
+                    if head.time == nxt.time:
+                        head_priority = head.priority
+                        nxt_priority = nxt.priority
+                        if head_priority < nxt_priority or (
+                            head_priority == nxt_priority and head.seq < nxt.seq
+                        ):
+                            return index + 1
+        finally:
+            self.executing_priority = previous
+        return count
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False when none remain."""
@@ -163,8 +253,95 @@ class Simulation:
             return True
         return False
 
+    # -- instant pooling -----------------------------------------------------
+
+    def set_batch_consumer(
+        self, consumer: Callable[[list[Event]], int | None] | None
+    ) -> None:
+        """Register the batch consumer :meth:`step_instant` hands pools to.
+
+        The consumer receives the popped frontier pool (same time, same
+        priority band, in firing order) and must dispatch it through
+        :meth:`fire_pooled` (usually with its own group-level work
+        around that call).  It returns the number of events it
+        consumed — anything less than the pool size (because a callback
+        scheduled an event that sorts before the remainder, which
+        per-event stepping would fire first) makes the kernel re-queue
+        the rest.  Returning ``None`` means the whole pool was consumed.
+        Pass ``None`` to deregister; registering over a *different* live
+        consumer raises (two drains would race for the same calendar).
+        """
+        if (
+            consumer is not None
+            and self._batch_consumer is not None
+            and self._batch_consumer != consumer  # == covers bound methods
+        ):
+            raise SimulationError(
+                "a batch consumer is already registered; clear it first"
+            )
+        self._batch_consumer = consumer
+
+    def step_instant(self) -> bool:
+        """Run every pending event at the ``(time, priority band)`` frontier.
+
+        Pops the maximal run of live events sharing the head event's time
+        and priority band in one pass and hands it to the registered
+        batch consumer.  Falls back to a single per-event :meth:`step`
+        when no consumer is registered.  Returns False when the calendar
+        is empty.
+        """
+        consumer = self._batch_consumer
+        if consumer is None:
+            return self.step()
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+            self._dead_in_queue -= 1
+        if not queue:
+            return False
+        head = queue[0]
+        time, band = head.time, head.priority[0]
+        batch = [heapq.heappop(queue)]
+        while queue:
+            event = queue[0]
+            if event.cancelled:
+                heapq.heappop(queue)
+                self._dead_in_queue -= 1
+                continue
+            if event.time != time or event.priority[0] != band:
+                break
+            batch.append(heapq.heappop(queue))
+        for event in batch:
+            event.popped = True
+        self.now = time
+        try:
+            consumed = consumer(batch)
+        except BaseException:
+            # A callback raised mid-pool: per-event stepping would leave
+            # the unfired siblings queued, so restore them before
+            # propagating (callers may recover and run() again).
+            self._requeue_unfired(batch)
+            raise
+        if consumed is not None and consumed < len(batch):
+            # A callback scheduled work that preempts the rest of the
+            # pool; hand the unfired remainder back to the calendar.
+            self._requeue_unfired(batch[consumed:])
+        return True
+
+    def _requeue_unfired(self, events: list[Event]) -> None:
+        """Return popped-but-unfired pool members to the calendar."""
+        queue = self._queue
+        for event in events:
+            if event.fired:
+                continue
+            event.popped = False
+            if event.cancelled:
+                self._dead_in_queue += 1
+            heapq.heappush(queue, event)
+
     def run(self, until: float | None = None) -> None:
         """Run events until the calendar drains or the clock passes *until*."""
+        pooled = self._batch_consumer is not None
         while self._queue:
             head = self._queue[0]
             if head.cancelled:
@@ -174,7 +351,10 @@ class Simulation:
             if until is not None and head.time > until:
                 self.now = until
                 return
-            self.step()
+            if pooled:
+                self.step_instant()
+            else:
+                self.step()
         if until is not None and until > self.now:
             self.now = until
 
@@ -186,6 +366,11 @@ class Simulation:
     @property
     def events_executed(self) -> int:
         return self._events_executed
+
+    @property
+    def cancelled_compactions(self) -> int:
+        """How many times cancelled events forced a calendar rebuild."""
+        return self._cancelled_compactions
 
     def __repr__(self) -> str:
         return f"<Simulation now={self.now:.6g} pending={self.pending}>"

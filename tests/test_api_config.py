@@ -192,3 +192,32 @@ class TestBackendRegistry:
         simulation = Simulation()
         with pytest.raises(ValueError, match="time_unit"):
             Backend("odd", simulation, IdealDatabase(simulation), time_unit="hours")
+
+
+class TestDispatchAndQueryCache:
+    def test_defaults(self):
+        config = ExecutionConfig()
+        assert config.dispatch == "per-event"
+        assert config.query_cache is False
+
+    def test_pooled_dispatch_accepted(self):
+        config = ExecutionConfig.from_code("PSE80", dispatch="pooled", query_cache=True)
+        assert config.dispatch == "pooled"
+        assert config.query_cache is True
+
+    def test_bad_dispatch_rejected(self):
+        with pytest.raises(ValueError, match="dispatch"):
+            ExecutionConfig(dispatch="batched")
+
+    def test_non_bool_query_cache_rejected(self):
+        with pytest.raises(ValueError, match="query_cache"):
+            ExecutionConfig(query_cache=4096)
+
+    def test_replace_routes_dispatch_fields(self):
+        config = ExecutionConfig().replace(dispatch="pooled", query_cache=True)
+        assert (config.dispatch, config.query_cache) == ("pooled", True)
+
+    def test_repr_names_non_defaults(self):
+        config = ExecutionConfig(dispatch="pooled", query_cache=True)
+        assert "dispatch=pooled" in repr(config)
+        assert "query-cache" in repr(config)

@@ -175,3 +175,46 @@ class TestSimulate:
         assert payload["executor"] == "process"
         assert payload["instances"] == 4
         assert payload["total_work"] > 0
+
+
+class TestSimulateDispatchAndCache:
+    def _run(self, capsys, extra):
+        assert main(
+            [
+                "simulate",
+                "--nb-nodes", "12",
+                "--instances", "6",
+                "--concurrency", "3",
+                "--json",
+                *extra,
+            ]
+        ) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_pooled_dispatch_is_invisible_in_results(self, capsys):
+        plain = self._run(capsys, [])
+        pooled = self._run(capsys, ["--dispatch", "pooled"])
+        assert pooled["dispatch"] == "pooled"
+        assert plain["dispatch"] == "per-event"
+        # Identical workload, identical outcome numbers.
+        for key in ("instances", "mean_work", "mean_elapsed", "total_work", "sim_time"):
+            assert pooled[key] == plain[key], key
+
+    def test_query_cache_counters_in_json(self, capsys):
+        payload = self._run(capsys, ["--dispatch", "pooled", "--query-cache"])
+        assert payload["query_cache"] is True
+        assert payload["query_cache_misses"] > 0
+        # A closed loop over one source valuation shares aggressively.
+        assert payload["query_cache_hits"] + payload["query_cache_coalesced"] > 0
+
+    def test_query_cache_text_summary_line(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--nb-nodes", "12",
+                "--instances", "4",
+                "--query-cache",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "query cache:" in out

@@ -138,3 +138,46 @@ class TestMerge:
         assert left.count == flat.count == 3
         assert left.mean_work == pytest.approx(flat.mean_work)
         assert left.std_elapsed == pytest.approx(flat.std_elapsed)
+
+
+class TestQueryCacheCounters:
+    def test_summarize_leaves_counters_zero(self):
+        metrics = InstanceMetrics("i", 0.0, finish_time=4.0, work_units=3)
+        summary = summarize([metrics])
+        assert summary.query_cache_hits == 0
+        assert summary.query_cache_misses == 0
+        assert summary.query_cache_coalesced == 0
+
+    def test_merge_sums_counters_across_shards(self):
+        from dataclasses import replace
+
+        a = replace(
+            summarize([InstanceMetrics("a", 0.0, finish_time=2.0, work_units=2)]),
+            query_cache_hits=3, query_cache_misses=5, query_cache_coalesced=7,
+        )
+        b = replace(
+            summarize([InstanceMetrics("b", 0.0, finish_time=4.0, work_units=4)]),
+            query_cache_hits=1, query_cache_misses=2, query_cache_coalesced=4,
+        )
+        merged = MetricsSummary.merge(a, b)
+        assert merged.query_cache_hits == 4
+        assert merged.query_cache_misses == 7
+        assert merged.query_cache_coalesced == 11
+
+    def test_merge_keeps_counters_of_empty_shards(self):
+        from dataclasses import replace
+
+        busy = replace(
+            summarize([InstanceMetrics("a", 0.0, finish_time=2.0, work_units=2)]),
+            query_cache_misses=2,
+        )
+        # A shard whose instances are all still in flight has an empty
+        # summary but real cache traffic; the totals must survive merge.
+        idle = replace(MetricsSummary.empty(), query_cache_coalesced=9)
+        merged = MetricsSummary.merge(busy, idle)
+        assert merged.count == 1
+        assert merged.query_cache_misses == 2
+        assert merged.query_cache_coalesced == 9
+        only_idle = MetricsSummary.merge(idle)
+        assert only_idle.count == 0
+        assert only_idle.query_cache_coalesced == 9

@@ -228,12 +228,25 @@ class TestConfigRoundTrip:
             engine="batched",
             shards=4,
             executor="process",
+            dispatch="pooled",
+            query_cache=True,
         )
         restored = config_from_dict(config_to_dict(config))
         assert restored == config
         assert restored.strategy == config.strategy
         assert dict(restored.backend_options) == {"seed": 7}
         assert (restored.shards, restored.executor) == (4, "process")
+        assert (restored.dispatch, restored.query_cache) == ("pooled", True)
+
+    def test_pre_dispatch_encodings_default_per_event(self):
+        # Encodings written before the dispatch/query_cache fields existed
+        # (e.g. persisted shard tasks) load with today's defaults.
+        data = config_to_dict(ExecutionConfig())
+        del data["dispatch"]
+        del data["query_cache"]
+        restored = config_from_dict(data)
+        assert restored.dispatch == "per-event"
+        assert restored.query_cache is False
 
     def test_dict_form_is_json_able(self):
         import json

@@ -174,7 +174,14 @@ def test_scenario_coverage():
 # -- trace capture -------------------------------------------------------------
 
 
-def run_scenario(engine_kind: str, scenario: Scenario, seed: int) -> dict:
+def run_scenario(
+    engine_kind: str,
+    scenario: Scenario,
+    seed: int,
+    *,
+    dispatch: str = "per-event",
+    query_cache: bool = False,
+) -> dict:
     """Execute one scenario on one engine; returns the observable trace."""
     pattern = scenario_pattern(
         seed,
@@ -194,7 +201,10 @@ def run_scenario(engine_kind: str, scenario: Scenario, seed: int) -> dict:
         halt_policy=scenario.halt_policy,
         share_results=scenario.share,
         observer=observer,
+        query_cache=query_cache,
     )
+    if dispatch == "pooled":
+        engine.enable_pooled_dispatch()
     for index in range(scenario.instances):
         engine.submit_instance(pattern.source_values, at=index * scenario.spacing)
     sim.run()
@@ -246,7 +256,88 @@ def test_engines_produce_identical_traces(scenario: Scenario, seed: int):
     assert any(done for _, done, _ in reference["values"])
 
 
-# -- hand-built schemas (synthesis tasks, disabled branches) -------------------
+# -- pooled dispatch and the query share cache ---------------------------------
+#
+# Pooled dispatch promises the *same* observable trace with a cheaper
+# drain, and the query cache must behave identically under both drains
+# (and both engines).  A curated scenario subset spans all three
+# backends, both kernels, sharing, failures, drain halts, and
+# cancel-unneeded; the full event sequence is compared, not a summary.
+
+DISPATCH_SCENARIOS = [
+    Scenario(code="PSE50"),
+    Scenario(code="PSE100", spacing=0.0),
+    Scenario(code="PCE0"),
+    Scenario(code="NCC80", halt_policy="drain"),
+    Scenario(code="PSC100", share=True, spacing=0.0),
+    Scenario(code="PSE80", share=True, failure_prob=0.2),
+    Scenario(code="PCC50", cancel_unneeded=True),
+    Scenario(backend="ideal", kernel="per-unit", code="PSE50"),
+    Scenario(backend="profiled", code="PSE100", spacing=0.0),
+    Scenario(backend="profiled", kernel="per-unit", code="PCE0", halt_policy="drain"),
+    Scenario(backend="bounded", code="PSE50", instances=4, nb_nodes=16),
+]
+
+
+def test_dispatch_scenario_coverage():
+    assert {s.backend for s in DISPATCH_SCENARIOS} == {"ideal", "profiled", "bounded"}
+    assert {s.kernel for s in DISPATCH_SCENARIOS} >= {"coalesced", "per-unit"}
+    assert any(s.share for s in DISPATCH_SCENARIOS)
+    assert any(s.failure_prob > 0 for s in DISPATCH_SCENARIOS)
+    assert any(s.halt_policy == "drain" for s in DISPATCH_SCENARIOS)
+    assert any(s.cancel_unneeded for s in DISPATCH_SCENARIOS)
+
+
+@pytest.mark.parametrize("query_cache", [False, True], ids=["nocache", "cache"])
+@pytest.mark.parametrize("engine_kind", ["reference", "batched"])
+@pytest.mark.parametrize(
+    "scenario", DISPATCH_SCENARIOS, ids=[s.label for s in DISPATCH_SCENARIOS]
+)
+def test_pooled_dispatch_matches_per_event(scenario, engine_kind, query_cache):
+    """dispatch="pooled" × cache on/off is trace-identical to per-event."""
+    per_event = run_scenario(
+        engine_kind, scenario, seed=0, dispatch="per-event", query_cache=query_cache
+    )
+    pooled = run_scenario(
+        engine_kind, scenario, seed=0, dispatch="pooled", query_cache=query_cache
+    )
+    assert_traces_identical(per_event, pooled)
+
+
+def test_pooled_dispatch_counters_track_pools():
+    """The engine's pool stats move under pooled dispatch and count every
+    consumed slot (fired events plus cancelled-in-pool skips)."""
+    from repro import BatchedEngine, IdealDatabase
+
+    pattern = scenario_pattern(0)
+    sim = Simulation()
+    engine = BatchedEngine(pattern.schema, Strategy.parse("PSE100"), IdealDatabase(sim))
+    engine.enable_pooled_dispatch()
+    for _ in range(8):
+        engine.submit_instance(pattern.source_values)
+    sim.run()
+    assert engine.pooled_batches > 0
+    assert engine.pooled_events >= sim.events_executed > 0
+    # Uniform sweeps genuinely pool: far fewer batches than events.
+    assert engine.pooled_batches < engine.pooled_events
+
+
+@pytest.mark.parametrize("engine_kind", ["reference", "batched"])
+def test_query_cache_cuts_db_work_and_preserves_full_launch_values(engine_kind):
+    """On a failure-free full-launch sweep (PSE100: every candidate
+    launches, nothing is timing-gated) the cache removes db work without
+    touching the resolved values.  This is the narrow decision-value
+    check; the cache's general contract is weaker — it changes execution
+    *dynamics* (completion timing, %Permitted accounting, failure
+    exposure) like any sharing optimization, so cached runs are compared
+    against each other (pooled vs per-event, sharded vs plain, engine vs
+    engine in the suites above), never bit-for-bit against uncached
+    runs outside this scenario."""
+    scenario = Scenario(code="PSE100", spacing=0.0, instances=6)
+    plain = run_scenario(engine_kind, scenario, seed=1)
+    cached = run_scenario(engine_kind, scenario, seed=1, query_cache=True)
+    assert cached["values"] == plain["values"]
+    assert cached["database"][0] < plain["database"][0]  # fewer total units
 
 
 def _run_handbuilt(engine_kind: str, schema, source_values, code: str,
@@ -291,7 +382,15 @@ def test_handbuilt_schemas_with_synthesis_match(code, failure_prob):
 # -- service-level closed loop -------------------------------------------------
 
 
-def _run_closed_loop(engine_kind: str, backend: str, code: str, seed: int) -> dict:
+def _run_closed_loop(
+    engine_kind: str,
+    backend: str,
+    code: str,
+    seed: int,
+    *,
+    dispatch: str = "per-event",
+    query_cache: bool = False,
+) -> dict:
     """Closed system through the facade: replacement instances start inside
     completion dispatches, exercising same-instant start/completion ties."""
     pattern = scenario_pattern(seed, nb_nodes=20, pct_enabled=60.0, max_cost=5)
@@ -302,7 +401,13 @@ def _run_closed_loop(engine_kind: str, backend: str, code: str, seed: int) -> di
     )
     service = DecisionService(
         pattern.schema,
-        ExecutionConfig.from_code(code, engine=engine_kind, share_results=True),
+        ExecutionConfig.from_code(
+            code,
+            engine=engine_kind,
+            share_results=True,
+            dispatch=dispatch,
+            query_cache=query_cache,
+        ),
         backend=bundle,
     )
     log = service.attach_log()
@@ -335,3 +440,21 @@ def test_closed_loop_service_traces_match(backend: str, code: str):
         reference = _run_closed_loop("reference", backend, code, seed)
         batched = _run_closed_loop("batched", backend, code, seed)
         assert batched == reference
+
+
+@pytest.mark.parametrize("query_cache", [False, True], ids=["nocache", "cache"])
+@pytest.mark.parametrize("engine_kind", ["reference", "batched"])
+@pytest.mark.parametrize("backend", ["ideal", "profiled"])
+def test_closed_loop_pooled_matches_per_event(backend, engine_kind, query_cache):
+    """The preemption-heavy case: replacement submissions schedule band-0
+    starts at the completion instant, which must cut the pooled drain
+    short exactly where per-event stepping would interleave them."""
+    for seed in range(2):
+        per_event = _run_closed_loop(
+            engine_kind, backend, "PSE50", seed, query_cache=query_cache
+        )
+        pooled = _run_closed_loop(
+            engine_kind, backend, "PSE50", seed,
+            dispatch="pooled", query_cache=query_cache,
+        )
+        assert pooled == per_event

@@ -52,6 +52,8 @@ def build_config(
     shards: int = 1,
     share: bool = False,
     failure_prob: float = 0.0,
+    dispatch: str = "per-event",
+    query_cache: bool = False,
 ) -> ExecutionConfig:
     return ExecutionConfig.from_code(
         code,
@@ -60,6 +62,8 @@ def build_config(
         share_results=share,
         backend_options=backend_options(backend, seed, failure_prob),
         shards=shards,
+        dispatch=dispatch,
+        query_cache=query_cache,
     )
 
 
@@ -206,6 +210,79 @@ def test_bounded_backend_values_invariant_under_sharding(engine, shards):
     sharded = run_sharded(pattern, config, arrivals)
     assert sharded["values"] == plain["values"]
     assert sharded["summary"].count == plain["summary"].count
+
+
+# -- ring 4: pooled dispatch (× query cache) is invisible at any shard count ---
+
+
+@pytest.mark.parametrize("query_cache", [False, True], ids=["nocache", "cache"])
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("backend", ["ideal", "profiled", "bounded"])
+def test_pooled_dispatch_invisible_at_any_shard_count(
+    backend, engine, shards, query_cache
+):
+    """Same shard count, per-event vs pooled drain (cache on/off): every
+    shard's calendar must produce the identical trace — values, all
+    metrics counters, database totals, and the exact event sequence
+    (shard clocks are shared between the two runs, so even the merged
+    global order must match event for event)."""
+    seed = 7
+    pattern = scenario_pattern(seed, nb_nodes=16 if backend == "bounded" else 24)
+    arrivals = [index * 1.5 for index in range(6)]
+    per_event = run_sharded(
+        pattern,
+        build_config(
+            "PSE50", backend, engine, seed, shards=shards, query_cache=query_cache
+        ),
+        arrivals,
+    )
+    pooled = run_sharded(
+        pattern,
+        build_config(
+            "PSE50", backend, engine, seed, shards=shards,
+            dispatch="pooled", query_cache=query_cache,
+        ),
+        arrivals,
+    )
+    assert pooled["values"] == per_event["values"]
+    assert pooled["metrics"] == per_event["metrics"]
+    assert pooled["totals"] == per_event["totals"]
+    assert pooled["events"] == per_event["events"]
+    assert_summaries_close(pooled["summary"], per_event["summary"], exact=True)
+    assert pooled["summary"].query_cache_misses == per_event["summary"].query_cache_misses
+    assert pooled["summary"].query_cache_hits == per_event["summary"].query_cache_hits
+    assert (
+        pooled["summary"].query_cache_coalesced
+        == per_event["summary"].query_cache_coalesced
+    )
+
+
+@pytest.mark.parametrize("executor", ["serial", "process"])
+def test_pooled_cache_config_survives_executors(executor):
+    """dispatch/query_cache travel to shard workers; counters merge back."""
+    pattern = scenario_pattern(0)
+    config = build_config(
+        "PSE100", "ideal", "batched", 0,
+        shards=2, dispatch="pooled", query_cache=True,
+    ).replace(executor=executor)
+    service = ShardedDecisionService(pattern.schema, config)
+    for _ in range(8):
+        service.submit(pattern.source_values)
+    service.run()
+    summary = service.summary()
+    assert summary.count == 8
+    # Every shard saw repeats of the same source valuation, so the cache
+    # must have removed db work on both executors identically.
+    assert summary.query_cache_misses > 0
+    assert summary.query_cache_hits + summary.query_cache_coalesced > 0
+    serial = ShardedDecisionService(
+        pattern.schema, config.replace(executor="serial")
+    )
+    for _ in range(8):
+        serial.submit(pattern.source_values)
+    serial.run()
+    assert serial.summary() == summary
 
 
 def test_multiple_shards_actually_used():

@@ -175,3 +175,225 @@ class TestRunControl:
         sim = Simulation()
         sim.schedule(1.0, lambda: None)
         assert "pending=1" in repr(sim)
+
+
+class TestCompactionStat:
+    def test_cancelled_compactions_counts_rebuilds(self):
+        sim = Simulation()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+        assert sim.cancelled_compactions == 0
+        for event in events[:150]:
+            event.cancel()
+        # 150 dead vs 50 live crosses both thresholds (> 64 and > live).
+        assert sim.cancelled_compactions >= 1
+        assert sim.pending == 50
+
+    def test_no_compaction_below_live_fraction(self):
+        sim = Simulation()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(300)]
+        for event in events[:100]:
+            event.cancel()
+        # 100 dead vs 200 live: above the absolute floor but below the
+        # live fraction — the dead events drain lazily instead.
+        assert sim.cancelled_compactions == 0
+        sim.run()
+        assert sim.events_executed == 200
+
+
+class TestInstantPooling:
+    def test_step_instant_without_consumer_falls_back_to_step(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(1.0, lambda: log.append("b"))
+        assert sim.step_instant()
+        assert log == ["a"]  # per-event fallback: one event per call
+
+    def test_pool_spans_one_time_and_band(self):
+        sim = Simulation()
+        pools = []
+
+        def consumer(events):
+            pools.append([e.priority for e in events])
+            return sim.fire_pooled(events)
+
+        sim.set_batch_consumer(consumer)
+        log = []
+        sim.schedule(1.0, lambda: log.append("p1"), priority=(0, 0))
+        sim.schedule(1.0, lambda: log.append("p2"), priority=(0, 0))
+        sim.schedule(1.0, lambda: log.append("db"), priority=(1, 3))
+        sim.schedule(2.0, lambda: log.append("later"), priority=(0, 0))
+        sim.run()
+        assert log == ["p1", "p2", "db", "later"]
+        assert pools == [[(0, 0), (0, 0)], [(1, 3)], [(0, 0)]]
+
+    def test_pooled_run_matches_per_event_order(self):
+        def build(pooled):
+            sim = Simulation()
+            log = []
+
+            def nested(tag):
+                log.append(tag)
+                if tag == "a":
+                    sim.schedule(0.0, lambda: log.append("zero"), priority=(2, 0))
+                    sim.schedule(1.0, lambda: log.append("future"))
+
+            sim.schedule(1.0, lambda: nested("a"))
+            sim.schedule(1.0, lambda: nested("b"))
+            sim.schedule(1.0, lambda: log.append("db"), priority=(1, 1))
+            if pooled:
+                sim.set_batch_consumer(sim.fire_pooled)
+            sim.run()
+            return log
+
+        assert build(pooled=True) == build(pooled=False)
+
+    def test_preempting_event_cuts_the_pool(self):
+        """A same-time lower-band event scheduled mid-pool must fire in
+        between the pool members, exactly as per-event stepping would."""
+        sim = Simulation()
+        log = []
+
+        def first():
+            log.append("first")
+            # Band 0 at the same instant: sorts before the remaining
+            # band-1 pool member.
+            sim.schedule_at(1.0, lambda: log.append("preempt"), priority=(0, 9))
+
+        sim.schedule(1.0, first, priority=(1, 1))
+        sim.schedule(1.0, lambda: log.append("second"), priority=(1, 2))
+        sim.set_batch_consumer(sim.fire_pooled)
+        sim.run()
+        assert log == ["first", "preempt", "second"]
+
+    def test_same_band_smaller_subpriority_preempts(self):
+        sim = Simulation()
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule_at(1.0, lambda: log.append("replan"), priority=(1, 0))
+
+        sim.schedule(1.0, first, priority=(1, 1))
+        sim.schedule(1.0, lambda: log.append("second"), priority=(1, 5))
+        sim.set_batch_consumer(sim.fire_pooled)
+        sim.run()
+        assert log == ["first", "replan", "second"]
+
+    def test_pool_member_cancelled_mid_pool_does_not_fire(self):
+        sim = Simulation()
+        log = []
+        victim_holder = []
+        sim.schedule(
+            1.0, lambda: (log.append("first"), victim_holder[0].cancel())
+        )
+        victim_holder.append(sim.schedule(1.0, lambda: log.append("second")))
+        sim.set_batch_consumer(sim.fire_pooled)
+        sim.run()
+        assert log == ["first"]
+        assert sim.pending == 0
+
+    def test_mid_pool_cancellation_survives_compaction(self):
+        """A compaction triggered while pool members are popped must not
+        corrupt the dead-event accounting of the popped members."""
+        sim = Simulation()
+        log = []
+        # A big cancellable population at a later time plus one pooled pair.
+        later = [sim.schedule(5.0, lambda: None) for _ in range(200)]
+        victim_holder = []
+
+        def killer():
+            log.append("killer")
+            victim_holder[0].cancel()  # popped member: no dead-in-queue debt
+            for event in later:        # force a compaction while it is popped
+                event.cancel()
+
+        sim.schedule_at(1.0, killer, priority=(0, 0))
+        victim_holder.append(sim.schedule(1.0, lambda: log.append("victim")))
+        sim.set_batch_consumer(sim.fire_pooled)
+        sim.run()
+        assert log == ["killer"]
+        assert sim.pending == 0
+        assert sim.cancelled_compactions >= 1
+
+    def test_second_consumer_rejected_and_clearable(self):
+        sim = Simulation()
+        sim.set_batch_consumer(sim.fire_pooled)
+        sim.set_batch_consumer(sim.fire_pooled)  # same consumer: fine
+        with pytest.raises(SimulationError):
+            sim.set_batch_consumer(lambda events: len(events))
+        sim.set_batch_consumer(None)
+        sim.set_batch_consumer(lambda events: sim.fire_pooled(events))
+
+    def test_partial_consumption_requeues_remainder(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(1.0, lambda: log.append("b"))
+
+        def one_at_a_time(events):
+            sim.fire_pooled(events[:1])
+            return 1
+
+        sim.set_batch_consumer(one_at_a_time)
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_preemption_survives_mid_pool_compaction(self):
+        """A mid-pool compaction must not blind the preemption check:
+        an event scheduled *after* the rebuild that sorts before the
+        remaining pool members still fires in between them."""
+
+        def run(pooled):
+            sim = Simulation()
+            log = []
+            later = [sim.schedule(9.0, lambda: None) for _ in range(100)]
+
+            def first():
+                log.append("A")
+                for event in later:  # dead > 64 and > live: compaction
+                    event.cancel()
+                sim.schedule_at(1.0, lambda: log.append("X"), priority=(0, 9))
+
+            sim.schedule_at(1.0, first, priority=(1, 1))
+            sim.schedule_at(1.0, lambda: log.append("B"), priority=(1, 2))
+            if pooled:
+                sim.set_batch_consumer(sim.fire_pooled)
+            sim.run()
+            assert sim.cancelled_compactions >= 1
+            return log
+
+        assert run(pooled=False) == ["A", "X", "B"]
+        assert run(pooled=True) == ["A", "X", "B"]
+
+    def test_raising_callback_requeues_unfired_pool_members(self):
+        """Per-event stepping leaves siblings queued when a callback
+        raises; pooled dispatch must restore the popped remainder so a
+        recovering caller can run() again without losing events."""
+        sim = Simulation()
+        log = []
+
+        def boom():
+            log.append("boom")
+            raise RuntimeError("callback failed")
+
+        sim.schedule(1.0, boom)
+        sim.schedule(1.0, lambda: log.append("sibling"))
+        sim.schedule(2.0, lambda: log.append("later"))
+        sim.set_batch_consumer(sim.fire_pooled)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert log == ["boom"]
+        assert sim.pending == 2  # sibling + later survived the failure
+        sim.run()
+        assert log == ["boom", "sibling", "later"]
+
+    def test_executing_priority_visible_during_pooled_dispatch(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.executing_priority), priority=(1, 4))
+        sim.schedule(1.0, lambda: seen.append(sim.executing_priority), priority=(1, 7))
+        sim.set_batch_consumer(sim.fire_pooled)
+        sim.run()
+        assert seen == [(1, 4), (1, 7)]
+        assert sim.executing_priority is None
