@@ -7,43 +7,31 @@ counts) default to values that keep the full suite at laptop scale; set
 ``--quick`` for the reduced-size smoke configuration CI runs on every
 push (fewer seeds, smaller sweeps, assertions relaxed to regression
 tripwires).
+
+The artifact format (schema, validator, writer) lives in
+:mod:`repro.bench.artifact`; the ``bench_artifact`` fixture and the
+module-level names below are thin wrappers kept for the benchmark
+modules and the CI smoke step that import them from here.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import platform
-import time
-from pathlib import Path
-
 import pytest
 
-RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+from repro.bench.artifact import (
+    BENCH_ARTIFACT_KEYS,
+    RESULTS_DIR,
+    usable_cores,
+    validate_bench_artifact,
+    write_bench_artifact,
+)
 
-#: Keys every BENCH_*.json artifact must carry (CI asserts this schema).
-BENCH_ARTIFACT_KEYS = ("bench", "mode", "host_cores", "metrics", "gate")
-
-
-def usable_cores() -> int:
-    """Cores this process may actually run on (affinity-aware)."""
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
-
-
-def validate_bench_artifact(data: dict) -> None:
-    """Schema check shared by the CI smoke step and the fixture itself."""
-    missing = [key for key in BENCH_ARTIFACT_KEYS if key not in data]
-    if missing:
-        raise ValueError(f"bench artifact missing keys: {missing}")
-    if data["mode"] not in ("full", "quick"):
-        raise ValueError(f"bench artifact mode must be full/quick, got {data['mode']!r}")
-    if not isinstance(data["metrics"], dict) or not data["metrics"]:
-        raise ValueError("bench artifact metrics must be a non-empty object")
-    gate = data["gate"]
-    if not isinstance(gate, dict) or "passed" not in gate:
-        raise ValueError("bench artifact gate must carry a 'passed' flag")
+__all__ = [
+    "BENCH_ARTIFACT_KEYS",
+    "RESULTS_DIR",
+    "usable_cores",
+    "validate_bench_artifact",
+]
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -64,6 +52,8 @@ def quick(request) -> bool:
 @pytest.fixture(scope="session")
 def bench_seeds(quick) -> tuple[int, ...]:
     """Pattern seeds each figure averages over."""
+    import os
+
     count = int(os.environ.get("REPRO_BENCH_SEEDS", "2" if quick else "6"))
     return tuple(range(count))
 
@@ -99,30 +89,13 @@ def report_figure(capsys, quick):
 def bench_artifact(quick):
     """Write a machine-readable ``results/BENCH_<name>.json`` artifact.
 
-    The throughput/event-rate benchmarks call this next to their
-    ``results/*.txt`` tables so the perf trajectory is trackable across
-    PRs: host cores, the headline metrics (inst/s, speedups, ...), and
-    the gate outcome.  Quick (CI smoke) runs write
-    ``BENCH_<name>_quick.json`` so reduced sweeps never clobber the
-    recorded full-size baselines.
+    Thin wrapper over :func:`repro.bench.artifact.write_bench_artifact`
+    that binds the suite's ``--quick`` mode, so quick (CI smoke) runs
+    write ``BENCH_<name>_quick.json`` and never clobber the recorded
+    full-size baselines.
     """
 
-    def _write(name: str, metrics: dict, gate: dict) -> Path:
-        payload = {
-            "bench": name,
-            "mode": "quick" if quick else "full",
-            "host_cores": usable_cores(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-            "metrics": metrics,
-            "gate": gate,
-        }
-        validate_bench_artifact(payload)
-        RESULTS_DIR.mkdir(exist_ok=True)
-        suffix = "_quick" if quick else ""
-        path = RESULTS_DIR / f"BENCH_{name}{suffix}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        return path
+    def _write(name: str, metrics: dict, gate: dict):
+        return write_bench_artifact(name, metrics, gate, quick=quick)
 
     return _write

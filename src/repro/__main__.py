@@ -12,6 +12,9 @@ Usage::
     python -m repro simulate --code PSE80 --instances 10000 \\
         --shards 4 --executor process    # sharded fleet on a worker pool
 
+    python -m repro serve --port 8080 --code PSE80 --query-cache \\
+        --dispatch pooled --db runs.sqlite   # streaming daemon (HTTP/JSON)
+
 Each experiment prints its table (and an ASCII shape chart) and, with
 ``--out``, also writes it to ``<out>/<figure_id>.txt``.  ``--json``
 switches to machine-readable output (and ``.json`` files with ``--out``).
@@ -21,6 +24,12 @@ switches to machine-readable output (and ``.json`` files with ``--out``).
 closed loop (``--concurrency``) or an open Poisson stream (``--rate``);
 ``--shards N`` partitions the population across the sharded runtime
 (``--executor process`` drives it on a worker pool).
+
+``serve`` exposes the same workload as a long-running HTTP/JSON daemon
+(:mod:`repro.server`): streaming submissions with admission control and
+backpressure, NDJSON event streaming, a metrics endpoint, and SQLite
+persistence of completed runs (``--db``).  Ctrl-C shuts it down
+gracefully (drain, flush, exit code 130).
 """
 
 from __future__ import annotations
@@ -78,24 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser(
         "simulate", help="run a generated workload through the repro.api DecisionService"
     )
-    simulate.add_argument(
-        "--code", default="PCE0", help="strategy code, e.g. PSE80 (default PCE0)"
-    )
-    simulate.add_argument(
-        "--backend",
-        default="ideal",
-        help="registered backend name: ideal, bounded, profiled (default ideal)",
-    )
-    simulate.add_argument("--nb-rows", type=int, default=4, help="pattern rows (default 4)")
-    simulate.add_argument(
-        "--nb-nodes", type=int, default=64, help="pattern internal nodes (default 64)"
-    )
-    simulate.add_argument(
-        "--pct-enabled", type=float, default=50.0, help="%% enabled nodes (default 50)"
-    )
-    simulate.add_argument(
-        "--pattern-seed", type=int, default=0, help="workload generator seed (default 0)"
-    )
+    _add_workload_arguments(simulate)
     simulate.add_argument(
         "--instances", type=int, default=25, help="instances to run (default 25)"
     )
@@ -113,23 +105,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="closed system: instances kept in flight (default 1; ignored with --rate)",
     )
     simulate.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming decision-service daemon (HTTP/JSON over stdlib)",
+    )
+    _add_workload_arguments(serve)
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (default 8080; 0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--db",
+        type=Path,
+        default=None,
+        help="SQLite path for completed run records (restarts keep serving "
+        "finished work); omit to run without persistence",
+    )
+    serve.add_argument(
+        "--high-water",
+        type=int,
+        default=256,
+        help="arrival-queue bound: past it, POST /instances gets 429 with a "
+        "Retry-After derived from the observed drain rate (default 256)",
+    )
+    serve.add_argument(
+        "--ticks-per-second",
+        type=float,
+        default=1000.0,
+        help="wall-to-DES clock scale: simulated ticks per wall second "
+        "(default 1000, the ms-clock convention)",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="emit the startup banner as JSON"
+    )
+    return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``simulate`` and ``serve``: pattern + execution recipe."""
+    parser.add_argument(
+        "--code", default="PCE0", help="strategy code, e.g. PSE80 (default PCE0)"
+    )
+    parser.add_argument(
+        "--backend",
+        default="ideal",
+        help="registered backend name: ideal, bounded, profiled (default ideal)",
+    )
+    parser.add_argument("--nb-rows", type=int, default=4, help="pattern rows (default 4)")
+    parser.add_argument(
+        "--nb-nodes", type=int, default=64, help="pattern internal nodes (default 64)"
+    )
+    parser.add_argument(
+        "--pct-enabled", type=float, default=50.0, help="%% enabled nodes (default 50)"
+    )
+    parser.add_argument(
+        "--pattern-seed", type=int, default=0, help="workload generator seed (default 0)"
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=1,
         help="hash-partition instances across N independent engine+DES shards "
         "(default 1 = a plain DecisionService)",
     )
-    simulate.add_argument(
+    parser.add_argument(
         "--executor",
         choices=("serial", "process"),
         default="serial",
         help="how to drive the shards: in-process ('serial', deterministic "
-        "default) or a multiprocessing worker pool ('process')",
+        "default) or a multiprocessing worker pool ('process'; batch only — "
+        "'serve' requires 'serial')",
     )
-    simulate.add_argument(
+    parser.add_argument(
         "--halt", choices=("cancel", "drain"), default="cancel", help="halt policy"
     )
-    simulate.add_argument(
+    parser.add_argument(
         "--dispatch",
         choices=("per-event", "pooled"),
         default="per-event",
@@ -138,22 +193,18 @@ def build_parser() -> argparse.ArgumentParser:
         "('pooled'; identical results — pays off on pool-heavy sweeps, "
         "best combined with --query-cache)",
     )
-    simulate.add_argument(
+    parser.add_argument(
         "--query-cache",
         action="store_true",
         help="coalesce identical in-flight queries into one database dispatch "
         "and memo-serve repeated ones (per shard; counters in the summary)",
     )
-    simulate.add_argument(
+    parser.add_argument(
         "--share", action="store_true", help="share query results across instances"
     )
-    simulate.add_argument(
+    parser.add_argument(
         "--seed", type=int, default=0, help="backend/arrival seed (default 0)"
     )
-    simulate.add_argument(
-        "--json", action="store_true", help="emit the summary as JSON"
-    )
-    return parser
 
 
 def _slug(figure_id: str) -> str:
@@ -172,10 +223,9 @@ def run_experiment(name: str, seeds: int, out: Path | None, as_json: bool = Fals
         (out / f"{_slug(result.figure_id)}.{extension}").write_text(text + "\n")
 
 
-def run_simulate(args: argparse.Namespace) -> int:
+def _build_workload(args: argparse.Namespace):
+    """The (pattern, config) pair shared by ``simulate`` and ``serve``."""
     from repro.api import ExecutionConfig
-    from repro.runtime import ShardedDecisionService, create_service
-    from repro.simdb.rng import derive_rng
     from repro.workload.generator import generate_pattern
     from repro.workload.params import PatternParams
 
@@ -203,6 +253,14 @@ def run_simulate(args: argparse.Namespace) -> int:
             else {}
         ),
     )
+    return pattern, config
+
+
+def run_simulate(args: argparse.Namespace) -> int:
+    from repro.runtime import ShardedDecisionService, create_service
+    from repro.simdb.rng import derive_rng
+
+    pattern, config = _build_workload(args)
     service = create_service(pattern.schema, config)
 
     if args.rate is not None:
@@ -273,8 +331,72 @@ def run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: daemon + HTTP front, until interrupted."""
+    from repro.server import ServerDaemon, create_server
+
+    pattern, config = _build_workload(args)
+    daemon = ServerDaemon(
+        pattern.schema,
+        config,
+        db=None if args.db is None else str(args.db),
+        high_water=args.high_water,
+        default_values=pattern.source_values,
+        ticks_per_second=args.ticks_per_second,
+    )
+    server = create_server(daemon, args.host, args.port)
+    banner = {
+        "serving": pattern.schema.name,
+        "url": f"http://{args.host}:{server.port}",
+        "strategy": config.code,
+        "backend": config.backend,
+        "shards": config.shards,
+        "high_water": args.high_water,
+        "db": None if args.db is None else str(args.db),
+        "config_hash": daemon.config_digest,
+    }
+    if args.json:
+        print(json.dumps(banner), flush=True)
+    else:
+        persistence = banner["db"] or "none (in-memory records only)"
+        print(
+            f"serving {banner['serving']} at {banner['url']} "
+            f"({config.code} on {config.backend}, {config.shards} shard(s))\n"
+            f"  persistence: {persistence}\n"
+            f"  queue high-water mark: {args.high_water}  "
+            f"config hash: {daemon.config_digest}\n"
+            "  endpoints: POST /instances | GET /instances/<id> | "
+            "GET /events | GET /metrics | GET /healthz",
+            flush=True,
+        )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        # Graceful exit on SIGINT (KeyboardInterrupt propagates to main):
+        # stop accepting, drain every accepted instance, flush the store.
+        server.shutdown()
+        server.server_close()
+        daemon.shutdown()
+        stats = daemon.server_stats()
+        closing = {
+            "accepted": stats["accepted"],
+            "completed": stats["completed"],
+            "rejected": stats["rejected"],
+            "persisted": stats["persisted"],
+        }
+        if args.json:
+            print(json.dumps({"shutdown": closing}), flush=True)
+        else:
+            print(
+                f"shut down cleanly: {closing['completed']}/{closing['accepted']} "
+                f"accepted instances completed, {closing['persisted']} persisted, "
+                f"{closing['rejected']} rejected",
+                flush=True,
+            )
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, (fn, _) in EXPERIMENTS.items():
@@ -283,10 +405,34 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "simulate":
         return run_simulate(args)
+    if args.command == "serve":
+        return run_serve(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         run_experiment(name, args.seeds, args.out, as_json=args.json)
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except KeyboardInterrupt:
+        # Long-running subcommands (serve, big simulates) are interrupted
+        # with Ctrl-C in normal operation; exit with the conventional
+        # 128+SIGINT code instead of a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as error:
+        # Machine-readable mode promises machine-readable failures too.
+        if getattr(args, "json", False):
+            print(
+                json.dumps(
+                    {"error": {"type": type(error).__name__, "message": str(error)}}
+                )
+            )
+            return 1
+        raise
 
 
 if __name__ == "__main__":

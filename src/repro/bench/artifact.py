@@ -1,0 +1,91 @@
+"""Machine-readable benchmark artifacts: writing and schema checking.
+
+Every gated benchmark records its headline numbers as a
+``results/BENCH_<name>.json`` artifact so the perf trajectory is
+trackable across PRs.  This module is the single home of that format —
+the schema the CI smoke step asserts, the writer the benchmark
+``conftest`` fixture wraps, and the validator experiment runners reuse
+when they persist their own run records.
+
+An artifact is a JSON object carrying at least :data:`BENCH_ARTIFACT_KEYS`:
+the benchmark name, the run mode (``full`` or ``quick``), the usable host
+core count, a non-empty ``metrics`` object, and a ``gate`` object with a
+``passed`` flag.  Quick (CI smoke) runs write ``BENCH_<name>_quick.json``
+so reduced sweeps never clobber the recorded full-size baselines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+__all__ = [
+    "BENCH_ARTIFACT_KEYS",
+    "RESULTS_DIR",
+    "usable_cores",
+    "validate_bench_artifact",
+    "write_bench_artifact",
+]
+
+#: The repository-level artifact directory benchmarks write into.
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+#: Keys every BENCH_*.json artifact must carry (CI asserts this schema).
+BENCH_ARTIFACT_KEYS = ("bench", "mode", "host_cores", "metrics", "gate")
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def validate_bench_artifact(data: dict) -> None:
+    """Schema check shared by the CI smoke step and the writer itself."""
+    missing = [key for key in BENCH_ARTIFACT_KEYS if key not in data]
+    if missing:
+        raise ValueError(f"bench artifact missing keys: {missing}")
+    if data["mode"] not in ("full", "quick"):
+        raise ValueError(f"bench artifact mode must be full/quick, got {data['mode']!r}")
+    if not isinstance(data["metrics"], dict) or not data["metrics"]:
+        raise ValueError("bench artifact metrics must be a non-empty object")
+    gate = data["gate"]
+    if not isinstance(gate, dict) or "passed" not in gate:
+        raise ValueError("bench artifact gate must carry a 'passed' flag")
+
+
+def write_bench_artifact(
+    name: str,
+    metrics: dict,
+    gate: dict,
+    *,
+    quick: bool = False,
+    results_dir: Path | None = None,
+) -> Path:
+    """Validate and persist one ``BENCH_<name>[_quick].json`` artifact.
+
+    Returns the written path.  The payload is validated before anything
+    touches disk, so a malformed artifact fails the producing run rather
+    than the CI assertion step downstream.
+    """
+    payload = {
+        "bench": name,
+        "mode": "quick" if quick else "full",
+        "host_cores": usable_cores(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "metrics": metrics,
+        "gate": gate,
+    }
+    validate_bench_artifact(payload)
+    directory = RESULTS_DIR if results_dir is None else Path(results_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    suffix = "_quick" if quick else ""
+    path = directory / f"BENCH_{name}{suffix}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -13,10 +13,10 @@ The paper's three measures (section 5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from math import sqrt
 from statistics import mean, pstdev
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 __all__ = ["InstanceMetrics", "MetricsSummary", "summarize"]
 
@@ -94,6 +94,29 @@ class MetricsSummary:
 
     def mean_time_in_seconds(self) -> float:
         return self.mean_elapsed / 1000.0
+
+    def to_dict(self) -> dict:
+        """A plain-dict (hence JSON-able) view of every field.
+
+        The server's ``/metrics`` endpoint serves this; floats survive a
+        JSON round trip exactly (Python serializes them via repr), so
+        ``MetricsSummary.from_dict(json.loads(json.dumps(s.to_dict())))``
+        equals ``s`` bit for bit — including the summed-not-averaged
+        ``query_cache_*`` fleet totals of a sharded service.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MetricsSummary":
+        """Rebuild a summary from :meth:`to_dict` output (strict keys)."""
+        field_names = {f.name for f in fields(cls)}
+        unknown = set(data) - field_names
+        if unknown:
+            raise ValueError(
+                f"unknown MetricsSummary field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(field_names)}"
+            )
+        return cls(**dict(data))
 
     @classmethod
     def empty(cls) -> "MetricsSummary":

@@ -1,0 +1,603 @@
+"""The decision-service daemon: streaming arrivals in front of the engine.
+
+Everything else in the repo is batch — a sweep is submitted, drained, and
+the process exits.  :class:`ServerDaemon` is the open-system front half:
+it owns a :class:`~repro.api.service.DecisionService` (plain or sharded
+with the serial executor), accepts submissions from any thread, and runs
+a single **drain loop** thread that feeds admitted arrivals into the
+engine in epochs — submit the pending batch at DES times derived from
+wall-clock arrival (``ticks_per_second`` maps wall seconds onto the
+simulated clock), run the calendar dry, record and persist completions,
+repeat.  The DES clock therefore advances against wall-time arrivals
+instead of a pre-baked schedule.
+
+In front of the engine sits an **admission controller**: a bounded
+arrival queue with a configurable high-water mark.  Past it, submissions
+are rejected (HTTP maps this to ``429``) with a retry hint derived from
+the observed drain rate — an EWMA of instances completed per wall second
+over recent epochs.  The queue can never exceed ``high_water``, which is
+what bounds daemon memory and keeps the engine from falling unboundedly
+behind the arrival rate.
+
+Completed records (source valuation, decision values, metrics snapshot,
+config hash) are written to a :class:`~repro.server.store.RunStore` after
+every epoch, so ``get()`` on a restarted daemon still resolves instances
+finished before the restart.  :meth:`shutdown` is graceful: admission
+closes, the drain loop finishes every already-accepted instance, the
+store is flushed and closed — zero accepted instances are lost.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass
+from queue import Queue
+from typing import Any, Mapping, Sequence
+
+from repro.api.config import ExecutionConfig
+from repro.api.events import InstanceCompleteEvent, LaunchEvent, QueryDoneEvent
+from repro.api.service import InstanceHandle, coerce_config
+from repro.core.metrics import MetricsSummary
+from repro.core.schema import DecisionFlowSchema
+from repro.core.strategy import Strategy
+from repro.errors import ExecutionError
+from repro.runtime.sharding import create_service
+from repro.server.store import RunStore, config_hash, encode_values
+
+__all__ = ["ServerDaemon", "SubmitResult", "STATUSES"]
+
+#: Instance lifecycle states as reported by ``get()`` / ``GET /instances/<id>``.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+STALLED = "stalled"
+FAILED = "failed"
+STATUSES = (QUEUED, RUNNING, DONE, STALLED, FAILED)
+
+#: Default wall→DES time scale: 1 wall second = 1000 simulated ticks,
+#: the repo-wide "ms clock" convention the CLI's --rate flag uses.
+DEFAULT_TICKS_PER_SECOND = 1000.0
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """The admission controller's answer to one submission (or batch).
+
+    ``accepted`` holds the assigned instance ids (empty on rejection);
+    ``rejected`` counts instances turned away — a batch is admitted
+    atomically, so one of the two is always zero.  ``retry_after`` is the
+    backpressure hint in wall seconds (set only for ``queue full``), and
+    ``queue_depth`` the arrival-queue depth after the decision.
+    """
+
+    accepted: tuple[str, ...]
+    rejected: int
+    reason: str | None
+    retry_after: float | None
+    queue_depth: int
+
+    @property
+    def ok(self) -> bool:
+        return self.rejected == 0
+
+
+@dataclass
+class _Pending:
+    """One admitted arrival waiting for the next drain epoch."""
+
+    instance_id: str
+    source: dict | None
+    wall: float
+
+
+@dataclass
+class _Record:
+    """Live (this-daemon-lifetime) state of one accepted instance."""
+
+    instance_id: str
+    status: str
+    submitted_wall: float
+    source: dict | None
+    completed_wall: float | None = None
+    values: dict | None = None
+    metrics: Any = None  # InstanceMetrics once done
+    error: str | None = None
+
+
+def _event_payload(event: object) -> dict | None:
+    """A typed observer event as a plain JSON-able dict (None if unknown)."""
+    if isinstance(event, LaunchEvent):
+        return {
+            "type": "launch",
+            "time": event.time,
+            "instance_id": event.instance_id,
+            "attribute": event.attribute,
+            "speculative": event.speculative,
+            "shared": event.shared,
+        }
+    if isinstance(event, QueryDoneEvent):
+        return {
+            "type": "query_done",
+            "time": event.time,
+            "instance_id": event.instance_id,
+            "attribute": event.attribute,
+            "units": event.units,
+            "completed": event.completed,
+        }
+    if isinstance(event, InstanceCompleteEvent):
+        return {
+            "type": "instance_complete",
+            "time": event.time,
+            "instance_id": event.instance_id,
+            "metrics": asdict(event.metrics),
+        }
+    return None
+
+
+class ServerDaemon:
+    """Admission control + drain loop + persistence around a service.
+
+    ``config`` accepts the same spellings as
+    :class:`~repro.api.service.DecisionService`; ``config.shards > 1``
+    builds the sharded facade (serial executor only — the process
+    executor executes exactly one round and cannot serve an open system
+    until ROADMAP item 2's persistent shard workers land).
+
+    ``db`` is a SQLite path (or a pre-built
+    :class:`~repro.server.store.RunStore`); omit it to run without
+    persistence.  ``default_values`` is the source valuation used when a
+    submission carries none (the CLI wires the generated pattern's
+    canonical payload here so ``POST /instances`` with an empty body
+    works).  ``high_water`` bounds the arrival queue.
+    """
+
+    def __init__(
+        self,
+        schema: DecisionFlowSchema,
+        config: ExecutionConfig | Strategy | str | None = None,
+        *,
+        db: str | RunStore | None = None,
+        high_water: int = 256,
+        default_values: Mapping[str, object] | None = None,
+        ticks_per_second: float = DEFAULT_TICKS_PER_SECOND,
+        drain_interval: float = 0.005,
+        event_history: int = 1024,
+        id_prefix: str = "srv-",
+        backend: str | None = None,
+        **backend_options: Any,
+    ):
+        config = coerce_config(config)
+        if config.executor != "serial":
+            raise ExecutionError(
+                f"the daemon drives its service incrementally, epoch after "
+                f"epoch; executor={config.executor!r} executes exactly one "
+                "round and cannot serve an open system (persistent shard "
+                "workers are ROADMAP item 2) — use executor='serial'"
+            )
+        if high_water < 1:
+            raise ValueError(f"high_water must be >= 1, got {high_water}")
+        if ticks_per_second <= 0:
+            raise ValueError(
+                f"ticks_per_second must be > 0, got {ticks_per_second}"
+            )
+        self.schema = schema
+        self.service = create_service(
+            schema, config, backend=backend, **backend_options
+        )
+        self.config = self.service.config
+        self.config_digest = config_hash(self.config)
+        self.default_values = (
+            dict(default_values) if default_values is not None else None
+        )
+        self.high_water = high_water
+        self.ticks_per_second = ticks_per_second
+        self._drain_interval = drain_interval
+        self._id_prefix = id_prefix
+        self._store = db if isinstance(db, RunStore) else (
+            RunStore(db) if db is not None else None
+        )
+        first = self._store.next_sequence(id_prefix) if self._store is not None else 1
+        self._seq = itertools.count(first)
+
+        self._wall0 = time.time()
+        self._mono0 = time.monotonic()
+        self._state_lock = threading.Lock()
+        self._service_lock = threading.Lock()
+        self._queue: deque[_Pending] = deque()
+        self._records: dict[str, _Record] = {}
+        self._completion_walls: dict[str, float] = {}
+
+        # -- counters (guarded by _state_lock) --
+        self._accepted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._stalled = 0
+        self._failed = 0
+        self._persisted = 0
+        self._epochs = 0
+        self._peak_queue = 0
+        self._drain_rate: float | None = None
+
+        # -- event fan-out --
+        self._events_lock = threading.Lock()
+        self._subscribers: list[Queue] = []
+        self._history: deque = deque(maxlen=event_history)
+        self._taps_armed = False
+        self.service.on_instance_complete(self._on_complete)
+
+        # -- drain loop --
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._wake = threading.Event()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._thread = threading.Thread(
+            target=self._drain_loop, name="repro-server-drain", daemon=True
+        )
+        self._thread.start()
+
+    # -- admission ------------------------------------------------------------
+
+    def submit(self, values: Mapping[str, object] | None = None) -> SubmitResult:
+        """Admit one instance (or reject it with a backpressure hint)."""
+        return self.submit_many([values])
+
+    def submit_many(
+        self, values_list: Sequence[Mapping[str, object] | None]
+    ) -> SubmitResult:
+        """Admit a batch atomically: all instances enter the queue, or none.
+
+        Rejection reasons: ``"queue full"`` (the batch would push the
+        arrival queue past ``high_water``; ``retry_after`` estimates when
+        the drain loop will have made room) and ``"shutting down"``
+        (admission is closed; already-accepted work still completes).
+        """
+        n = len(values_list)
+        wall = time.time()
+        with self._state_lock:
+            depth = len(self._queue)
+            if n == 0:
+                return SubmitResult((), 0, None, None, depth)
+            if self._stopping.is_set():
+                self._rejected += n
+                return SubmitResult((), n, "shutting down", None, depth)
+            if depth + n > self.high_water:
+                self._rejected += n
+                return SubmitResult(
+                    (), n, "queue full", self._retry_after_locked(depth + n), depth
+                )
+            ids = []
+            for values in values_list:
+                instance_id = f"{self._id_prefix}{next(self._seq)}"
+                if values is not None:
+                    source = dict(values)
+                elif self.default_values is not None:
+                    source = dict(self.default_values)
+                else:
+                    source = None
+                self._queue.append(_Pending(instance_id, source, wall))
+                self._records[instance_id] = _Record(
+                    instance_id, QUEUED, wall, source
+                )
+                ids.append(instance_id)
+            self._accepted += n
+            depth = len(self._queue)
+            self._peak_queue = max(self._peak_queue, depth)
+            self._idle.clear()
+        self._wake.set()
+        return SubmitResult(tuple(ids), 0, None, None, depth)
+
+    def _retry_after_locked(self, needed_drain: int) -> float:
+        """Wall seconds until ~needed_drain instances will have drained."""
+        rate = self._drain_rate if self._drain_rate else 20.0
+        return min(60.0, max(0.05, needed_drain / rate))
+
+    # -- the drain loop -------------------------------------------------------
+
+    def _drain_loop(self) -> None:
+        while True:
+            self._wake.wait(timeout=self._drain_interval)
+            self._wake.clear()
+            batch = self._take_batch()
+            while batch:
+                self._run_epoch(batch)
+                batch = self._take_batch()
+            with self._state_lock:
+                if not self._queue:
+                    self._idle.set()
+                    if self._stopping.is_set():
+                        break
+        self._stopped.set()
+
+    def _take_batch(self) -> list[_Pending]:
+        with self._state_lock:
+            if not self._queue:
+                return []
+            batch = list(self._queue)
+            self._queue.clear()
+        return batch
+
+    def _run_epoch(self, batch: list[_Pending]) -> None:
+        epoch_mono = time.monotonic()
+        handles: list[tuple[_Pending, object]] = []
+        with self._service_lock:
+            floor = self.service.now
+            for pending in batch:
+                with self._state_lock:
+                    self._records[pending.instance_id].status = RUNNING
+                scaled = (pending.wall - self._wall0) * self.ticks_per_second
+                try:
+                    handle = self.service.submit(
+                        pending.source,
+                        at=max(floor, scaled),
+                        instance_id=pending.instance_id,
+                    )
+                except Exception as error:  # a bad valuation must not kill the loop
+                    self._mark_failed(pending.instance_id, error)
+                    continue
+                handles.append((pending, handle))
+            try:
+                self.service.run()
+            except Exception as error:  # pragma: no cover - engine invariant breach
+                for pending, _handle in handles:
+                    self._mark_failed(pending.instance_id, error)
+                handles = []
+        self._finish_epoch(handles, time.monotonic() - epoch_mono)
+
+    def _mark_failed(self, instance_id: str, error: Exception) -> None:
+        with self._state_lock:
+            record = self._records[instance_id]
+            record.status = FAILED
+            record.error = f"{type(error).__name__}: {error}"
+            self._failed += 1
+
+    def _finish_epoch(
+        self, handles: list[tuple[_Pending, object]], epoch_seconds: float
+    ) -> None:
+        fallback_wall = time.time()
+        to_persist = []
+        done_count = 0
+        with self._state_lock:
+            for pending, handle in handles:
+                record = self._records[pending.instance_id]
+                if handle.done:
+                    record.status = DONE
+                    record.completed_wall = self._completion_walls.pop(
+                        pending.instance_id, fallback_wall
+                    )
+                    record.values = self._handle_values(handle)
+                    record.metrics = handle.metrics
+                    done_count += 1
+                else:
+                    # run() drained the calendar with targets unstable:
+                    # the flow can never finish.  Record it as stalled.
+                    record.status = STALLED
+                to_persist.append(self._store_record(record))
+            self._completed += done_count
+            self._stalled += len(handles) - done_count
+            self._epochs += 1
+            if done_count and epoch_seconds > 0:
+                rate = done_count / epoch_seconds
+                self._drain_rate = (
+                    rate
+                    if self._drain_rate is None
+                    else 0.3 * rate + 0.7 * self._drain_rate
+                )
+        if self._store is not None and to_persist:
+            written = self._store.record_many(to_persist)
+            with self._state_lock:
+                self._persisted += written
+
+    @staticmethod
+    def _handle_values(handle: object) -> dict:
+        if isinstance(handle, InstanceHandle):
+            return dict(handle.instance.value_map())
+        return dict(handle.value_map())
+
+    def _store_record(self, record: _Record) -> dict:
+        return {
+            "instance_id": record.instance_id,
+            "schema_name": self.schema.name,
+            "status": record.status,
+            "submitted_wall": record.submitted_wall,
+            "completed_wall": record.completed_wall,
+            "source": encode_values(record.source) or {},
+            "values": encode_values(record.values),
+            "metrics": asdict(record.metrics) if record.metrics is not None else None,
+            "config_hash": self.config_digest,
+        }
+
+    # -- reading --------------------------------------------------------------
+
+    def get(self, instance_id: str) -> dict | None:
+        """The status payload for one instance id, or None if unknown.
+
+        Live records (this daemon lifetime) take precedence; otherwise
+        the persistent store answers for work finished before a restart
+        (``origin: "store"``).
+        """
+        with self._state_lock:
+            record = self._records.get(instance_id)
+            if record is not None:
+                return self._payload_from_live(record)
+        if self._store is not None:
+            stored = self._store.get(instance_id)
+            if stored is not None:
+                return self._payload_from_store(stored)
+        return None
+
+    def _payload_from_live(self, record: _Record) -> dict:
+        payload = {
+            "id": record.instance_id,
+            "status": record.status,
+            "schema": self.schema.name,
+            "submitted_at": record.submitted_wall,
+            "completed_at": record.completed_wall,
+            "source": encode_values(record.source) or {},
+            "values": encode_values(record.values),
+            "metrics": asdict(record.metrics) if record.metrics is not None else None,
+            "config_hash": self.config_digest,
+            "origin": "live",
+        }
+        if record.error is not None:
+            payload["error"] = record.error
+        if record.completed_wall is not None:
+            payload["latency"] = record.completed_wall - record.submitted_wall
+        return payload
+
+    @staticmethod
+    def _payload_from_store(stored: dict) -> dict:
+        payload = {
+            "id": stored["instance_id"],
+            "status": stored["status"],
+            "schema": stored["schema_name"],
+            "submitted_at": stored["submitted_wall"],
+            "completed_at": stored["completed_wall"],
+            "source": stored["source"],
+            "values": stored["values"],
+            "metrics": stored["metrics"],
+            "config_hash": stored["config_hash"],
+            "origin": "store",
+        }
+        if stored["completed_wall"] is not None:
+            payload["latency"] = stored["completed_wall"] - stored["submitted_wall"]
+        return payload
+
+    def summary(self) -> MetricsSummary:
+        """The service's cross-instance aggregate (serialized vs epochs)."""
+        with self._service_lock:
+            return self.service.summary()
+
+    def server_stats(self) -> dict:
+        """Daemon-level counters: queue, admission, drain, persistence."""
+        with self._state_lock:
+            return {
+                "queue_depth": len(self._queue),
+                "peak_queue_depth": self._peak_queue,
+                "high_water": self.high_water,
+                "accepted": self._accepted,
+                "rejected": self._rejected,
+                "completed": self._completed,
+                "stalled": self._stalled,
+                "failed": self._failed,
+                "persisted": self._persisted,
+                "epochs": self._epochs,
+                "drain_rate": self._drain_rate,
+                "uptime": time.monotonic() - self._mono0,
+                "stopping": self._stopping.is_set(),
+            }
+
+    def metrics_payload(self) -> dict:
+        """The ``GET /metrics`` body: summary + server + config identity."""
+        return {
+            "summary": self.summary().to_dict(),
+            "server": self.server_stats(),
+            "config": {
+                "code": self.config.code,
+                "backend": self.config.backend,
+                "engine": self.config.engine,
+                "shards": self.config.shards,
+                "executor": self.config.executor,
+                "dispatch": self.config.dispatch,
+                "query_cache": self.config.query_cache,
+                "share_results": self.config.share_results,
+                "halt_policy": self.config.halt_policy,
+                "hash": self.config_digest,
+                "schema": self.schema.name,
+            },
+        }
+
+    # -- events ---------------------------------------------------------------
+
+    def _on_complete(self, event: InstanceCompleteEvent) -> None:
+        self._completion_walls[event.instance_id] = time.time()
+        self._publish(_event_payload(event))
+
+    def _arm_event_taps(self) -> None:
+        """Attach launch/query-done taps on first demand.
+
+        Completion events are always tapped (they drive per-instance
+        latency); the chattier launch/query streams attach only once an
+        ``/events`` subscriber exists, so unobserved daemons pay nothing
+        for them.  Serial services deliver live, so a mid-life attach is
+        safe — history simply starts at the first subscription.
+        """
+        if self._taps_armed:
+            return
+        self._taps_armed = True
+        self.service.on_launch(lambda e: self._publish(_event_payload(e)))
+        self.service.on_query_done(lambda e: self._publish(_event_payload(e)))
+
+    def _publish(self, payload: dict | None) -> None:
+        if payload is None:
+            return
+        with self._events_lock:
+            self._history.append(payload)
+            for subscriber in self._subscribers:
+                subscriber.put(payload)
+
+    def subscribe_events(self, *, replay: bool = False) -> Queue:
+        """A queue receiving every typed event payload from now on.
+
+        ``replay=True`` pre-loads the retained history (bounded ring)
+        before live delivery starts; the switch is atomic, so no event is
+        lost or duplicated across the boundary.  A ``None`` item marks
+        daemon shutdown.
+        """
+        self._arm_event_taps()
+        subscriber: Queue = Queue()
+        with self._events_lock:
+            if replay:
+                for payload in self._history:
+                    subscriber.put(payload)
+            self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe_events(self, subscriber: Queue) -> None:
+        with self._events_lock:
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def stopping(self) -> bool:
+        return self._stopping.is_set()
+
+    def is_idle(self) -> bool:
+        """No queued arrivals and no epoch in flight."""
+        return self._idle.is_set()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until the arrival queue is drained (True) or timeout."""
+        return self._idle.wait(timeout)
+
+    def shutdown(self, timeout: float = 60.0) -> bool:
+        """Graceful stop: close admission, drain, flush, join.
+
+        Every already-accepted instance is executed and (when a store is
+        configured) persisted before the drain loop exits; event
+        subscribers receive a ``None`` sentinel.  Idempotent.  Returns
+        False if the drain loop failed to finish within *timeout*.
+        """
+        self._stopping.set()
+        self._wake.set()
+        self._thread.join(timeout)
+        drained = not self._thread.is_alive()
+        if drained and self._store is not None:
+            self._store.close()
+        with self._events_lock:
+            for subscriber in self._subscribers:
+                subscriber.put(None)
+        return drained
+
+    def __repr__(self) -> str:
+        stats = self.server_stats()
+        return (
+            f"<ServerDaemon {self.schema.name!r} {self.config.code} "
+            f"queue={stats['queue_depth']}/{self.high_water} "
+            f"accepted={stats['accepted']} completed={stats['completed']}>"
+        )

@@ -1,0 +1,257 @@
+"""HTTP/JSON transport for the decision-service daemon (stdlib only).
+
+A thin :class:`ThreadingHTTPServer` front on a
+:class:`~repro.server.daemon.ServerDaemon`.  Handler threads never touch
+the engine — they enqueue submissions through the daemon's admission
+controller and read from its record map / SQLite store, so the drain
+loop stays the only engine owner.
+
+Endpoints::
+
+    POST /instances        {"values": {...}} or {"batch": [{...}, ...]}
+                           202 {"accepted": [ids], "queue_depth": n}
+                           429 + Retry-After when past the high-water mark
+                           503 while shutting down
+    GET  /instances/<id>   status/values/metrics payload; 404 if unknown;
+                           resolves restarts via the SQLite store
+    GET  /events           NDJSON stream of typed observer events
+                           (?limit=N closes after N, ?replay=1 prepends
+                           the retained history)
+    GET  /metrics          summary() + daemon counters + config identity
+    GET  /healthz          liveness + queue depth
+
+``create_server`` binds (port 0 → ephemeral, how the tests stay
+port-free); ``start_http_server`` also spins the serve loop on a
+background thread and returns ``(server, thread)``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from queue import Empty
+from urllib.parse import parse_qs, urlsplit
+
+from repro.server.daemon import ServerDaemon
+
+__all__ = ["DecisionServer", "DecisionRequestHandler", "create_server", "start_http_server"]
+
+_MAX_BODY = 8 * 1024 * 1024
+
+
+class DecisionServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the daemon for its handler threads."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, daemon: ServerDaemon, *, quiet: bool = True):
+        self.decision_daemon = daemon
+        self.quiet = quiet
+        super().__init__(address, DecisionRequestHandler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class DecisionRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-server/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def daemon(self) -> ServerDaemon:
+        return self.server.decision_daemon
+
+    # -- plumbing -------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    def _send_json(
+        self, status: int, payload: dict, *, headers: dict | None = None
+    ) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str, **extra) -> None:
+        self._send_json(status, {"error": {"message": message, **extra}})
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY:
+            raise ValueError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        data = json.loads(raw.decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    # -- routes ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlsplit(self.path)
+        if url.path == "/healthz":
+            stats = self.daemon.server_stats()
+            self._send_json(
+                200,
+                {
+                    "status": "stopping" if stats["stopping"] else "ok",
+                    "queue_depth": stats["queue_depth"],
+                    "uptime": stats["uptime"],
+                },
+            )
+        elif url.path == "/metrics":
+            self._send_json(200, self.daemon.metrics_payload())
+        elif url.path.startswith("/instances/"):
+            instance_id = url.path[len("/instances/"):]
+            payload = self.daemon.get(instance_id)
+            if payload is None:
+                self._send_error_json(
+                    404, f"unknown instance id {instance_id!r}", id=instance_id
+                )
+            else:
+                self._send_json(200, payload)
+        elif url.path == "/events":
+            self._stream_events(parse_qs(url.query))
+        else:
+            self._send_error_json(404, f"no such endpoint: {url.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlsplit(self.path)
+        if url.path != "/instances":
+            self._send_error_json(404, f"no such endpoint: {url.path}")
+            return
+        try:
+            body = self._read_body()
+            batch = self._parse_submission(body)
+        except (ValueError, json.JSONDecodeError) as error:
+            self._send_error_json(400, f"bad request: {error}")
+            return
+        result = self.daemon.submit_many(batch)
+        if result.ok:
+            self._send_json(
+                202,
+                {"accepted": list(result.accepted), "queue_depth": result.queue_depth},
+            )
+        elif result.reason == "queue full":
+            retry = result.retry_after or 1.0
+            self._send_json(
+                429,
+                {
+                    "error": {"message": "queue full", "rejected": result.rejected},
+                    "retry_after": retry,
+                    "queue_depth": result.queue_depth,
+                },
+                headers={"Retry-After": str(max(1, round(retry)))},
+            )
+        else:
+            self._send_error_json(503, result.reason or "unavailable")
+
+    @staticmethod
+    def _parse_submission(body: dict) -> list[dict | None]:
+        """Normalize a POST body into a list of source valuations.
+
+        ``{}`` → one instance with the daemon's default values;
+        ``{"values": {...}}`` → one instance; ``{"batch": [...]}`` → many,
+        each entry either a bare valuation object or ``{"values": ...}``.
+        """
+        if "batch" in body:
+            entries = body["batch"]
+            if not isinstance(entries, list) or not entries:
+                raise ValueError("'batch' must be a non-empty list")
+            batch = []
+            for entry in entries:
+                if entry is None:
+                    batch.append(None)
+                elif not isinstance(entry, dict):
+                    raise ValueError("batch entries must be objects")
+                elif "values" in entry:
+                    batch.append(entry["values"])
+                else:
+                    batch.append(entry or None)
+            return batch
+        values = body.get("values")
+        if values is not None and not isinstance(values, dict):
+            raise ValueError("'values' must be an object")
+        return [values]
+
+    def _stream_events(self, query: dict) -> None:
+        try:
+            limit = int(query["limit"][0]) if "limit" in query else None
+        except ValueError:
+            self._send_error_json(400, "limit must be an integer")
+            return
+        replay = query.get("replay", ["0"])[0] in ("1", "true", "yes")
+        subscriber = self.daemon.subscribe_events(replay=replay)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        # No Content-Length: the stream ends when the connection closes.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        sent = 0
+        try:
+            while limit is None or sent < limit:
+                try:
+                    payload = subscriber.get(timeout=0.25)
+                except Empty:
+                    if self.daemon.stopping and self.daemon.is_idle():
+                        break
+                    continue
+                if payload is None:  # shutdown sentinel
+                    break
+                self.wfile.write((json.dumps(payload) + "\n").encode("utf-8"))
+                self.wfile.flush()
+                sent += 1
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up but the subscription
+        finally:
+            self.daemon.unsubscribe_events(subscriber)
+            self.close_connection = True
+
+
+def create_server(
+    daemon: ServerDaemon,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    quiet: bool = True,
+) -> DecisionServer:
+    """Bind a :class:`DecisionServer` (``port=0`` → ephemeral port)."""
+    return DecisionServer((host, port), daemon, quiet=quiet)
+
+
+def start_http_server(
+    daemon: ServerDaemon,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    quiet: bool = True,
+) -> tuple[DecisionServer, threading.Thread]:
+    """Bind and serve on a background thread; returns ``(server, thread)``.
+
+    The in-process transport tests, the CI smoke step, and the load
+    benchmark all use this: bind port 0, talk to
+    ``http://127.0.0.1:<server.port>``, then ``server.shutdown()`` +
+    ``thread.join()`` + ``daemon.shutdown()``.
+    """
+    server = create_server(daemon, host, port, quiet=quiet)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        name="repro-server-http",
+        daemon=True,
+    )
+    thread.start()
+    return server, thread

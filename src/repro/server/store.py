@@ -1,0 +1,232 @@
+"""SQLite persistence for the decision-service daemon.
+
+A :class:`RunStore` keeps one row per finished decision-flow instance —
+the source valuation, the decision (stable attribute) values, the final
+metrics snapshot, wall-clock timestamps, and the hash of the
+:class:`~repro.api.config.ExecutionConfig` that produced it — so a
+restarted daemon answers ``GET /instances/<id>`` for work completed
+before the restart.
+
+Everything is stdlib ``sqlite3``.  One connection is shared across the
+daemon's threads behind a lock (the drain loop writes whole epochs in
+one transaction; HTTP handler threads only read), which keeps the store
+safe under ``ThreadingHTTPServer`` without per-thread connections.
+
+Attribute values may carry the ⊥ null sentinel and tuples, neither of
+which is plain JSON; :func:`encode_values` / :func:`decode_values` reuse
+the declarative value encoding of :mod:`repro.core.serialize`
+(``{"$null": true}`` / ``{"$seq": [...]}``) so records round-trip the
+exact values the engine produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.core.serialize import (
+    SerializationError,
+    _value_from_dict,
+    _value_to_dict,
+    config_to_dict,
+)
+
+__all__ = ["RunStore", "config_hash", "encode_values", "decode_values"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    instance_id    TEXT PRIMARY KEY,
+    schema_name    TEXT NOT NULL,
+    status         TEXT NOT NULL,
+    submitted_wall REAL NOT NULL,
+    completed_wall REAL,
+    source_json    TEXT NOT NULL,
+    values_json    TEXT,
+    metrics_json   TEXT,
+    config_hash    TEXT NOT NULL
+);
+"""
+
+
+def config_hash(config) -> str:
+    """A short stable digest of an ExecutionConfig, for run records.
+
+    Serializable configs hash their canonical plain-dict encoding;
+    configs carrying rich (non-declarative) backend options fall back to
+    ``repr``, which is stable within a process line but not guaranteed
+    across releases — good enough to flag "this record was produced
+    under a different recipe".
+    """
+    try:
+        payload = json.dumps(config_to_dict(config), sort_keys=True)
+    except SerializationError:
+        payload = repr(config)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def encode_values(values: Mapping[str, object] | None) -> dict | None:
+    """Encode an attribute-value mapping into JSON-able form (⊥-safe)."""
+    if values is None:
+        return None
+    return {name: _value_to_dict(value) for name, value in values.items()}
+
+
+def decode_values(data: Mapping[str, object] | None) -> dict | None:
+    """Invert :func:`encode_values`."""
+    if data is None:
+        return None
+    return {name: _value_from_dict(value) for name, value in data.items()}
+
+
+class RunStore:
+    """Durable run records keyed by instance id.
+
+    ``path`` is a filesystem path (created on first open) or
+    ``":memory:"`` for tests.  All methods are thread-safe; writes are
+    batched per call and committed immediately, so a graceful shutdown
+    only needs :meth:`close`.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute(_SCHEMA)
+            self._conn.commit()
+        self._closed = False
+
+    # -- writing --------------------------------------------------------------
+
+    def record_many(self, records: Iterable[Mapping[str, object]]) -> int:
+        """Persist finished run records (one epoch's completions) atomically.
+
+        Each record is a plain dict with keys ``instance_id``,
+        ``schema_name``, ``status``, ``submitted_wall``,
+        ``completed_wall``, ``source`` (encoded values), ``values``
+        (encoded values or None), ``metrics`` (plain dict or None), and
+        ``config_hash``.  Returns the number of rows written.
+        """
+        rows = [
+            (
+                record["instance_id"],
+                record["schema_name"],
+                record["status"],
+                record["submitted_wall"],
+                record.get("completed_wall"),
+                json.dumps(record.get("source") or {}, sort_keys=True),
+                None
+                if record.get("values") is None
+                else json.dumps(record["values"], sort_keys=True),
+                None
+                if record.get("metrics") is None
+                else json.dumps(record["metrics"], sort_keys=True),
+                record["config_hash"],
+            )
+            for record in records
+        ]
+        if not rows:
+            return 0
+        with self._lock:
+            self._ensure_open()
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO runs VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            self._conn.commit()
+        return len(rows)
+
+    def record(self, record: Mapping[str, object]) -> None:
+        """Persist one finished run record."""
+        self.record_many([record])
+
+    # -- reading --------------------------------------------------------------
+
+    def get(self, instance_id: str) -> dict | None:
+        """The stored record for *instance_id*, or None.
+
+        ``source``/``values`` come back in encoded (``$null``-capable)
+        form — exactly what :meth:`record_many` was handed — and
+        ``metrics`` as the stored plain dict.
+        """
+        with self._lock:
+            self._ensure_open()
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE instance_id = ?", (instance_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        return {
+            "instance_id": row["instance_id"],
+            "schema_name": row["schema_name"],
+            "status": row["status"],
+            "submitted_wall": row["submitted_wall"],
+            "completed_wall": row["completed_wall"],
+            "source": json.loads(row["source_json"]),
+            "values": None if row["values_json"] is None else json.loads(row["values_json"]),
+            "metrics": None if row["metrics_json"] is None else json.loads(row["metrics_json"]),
+            "config_hash": row["config_hash"],
+        }
+
+    def count(self) -> int:
+        """Stored run records."""
+        with self._lock:
+            self._ensure_open()
+            (count,) = self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()
+        return int(count)
+
+    def instance_ids(self) -> list[str]:
+        """Every stored instance id (insertion-order agnostic, sorted)."""
+        with self._lock:
+            self._ensure_open()
+            rows = self._conn.execute(
+                "SELECT instance_id FROM runs ORDER BY instance_id"
+            ).fetchall()
+        return [row["instance_id"] for row in rows]
+
+    def next_sequence(self, prefix: str = "srv-") -> int:
+        """One past the largest numeric suffix among ``<prefix><n>`` ids.
+
+        A restarted daemon resumes its id sequence from here so fresh
+        submissions can never collide with persisted records.
+        """
+        like = prefix.replace("%", "").replace("_", "") + "%"
+        start = len(prefix) + 1  # substr() is 1-indexed
+        with self._lock:
+            self._ensure_open()
+            (largest,) = self._conn.execute(
+                "SELECT MAX(CAST(substr(instance_id, ?) AS INTEGER)) "
+                "FROM runs WHERE instance_id LIKE ?",
+                (start, like),
+            ).fetchone()
+        return int(largest or 0) + 1
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Commit and close; further use raises."""
+        with self._lock:
+            if self._closed:
+                return
+            self._conn.commit()
+            self._conn.close()
+            self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"RunStore {self.path!r} is closed")
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<RunStore {self.path!r} {state}>"

@@ -218,3 +218,113 @@ class TestSimulateDispatchAndCache:
         ) == 0
         out = capsys.readouterr().out
         assert "query cache:" in out
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--code", "PSE80",
+                "--db", "runs.sqlite",
+                "--high-water", "32",
+                "--ticks-per-second", "500",
+                "--dispatch", "pooled",
+                "--query-cache",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert str(args.db) == "runs.sqlite"
+        assert args.high_water == 32
+        assert args.ticks_per_second == 500.0
+        assert args.dispatch == "pooled"
+        assert args.query_cache is True
+
+    def test_serve_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--executor", "quantum"])
+
+
+class TestServe:
+    @staticmethod
+    def _interrupt_serve_forever(monkeypatch):
+        """Make serve_forever raise SIGINT's KeyboardInterrupt immediately.
+
+        The real serve_forever's finally-block marks the server as shut
+        down (that is what makes the later server.shutdown() in
+        run_serve's cleanup safe); the fake must do the same or the
+        cleanup would block forever.
+        """
+        from repro.server.http import DecisionServer
+
+        def fake_serve_forever(self, poll_interval=0.5):
+            self._BaseServer__is_shut_down.set()
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(DecisionServer, "serve_forever", fake_serve_forever)
+
+    def test_sigint_exits_130_after_graceful_shutdown(
+        self, monkeypatch, capsys
+    ):
+        self._interrupt_serve_forever(monkeypatch)
+        code = main(["serve", "--port", "0", "--nb-nodes", "12"])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "interrupted" in captured.err
+        assert "serving" in captured.out  # banner printed before the loop
+        assert "shut down cleanly" in captured.out  # cleanup still ran
+
+    def test_json_banner_and_shutdown_report(self, monkeypatch, capsys, tmp_path):
+        self._interrupt_serve_forever(monkeypatch)
+        db = tmp_path / "runs.sqlite"
+        code = main(
+            ["serve", "--port", "0", "--nb-nodes", "12", "--db", str(db), "--json"]
+        )
+        assert code == 130
+        lines = capsys.readouterr().out.strip().splitlines()
+        banner = json.loads(lines[0])
+        closing = json.loads(lines[1])
+        assert banner["db"] == str(db)
+        assert banner["url"].startswith("http://127.0.0.1:")
+        assert len(banner["config_hash"]) == 16
+        assert closing["shutdown"]["accepted"] == 0
+
+    def test_serve_refuses_process_executor(self):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError, match="serial"):
+            main(
+                [
+                    "serve",
+                    "--port", "0",
+                    "--nb-nodes", "12",
+                    "--shards", "2",
+                    "--executor", "process",
+                ]
+            )
+
+
+class TestJsonErrorPaths:
+    def test_json_mode_wraps_errors_as_json_and_exits_1(self, capsys):
+        code = main(
+            ["simulate", "--backend", "quantum", "--instances", "1", "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["type"] == "ValueError"
+        assert "unknown backend" in payload["error"]["message"]
+
+    def test_serve_json_mode_wraps_errors_too(self, capsys):
+        code = main(
+            ["serve", "--port", "0", "--backend", "quantum", "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["type"] == "ValueError"
+
+    def test_without_json_errors_still_raise(self):
+        # The legacy contract: plain CLI failures surface the traceback.
+        with pytest.raises(ValueError, match="unknown backend"):
+            main(["simulate", "--backend", "quantum", "--instances", "1"])

@@ -181,3 +181,56 @@ class TestQueryCacheCounters:
         only_idle = MetricsSummary.merge(idle)
         assert only_idle.count == 0
         assert only_idle.query_cache_coalesced == 9
+
+
+class TestSummaryDict:
+    """to_dict/from_dict: the wire format GET /metrics serves."""
+
+    def _summary(self):
+        return MetricsSummary(
+            count=3,
+            mean_work=12.333333333333334,
+            std_work=1.699673171197595,
+            mean_elapsed=7.1,
+            std_elapsed=0.2,
+            mean_speculative_wasted_units=0.5,
+            mean_unneeded_detected=1.25,
+            total_work=37,
+            mean_queries_launched=4.666666666666667,
+            query_cache_hits=9,
+            query_cache_misses=4,
+            query_cache_coalesced=2,
+        )
+
+    def test_to_dict_covers_every_field(self):
+        from dataclasses import fields
+
+        data = self._summary().to_dict()
+        assert set(data) == {f.name for f in fields(MetricsSummary)}
+
+    def test_from_dict_inverts_to_dict_exactly(self):
+        summary = self._summary()
+        assert MetricsSummary.from_dict(summary.to_dict()) == summary
+
+    def test_json_round_trip_is_exact(self):
+        import json
+
+        summary = self._summary()
+        over_the_wire = json.loads(json.dumps(summary.to_dict()))
+        assert MetricsSummary.from_dict(over_the_wire) == summary
+
+    def test_unknown_keys_rejected(self):
+        data = self._summary().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            MetricsSummary.from_dict(data)
+
+    def test_merge_then_dict_keeps_summed_cache_counters(self):
+        shard_a = self._summary()
+        shard_b = self._summary()
+        merged = MetricsSummary.merge(shard_a, shard_b)
+        data = merged.to_dict()
+        assert data["query_cache_hits"] == 18
+        assert data["query_cache_misses"] == 8
+        assert data["query_cache_coalesced"] == 4
+        assert MetricsSummary.from_dict(data) == merged

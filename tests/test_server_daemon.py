@@ -1,0 +1,300 @@
+"""The decision-service daemon: admission, drain epochs, persistence.
+
+Everything here is in-process and port-free — the daemon object is
+exercised directly; the HTTP transport has its own suite
+(test_server_http.py).  Where a test needs the arrival queue to actually
+fill, the drain loop is stalled deterministically by shadowing
+``_take_batch`` on the instance (the loop re-reads the attribute every
+iteration), never by sleeping and hoping.
+"""
+
+import time
+
+import pytest
+
+from repro import ExecutionConfig, PatternParams, generate_pattern
+from repro.core.metrics import MetricsSummary
+from repro.errors import ExecutionError
+from repro.server import STATUSES, RunStore, ServerDaemon
+
+WAIT = 30.0  # generous wall-clock bound; every wait in here is event-driven
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    return generate_pattern(PatternParams(nb_nodes=16, nb_rows=3, pct_enabled=50, seed=3))
+
+
+@pytest.fixture
+def make_daemon(pattern):
+    daemons = []
+
+    def build(config=None, **kwargs):
+        daemon = ServerDaemon(
+            pattern.schema,
+            config if config is not None else "PSE80",
+            default_values=pattern.source_values,
+            **kwargs,
+        )
+        daemons.append(daemon)
+        return daemon
+
+    yield build
+    for daemon in daemons:
+        daemon.shutdown()
+
+
+def stall_drain(daemon):
+    """Stop the drain loop from taking batches; queue depth becomes real."""
+    daemon._take_batch = lambda: []
+    time.sleep(0.05)  # let any in-flight loop iteration finish
+
+
+def resume_drain(daemon):
+    del daemon.__dict__["_take_batch"]
+    daemon._wake.set()
+
+
+class TestSubmission:
+    def test_default_values_run_to_done(self, make_daemon, pattern):
+        daemon = make_daemon()
+        result = daemon.submit()
+        assert result.ok and result.rejected == 0
+        (instance_id,) = result.accepted
+        assert instance_id.startswith("srv-")
+        assert daemon.wait_idle(WAIT)
+        payload = daemon.get(instance_id)
+        assert payload["status"] == "done"
+        assert payload["origin"] == "live"
+        assert payload["schema"] == pattern.schema.name
+        assert payload["latency"] >= 0.0
+        assert payload["metrics"]["work_units"] > 0
+        assert payload["values"]  # decision values present
+        assert payload["config_hash"] == daemon.config_digest
+
+    def test_explicit_values_used(self, make_daemon, pattern):
+        daemon = make_daemon()
+        result = daemon.submit(dict(pattern.source_values))
+        assert daemon.wait_idle(WAIT)
+        payload = daemon.get(result.accepted[0])
+        assert payload["status"] == "done"
+
+    def test_batch_gets_distinct_sequential_ids(self, make_daemon):
+        daemon = make_daemon()
+        result = daemon.submit_many([None] * 5)
+        assert len(set(result.accepted)) == 5
+        assert daemon.wait_idle(WAIT)
+        assert all(daemon.get(i)["status"] == "done" for i in result.accepted)
+
+    def test_empty_batch_is_a_noop(self, make_daemon):
+        daemon = make_daemon()
+        result = daemon.submit_many([])
+        assert result.ok and result.accepted == ()
+
+    def test_unknown_id_is_none(self, make_daemon):
+        assert make_daemon().get("srv-404") is None
+
+    def test_bad_valuation_marks_failed_not_fatal(self, make_daemon):
+        daemon = make_daemon()
+        bad = daemon.submit({"no_such_attribute": 1})
+        good = daemon.submit()
+        assert daemon.wait_idle(WAIT)
+        failed = daemon.get(bad.accepted[0])
+        assert failed["status"] == "failed"
+        assert "ExecutionError" in failed["error"]
+        # The drain loop survived and the next instance still completed.
+        assert daemon.get(good.accepted[0])["status"] == "done"
+        assert daemon.server_stats()["failed"] == 1
+
+    def test_statuses_are_the_documented_set(self):
+        assert STATUSES == ("queued", "running", "done", "stalled", "failed")
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects_whole_batch_atomically(self, make_daemon):
+        daemon = make_daemon(high_water=4)
+        stall_drain(daemon)
+        try:
+            assert daemon.submit_many([None] * 3).ok
+            result = daemon.submit_many([None] * 2)  # 3 + 2 > 4
+            assert not result.ok
+            assert result.accepted == ()
+            assert result.rejected == 2
+            assert result.reason == "queue full"
+            assert 0.05 <= result.retry_after <= 60.0
+            assert result.queue_depth == 3  # nothing from the batch leaked in
+            # A batch that still fits is admitted after the rejection.
+            assert daemon.submit(None).ok
+        finally:
+            resume_drain(daemon)
+        assert daemon.wait_idle(WAIT)
+        stats = daemon.server_stats()
+        assert stats["accepted"] == 4
+        assert stats["rejected"] == 2
+        assert stats["completed"] == 4
+
+    def test_peak_queue_depth_never_exceeds_high_water(self, make_daemon):
+        daemon = make_daemon(high_water=8)
+        stall_drain(daemon)
+        try:
+            for _ in range(30):
+                daemon.submit(None)
+        finally:
+            resume_drain(daemon)
+        assert daemon.wait_idle(WAIT)
+        stats = daemon.server_stats()
+        assert stats["peak_queue_depth"] == 8
+        assert stats["accepted"] == 8
+        assert stats["rejected"] == 22
+
+    def test_shutdown_closes_admission(self, make_daemon):
+        daemon = make_daemon()
+        assert daemon.shutdown()
+        result = daemon.submit(None)
+        assert not result.ok
+        assert result.reason == "shutting down"
+        assert daemon.stopping
+
+    def test_retry_after_tracks_drain_rate(self, make_daemon):
+        daemon = make_daemon(high_water=2)
+        daemon.submit_many([None] * 2)
+        assert daemon.wait_idle(WAIT)
+        rate = daemon.server_stats()["drain_rate"]
+        assert rate is not None and rate > 0
+        stall_drain(daemon)
+        try:
+            daemon.submit_many([None] * 2)
+            rejected = daemon.submit(None)
+            expected = min(60.0, max(0.05, 3 / rate))
+            assert rejected.retry_after == pytest.approx(expected)
+        finally:
+            resume_drain(daemon)
+
+
+class TestValidation:
+    def test_process_executor_rejected(self, make_daemon):
+        config = ExecutionConfig.from_code("PSE80", shards=2, executor="process")
+        with pytest.raises(ExecutionError, match="serial"):
+            make_daemon(config)
+
+    def test_high_water_bounds_checked(self, make_daemon):
+        with pytest.raises(ValueError, match="high_water"):
+            make_daemon(high_water=0)
+
+    def test_ticks_per_second_checked(self, make_daemon):
+        with pytest.raises(ValueError, match="ticks_per_second"):
+            make_daemon(ticks_per_second=0.0)
+
+
+class TestPersistence:
+    def test_restart_serves_old_ids_from_store(self, make_daemon, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        daemon = make_daemon(db=str(db))
+        ids = daemon.submit_many([None] * 6).accepted
+        assert daemon.wait_idle(WAIT)
+        assert daemon.shutdown()
+
+        restarted = make_daemon(db=str(db))
+        for instance_id in ids:
+            payload = restarted.get(instance_id)
+            assert payload is not None, instance_id
+            assert payload["status"] == "done"
+            assert payload["origin"] == "store"
+            assert payload["latency"] >= 0.0
+            assert payload["config_hash"] == daemon.config_digest
+        # The id sequence resumes past the persisted records: no collisions.
+        fresh = restarted.submit(None).accepted[0]
+        assert fresh not in ids
+        largest = max(int(i.split("-")[1]) for i in ids)
+        assert int(fresh.split("-")[1]) == largest + 1
+
+    def test_graceful_shutdown_drains_inflight_and_flushes(
+        self, make_daemon, tmp_path
+    ):
+        """shutdown() finishes every accepted instance and persists it."""
+        db = tmp_path / "runs.sqlite"
+        daemon = make_daemon(db=str(db))
+        ids = daemon.submit_many([None] * 40).accepted
+        # No wait_idle: shutdown itself must drain the in-flight work.
+        assert daemon.shutdown()
+        stats = daemon.server_stats()
+        assert stats["completed"] == 40
+        assert stats["persisted"] == 40
+        with RunStore(db) as store:
+            assert store.count() == 40
+            assert sorted(store.instance_ids()) == sorted(ids)
+            assert all(store.get(i)["status"] == "done" for i in ids)
+
+    def test_shutdown_is_idempotent(self, make_daemon):
+        daemon = make_daemon()
+        assert daemon.shutdown()
+        assert daemon.shutdown()
+
+    def test_no_store_means_no_persistence_counter(self, make_daemon):
+        daemon = make_daemon()
+        daemon.submit_many([None] * 3)
+        assert daemon.wait_idle(WAIT)
+        assert daemon.server_stats()["persisted"] == 0
+
+
+class TestShardedService:
+    def test_sharded_daemon_serves_and_aggregates(self, make_daemon):
+        config = ExecutionConfig.from_code("PSE80", shards=2, query_cache=True)
+        daemon = make_daemon(config)
+        ids = daemon.submit_many([None] * 8).accepted
+        assert daemon.wait_idle(WAIT)
+        assert all(daemon.get(i)["status"] == "done" for i in ids)
+        summary = daemon.summary()
+        assert summary.count == 8
+        # Identical repeated valuations make the per-shard caches earn hits.
+        assert summary.query_cache_misses > 0
+        payload = daemon.metrics_payload()
+        assert payload["config"]["shards"] == 2
+        assert payload["config"]["query_cache"] is True
+
+
+class TestMetricsPayload:
+    def test_summary_round_trips_through_the_payload(self, make_daemon):
+        daemon = make_daemon()
+        daemon.submit_many([None] * 4)
+        assert daemon.wait_idle(WAIT)
+        payload = daemon.metrics_payload()
+        assert set(payload) == {"summary", "server", "config"}
+        assert MetricsSummary.from_dict(payload["summary"]) == daemon.summary()
+        assert payload["server"]["completed"] == 4
+        assert payload["config"]["hash"] == daemon.config_digest
+
+
+class TestEvents:
+    def test_replay_delivers_completion_history(self, make_daemon):
+        daemon = make_daemon()
+        ids = daemon.submit_many([None] * 3).accepted
+        assert daemon.wait_idle(WAIT)
+        subscriber = daemon.subscribe_events(replay=True)
+        seen = []
+        while not subscriber.empty():
+            seen.append(subscriber.get_nowait())
+        completions = [e for e in seen if e["type"] == "instance_complete"]
+        assert {e["instance_id"] for e in completions} == set(ids)
+        assert all(e["metrics"]["work_units"] > 0 for e in completions)
+        daemon.unsubscribe_events(subscriber)
+
+    def test_live_stream_carries_launch_and_query_events(self, make_daemon):
+        daemon = make_daemon()
+        subscriber = daemon.subscribe_events()  # arms the chatty taps
+        daemon.submit(None)
+        assert daemon.wait_idle(WAIT)
+        types = set()
+        while not subscriber.empty():
+            types.add(subscriber.get_nowait()["type"])
+        assert {"launch", "query_done", "instance_complete"} <= types
+        daemon.unsubscribe_events(subscriber)
+
+    def test_shutdown_sends_none_sentinel(self, make_daemon):
+        daemon = make_daemon()
+        subscriber = daemon.subscribe_events()
+        daemon.shutdown()
+        items = []
+        while not subscriber.empty():
+            items.append(subscriber.get_nowait())
+        assert items[-1] is None

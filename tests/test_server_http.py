@@ -1,0 +1,298 @@
+"""The HTTP/JSON transport in front of the daemon (repro.server.http).
+
+Port-free and deterministic: every server binds port 0 (the OS hands out
+an ephemeral port) and is talked to over the loopback with stdlib
+``http.client``.  Waits are event-driven (``wait_idle``), never sleeps.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro import ExecutionConfig, PatternParams, generate_pattern
+from repro.core.metrics import MetricsSummary
+from repro.server import ServerDaemon, start_http_server
+
+WAIT = 30.0
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    return generate_pattern(PatternParams(nb_nodes=16, nb_rows=3, pct_enabled=50, seed=3))
+
+
+@pytest.fixture
+def stack(pattern):
+    """(daemon, server) on an ephemeral port, torn down in order."""
+    daemon = ServerDaemon(
+        pattern.schema, "PSE80", default_values=pattern.source_values
+    )
+    server, thread = start_http_server(daemon)
+    yield daemon, server
+    server.shutdown()
+    server.server_close()
+    thread.join(WAIT)
+    daemon.shutdown()
+
+
+def request(server, method, path, body=None):
+    """One request → (status, headers, parsed-JSON body)."""
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=WAIT)
+    try:
+        payload = None if body is None else json.dumps(body)
+        headers = {} if body is None else {"Content-Type": "application/json"}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, dict(response.getheaders()), json.loads(raw)
+    finally:
+        conn.close()
+
+
+def submit_and_wait(daemon, server, body):
+    status, _, payload = request(server, "POST", "/instances", body)
+    assert status == 202, payload
+    assert daemon.wait_idle(WAIT)
+    return payload["accepted"]
+
+
+class TestHealthz:
+    def test_ok_with_queue_depth(self, stack):
+        daemon, server = stack
+        status, _, payload = request(server, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["queue_depth"] == 0
+        assert payload["uptime"] >= 0
+
+
+class TestInstances:
+    def test_empty_body_uses_default_values(self, stack):
+        daemon, server = stack
+        (instance_id,) = submit_and_wait(daemon, server, {})
+        status, _, payload = request(server, "GET", f"/instances/{instance_id}")
+        assert status == 200
+        assert payload["status"] == "done"
+        assert payload["origin"] == "live"
+        assert payload["values"]
+        assert payload["latency"] >= 0
+
+    def test_explicit_values_accepted(self, stack, pattern):
+        daemon, server = stack
+        (instance_id,) = submit_and_wait(
+            daemon, server, {"values": dict(pattern.source_values)}
+        )
+        _, _, payload = request(server, "GET", f"/instances/{instance_id}")
+        assert payload["status"] == "done"
+
+    def test_batch_returns_one_id_per_entry(self, stack, pattern):
+        daemon, server = stack
+        ids = submit_and_wait(
+            daemon,
+            server,
+            {"batch": [None, {}, {"values": dict(pattern.source_values)}]},
+        )
+        assert len(set(ids)) == 3
+        for instance_id in ids:
+            _, _, payload = request(server, "GET", f"/instances/{instance_id}")
+            assert payload["status"] == "done"
+
+    def test_unknown_id_is_404_json(self, stack):
+        _, server = stack
+        status, _, payload = request(server, "GET", "/instances/srv-404")
+        assert status == 404
+        assert payload["error"]["id"] == "srv-404"
+
+    def test_unknown_endpoint_is_404(self, stack):
+        _, server = stack
+        for method, path in (("GET", "/nope"), ("POST", "/nope")):
+            status, _, payload = request(server, method, path)
+            assert status == 404
+            assert "no such endpoint" in payload["error"]["message"]
+
+
+class TestBadRequests:
+    def test_malformed_json_is_400(self, stack):
+        _, server = stack
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=WAIT)
+        try:
+            conn.request("POST", "/instances", body="{not json")
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 400
+            assert "bad request" in payload["error"]["message"]
+        finally:
+            conn.close()
+
+    def test_non_object_body_is_400(self, stack):
+        _, server = stack
+        status, _, _ = request(server, "POST", "/instances", body=[1, 2])
+        assert status == 400
+
+    def test_empty_batch_is_400(self, stack):
+        _, server = stack
+        status, _, payload = request(server, "POST", "/instances", {"batch": []})
+        assert status == 400
+        assert "non-empty" in payload["error"]["message"]
+
+    def test_scalar_values_is_400(self, stack):
+        _, server = stack
+        status, _, _ = request(server, "POST", "/instances", {"values": 7})
+        assert status == 400
+
+
+class TestBackpressure:
+    def test_429_with_retry_after_when_queue_full(self, pattern):
+        daemon = ServerDaemon(
+            pattern.schema,
+            "PSE80",
+            default_values=pattern.source_values,
+            high_water=4,
+        )
+        server, thread = start_http_server(daemon)
+        try:
+            # Stall the drain loop so the queue genuinely fills.
+            daemon._take_batch = lambda: []
+            import time as _time
+
+            _time.sleep(0.05)
+            status, _, _ = request(
+                server, "POST", "/instances", {"batch": [None] * 4}
+            )
+            assert status == 202
+            status, headers, payload = request(
+                server, "POST", "/instances", {"batch": [None] * 2}
+            )
+            assert status == 429
+            assert payload["error"]["message"] == "queue full"
+            assert payload["error"]["rejected"] == 2
+            assert payload["retry_after"] > 0
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            del daemon.__dict__["_take_batch"]
+            daemon._wake.set()
+            server.shutdown()
+            server.server_close()
+            thread.join(WAIT)
+            assert daemon.shutdown()
+
+    def test_503_while_shutting_down(self, pattern):
+        daemon = ServerDaemon(
+            pattern.schema, "PSE80", default_values=pattern.source_values
+        )
+        server, thread = start_http_server(daemon)
+        try:
+            assert daemon.shutdown()
+            status, _, payload = request(server, "POST", "/instances", {})
+            assert status == 503
+            assert payload["error"]["message"] == "shutting down"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(WAIT)
+
+
+class TestMetricsEndpoint:
+    def test_metrics_json_round_trips_to_the_summary(self, stack):
+        """summary → /metrics JSON → MetricsSummary equals the original."""
+        daemon, server = stack
+        submit_and_wait(daemon, server, {"batch": [None] * 5})
+        status, _, payload = request(server, "GET", "/metrics")
+        assert status == 200
+        parsed = MetricsSummary.from_dict(payload["summary"])
+        assert parsed == daemon.summary()
+        assert parsed.count == 5
+        assert payload["server"]["completed"] == 5
+        assert payload["config"]["hash"] == daemon.config_digest
+
+    def test_sharded_metrics_sum_query_cache_counters(self, pattern):
+        """Across shards the query_cache_* fields are fleet sums."""
+        config = ExecutionConfig.from_code("PSE80", shards=2, query_cache=True)
+        daemon = ServerDaemon(
+            pattern.schema, config, default_values=pattern.source_values
+        )
+        server, thread = start_http_server(daemon)
+        try:
+            submit_and_wait(daemon, server, {"batch": [None] * 8})
+            _, _, payload = request(server, "GET", "/metrics")
+            parsed = MetricsSummary.from_dict(payload["summary"])
+            assert parsed == daemon.summary()
+            assert parsed.count == 8
+            # The sharded facade sums (never averages) the cache counters;
+            # the wire value must equal the sum over the shard services.
+            shard_summaries = list(daemon.service._executor.shard_summaries())
+            for field in (
+                "query_cache_hits",
+                "query_cache_misses",
+                "query_cache_coalesced",
+            ):
+                total = sum(getattr(s, field) for s in shard_summaries)
+                assert getattr(parsed, field) == total, field
+            assert parsed.query_cache_misses > 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(WAIT)
+            daemon.shutdown()
+
+
+class TestEventsEndpoint:
+    def test_replay_streams_ndjson_with_typed_events(self, stack):
+        daemon, server = stack
+        ids = submit_and_wait(daemon, server, {"batch": [None] * 2})
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=WAIT)
+        try:
+            conn.request("GET", "/events?replay=1&limit=2")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == "application/x-ndjson"
+            lines = response.read().decode().strip().splitlines()
+        finally:
+            conn.close()
+        assert len(lines) == 2
+        events = [json.loads(line) for line in lines]
+        assert all(
+            e["type"] == "instance_complete" and e["instance_id"] in ids
+            for e in events
+        )
+
+    def test_bad_limit_is_400(self, stack):
+        _, server = stack
+        status, _, _ = request(server, "GET", "/events?limit=soon")
+        assert status == 400
+
+
+class TestRestart:
+    def test_old_handles_resolve_after_restart(self, pattern, tmp_path):
+        db = str(tmp_path / "runs.sqlite")
+
+        daemon = ServerDaemon(
+            pattern.schema, "PSE80", db=db, default_values=pattern.source_values
+        )
+        server, thread = start_http_server(daemon)
+        try:
+            ids = submit_and_wait(daemon, server, {"batch": [None] * 4})
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(WAIT)
+            assert daemon.shutdown()
+
+        restarted = ServerDaemon(
+            pattern.schema, "PSE80", db=db, default_values=pattern.source_values
+        )
+        server2, thread2 = start_http_server(restarted)
+        try:
+            for instance_id in ids:
+                status, _, payload = request(
+                    server2, "GET", f"/instances/{instance_id}"
+                )
+                assert status == 200
+                assert payload["status"] == "done"
+                assert payload["origin"] == "store"
+        finally:
+            server2.shutdown()
+            server2.server_close()
+            thread2.join(WAIT)
+            restarted.shutdown()

@@ -1,0 +1,155 @@
+"""SQLite run-record persistence (repro.server.store)."""
+
+import pytest
+
+from repro import ExecutionConfig, NULL
+from repro.server import RunStore, config_hash, decode_values, encode_values
+
+
+def make_record(instance_id="srv-1", status="done", **overrides):
+    record = {
+        "instance_id": instance_id,
+        "schema_name": "pattern-7",
+        "status": status,
+        "submitted_wall": 100.0,
+        "completed_wall": 100.25,
+        "source": encode_values({"src": 3}),
+        "values": encode_values({"d": 1, "gap": NULL, "pair": (1, 2)}),
+        "metrics": {"work_units": 12, "queries_launched": 4},
+        "config_hash": "deadbeefdeadbeef",
+    }
+    record.update(overrides)
+    return record
+
+
+class TestRoundTrip:
+    def test_record_then_get(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            store.record(make_record())
+            stored = store.get("srv-1")
+        assert stored["instance_id"] == "srv-1"
+        assert stored["status"] == "done"
+        assert stored["schema_name"] == "pattern-7"
+        assert stored["submitted_wall"] == 100.0
+        assert stored["completed_wall"] == 100.25
+        assert stored["metrics"] == {"work_units": 12, "queries_launched": 4}
+        assert stored["config_hash"] == "deadbeefdeadbeef"
+
+    def test_nulls_and_tuples_survive(self, tmp_path):
+        """⊥ and tuple values come back exactly via the value encoding."""
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            store.record(make_record())
+            stored = store.get("srv-1")
+        decoded = decode_values(stored["values"])
+        assert decoded["gap"] is NULL
+        assert decoded["pair"] == (1, 2)
+        assert decoded["d"] == 1
+        assert decode_values(stored["source"]) == {"src": 3}
+
+    def test_missing_values_and_metrics_stay_none(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            store.record(make_record(status="stalled", values=None, metrics=None))
+            stored = store.get("srv-1")
+        assert stored["values"] is None
+        assert stored["metrics"] is None
+
+    def test_get_unknown_id_is_none(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            assert store.get("srv-404") is None
+
+    def test_record_many_counts_and_replaces(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            written = store.record_many(
+                [make_record("srv-1"), make_record("srv-2")]
+            )
+            assert written == 2
+            assert store.record_many([]) == 0
+            # Same primary key overwrites (INSERT OR REPLACE).
+            store.record(make_record("srv-1", status="failed"))
+            assert store.count() == 2
+            assert store.get("srv-1")["status"] == "failed"
+
+    def test_instance_ids_sorted(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            store.record_many([make_record("srv-2"), make_record("srv-1")])
+            assert store.instance_ids() == ["srv-1", "srv-2"]
+
+
+class TestNextSequence:
+    def test_empty_store_starts_at_one(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            assert store.next_sequence() == 1
+
+    def test_resumes_past_largest_suffix(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            store.record_many(
+                [make_record("srv-3"), make_record("srv-11"), make_record("srv-2")]
+            )
+            assert store.next_sequence() == 12
+
+    def test_other_prefixes_ignored(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            store.record_many([make_record("srv-5"), make_record("job-99")])
+            assert store.next_sequence("srv-") == 6
+            assert store.next_sequence("job-") == 100
+
+
+class TestLifecycle:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "runs.sqlite"
+        with RunStore(path) as store:
+            store.record(make_record())
+        with RunStore(path) as reopened:
+            assert reopened.count() == 1
+            assert reopened.get("srv-1")["status"] == "done"
+
+    def test_close_is_idempotent_then_use_raises(self, tmp_path):
+        store = RunStore(tmp_path / "runs.sqlite")
+        store.close()
+        store.close()  # second close is a no-op
+        with pytest.raises(RuntimeError, match="closed"):
+            store.count()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.record(make_record())
+
+    def test_repr_reflects_state(self, tmp_path):
+        store = RunStore(tmp_path / "runs.sqlite")
+        assert "open" in repr(store)
+        store.close()
+        assert "closed" in repr(store)
+
+
+class TestConfigHash:
+    def test_short_stable_hex(self):
+        config = ExecutionConfig.from_code("PSE80")
+        digest = config_hash(config)
+        assert len(digest) == 16
+        int(digest, 16)  # hex
+        assert digest == config_hash(ExecutionConfig.from_code("PSE80"))
+
+    def test_different_recipes_differ(self):
+        plain = config_hash(ExecutionConfig.from_code("PSE80"))
+        cached = config_hash(
+            ExecutionConfig.from_code("PSE80", query_cache=True)
+        )
+        other_code = config_hash(ExecutionConfig.from_code("PCE0"))
+        assert len({plain, cached, other_code}) == 3
+
+    def test_rich_backend_options_fall_back_to_repr(self):
+        # A non-declarative option defeats config_to_dict; the repr
+        # fallback must still produce a digest rather than raise.
+        config = ExecutionConfig.from_code(
+            "PCE0", backend_options={"fn": object()}
+        )
+        digest = config_hash(config)
+        assert len(digest) == 16
+
+
+class TestValueCodec:
+    def test_encode_decode_inverse(self):
+        values = {"a": 1, "b": NULL, "c": (2, NULL), "d": "text"}
+        assert decode_values(encode_values(values)) == values
+
+    def test_none_passes_through(self):
+        assert encode_values(None) is None
+        assert decode_values(None) is None
