@@ -167,6 +167,14 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         "--pattern-seed", type=int, default=0, help="workload generator seed (default 0)"
     )
     parser.add_argument(
+        "--engine",
+        choices=("reference", "batched"),
+        default="reference",
+        help="execution engine: the name-keyed reference engine (default) or "
+        "the compiled-plan batched engine (identical results; faster on "
+        "multi-instance sweeps, required for --cohorts to take effect)",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -198,6 +206,14 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="coalesce identical in-flight queries into one database dispatch "
         "and memo-serve repeated ones (per shard; counters in the summary)",
+    )
+    parser.add_argument(
+        "--cohorts",
+        action="store_true",
+        help="dedupe whole instances on the batched engine: same-instant "
+        "submissions from one start valuation run once and fan out, "
+        "splitting off on any divergence (identical results; "
+        "hit/split counters in the summary)",
     )
     parser.add_argument(
         "--share", action="store_true", help="share query results across instances"
@@ -241,10 +257,12 @@ def _build_workload(args: argparse.Namespace):
         halt_policy=args.halt,
         share_results=args.share,
         backend=args.backend,
+        engine=args.engine,
         shards=args.shards,
         executor=args.executor,
         dispatch=args.dispatch,
         query_cache=args.query_cache,
+        cohorts=args.cohorts,
         # Every built-in backend accepts a seed; third-party factories may
         # not, so only forward it where it is known to be understood.
         backend_options=(
@@ -290,6 +308,7 @@ def run_simulate(args: argparse.Namespace) -> int:
         "schema": pattern.schema.name,
         "strategy": config.code,
         "backend": config.backend,
+        "engine": config.engine,
         "time_unit": time_unit,
         "mode": mode,
         "shards": config.shards,
@@ -306,6 +325,9 @@ def run_simulate(args: argparse.Namespace) -> int:
         "query_cache_hits": summary.query_cache_hits,
         "query_cache_misses": summary.query_cache_misses,
         "query_cache_coalesced": summary.query_cache_coalesced,
+        "cohorts": config.cohorts,
+        "cohort_hits": summary.cohort_hits,
+        "cohort_splits": summary.cohort_splits,
     }
     if args.json:
         print(json.dumps(payload, indent=2))
@@ -327,6 +349,11 @@ def run_simulate(args: argparse.Namespace) -> int:
                 f"  query cache: {payload['query_cache_hits']} hits   "
                 f"{payload['query_cache_misses']} misses   "
                 f"{payload['query_cache_coalesced']} coalesced"
+            )
+        if config.cohorts:
+            print(
+                f"  cohorts: {payload['cohort_hits']} hits   "
+                f"{payload['cohort_splits']} splits"
             )
     return 0
 

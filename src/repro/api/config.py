@@ -68,6 +68,19 @@ class ExecutionConfig:
     completed results memo-serve re-issues at zero cost (per shard;
     hit/miss/coalesce counters surface in ``summary()``).
 
+    ``cohorts`` arms cohort execution on the batched engine: instances
+    submitted at the same instant from the same typed start valuation
+    form a *cohort* whose representative runs
+    propagation/condition-resolution/scheduling once and fans its
+    decisions out to the members, which split off into ordinary
+    instances the moment any query outcome diverges.  Observable traces
+    are identical by construction; ``cohort_hits`` / ``cohort_splits``
+    counters surface in ``summary()``.  The reference engine accepts the
+    flag but runs every instance individually, and the batched engine
+    falls back to individual execution whenever cohorts would be unsound
+    (engine-level ``share_results``, schemas whose start phase runs user
+    code, or a throttled %Permitted combined with ``query_cache``).
+
     ``shards`` and ``executor`` configure the sharded runtime
     (:class:`repro.runtime.ShardedDecisionService`): instances are
     hash-partitioned across ``shards`` independent engine + DES + database
@@ -88,6 +101,7 @@ class ExecutionConfig:
     executor: str = "serial"
     dispatch: str = "per-event"
     query_cache: bool = False
+    cohorts: bool = False
 
     def __post_init__(self):
         if isinstance(self.strategy, str):
@@ -121,6 +135,10 @@ class ExecutionConfig:
         if not isinstance(self.query_cache, bool):
             raise ValueError(
                 f"query_cache must be a bool, got {self.query_cache!r}"
+            )
+        if not isinstance(self.cohorts, bool):
+            raise ValueError(
+                f"cohorts must be a bool, got {self.cohorts!r}"
             )
         # Freeze the options mapping so the config stays a value.
         object.__setattr__(
@@ -199,6 +217,8 @@ class ExecutionConfig:
             extras.append(f"dispatch={self.dispatch}")
         if self.query_cache:
             extras.append("query-cache")
+        if self.cohorts:
+            extras.append("cohorts")
         if self.share_results:
             extras.append("shared")
         if self.cancel_unneeded:

@@ -71,6 +71,19 @@ class _Dispatcher(EngineObserver):
         self.query_done_handlers: list[Callable[[QueryDoneEvent], None]] = []
         self.complete_handlers: list[Callable[[InstanceCompleteEvent], None]] = []
 
+    @property
+    def has_listeners(self) -> bool:
+        """Whether any handler is subscribed to any stream.
+
+        Aggregated emission paths (cohort fan-out) consult this per event
+        batch: with no subscriber, per-member event construction is pure
+        overhead and may be skipped — a later subscriber starts receiving
+        events from the next batch on, exactly as with plain dispatch.
+        """
+        return bool(
+            self.launch_handlers or self.query_done_handlers or self.complete_handlers
+        )
+
     def on_launch(
         self, instance: InstanceRuntime, name: str, *, speculative: bool, shared: str | None
     ) -> None:

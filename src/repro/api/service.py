@@ -178,6 +178,7 @@ class DecisionService:
             share_results=config.share_results,
             observer=self._dispatcher,
             query_cache=config.query_cache,
+            cohorts=config.cohorts,
         )
         if config.dispatch == "pooled":
             self.engine.enable_pooled_dispatch()
@@ -314,7 +315,8 @@ class DecisionService:
         everything still in flight) summarizes to a zeroed
         :class:`MetricsSummary` with ``count == 0`` rather than raising.
         With the query share cache armed, the summary carries its
-        service-level hit/miss/coalesce counters.
+        service-level hit/miss/coalesce counters; with cohort execution
+        armed, its cohort hit/split totals.
         """
         summary = summarize(
             (h.metrics for h in self._handles if h.done), empty_ok=True
@@ -326,6 +328,12 @@ class DecisionService:
                 query_cache_hits=cache.hits,
                 query_cache_misses=cache.misses,
                 query_cache_coalesced=cache.coalesced,
+            )
+        if self.engine.cohorts:
+            summary = replace(
+                summary,
+                cohort_hits=self.engine.cohort_hits,
+                cohort_splits=self.engine.cohort_splits,
             )
         return summary
 

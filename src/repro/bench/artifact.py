@@ -11,7 +11,9 @@ An artifact is a JSON object carrying at least :data:`BENCH_ARTIFACT_KEYS`:
 the benchmark name, the run mode (``full`` or ``quick``), the usable host
 core count, a non-empty ``metrics`` object, and a ``gate`` object with a
 ``passed`` flag.  Quick (CI smoke) runs write ``BENCH_<name>_quick.json``
-so reduced sweeps never clobber the recorded full-size baselines.
+under :data:`CI_ARTIFACT_DIR` (override with ``REPRO_BENCH_ARTIFACT_DIR``)
+— a gitignored scratch directory CI uploads from — so reduced sweeps
+never clobber, or even sit next to, the recorded full-size baselines.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from pathlib import Path
 
 __all__ = [
     "BENCH_ARTIFACT_KEYS",
+    "CI_ARTIFACT_DIR",
     "RESULTS_DIR",
     "usable_cores",
     "validate_bench_artifact",
@@ -32,6 +35,12 @@ __all__ = [
 
 #: The repository-level artifact directory benchmarks write into.
 RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+#: Where quick (CI smoke) artifacts land — kept out of ``results/`` so
+#: reduced-size runs never accumulate next to the canonical recordings.
+#: ``REPRO_BENCH_ARTIFACT_DIR`` overrides it (CI points this at its
+#: upload directory).
+CI_ARTIFACT_DIR = RESULTS_DIR / "ci"
 
 #: Keys every BENCH_*.json artifact must carry (CI asserts this schema).
 BENCH_ARTIFACT_KEYS = ("bench", "mode", "host_cores", "metrics", "gate")
@@ -72,6 +81,9 @@ def write_bench_artifact(
     touches disk, so a malformed artifact fails the producing run rather
     than the CI assertion step downstream.
     """
+    if results_dir is None and quick:
+        override = os.environ.get("REPRO_BENCH_ARTIFACT_DIR")
+        results_dir = Path(override) if override else CI_ARTIFACT_DIR
     payload = {
         "bench": name,
         "mode": "quick" if quick else "full",

@@ -38,6 +38,7 @@ from typing import Iterator, Mapping, Sequence
 from repro.core.engine import Engine
 from repro.core.metrics import InstanceMetrics
 from repro.core.conditions import UNRESOLVED
+from repro.core.sharing import share_key
 from repro.core.plan import (
     CompiledPlan,
     E_DISABLED,
@@ -52,9 +53,172 @@ from repro.core.plan import (
 from repro.core.scheduler import permitted_slots
 from repro.core.state import AttributeState, Enablement, Readiness, derive_state
 from repro.errors import ExecutionError, IllegalTransitionError
-from repro.nulls import NULL
+from repro.nulls import NULL, ExceptionValue
 
 __all__ = ["BatchedEngine", "BatchedInstance"]
+
+_UNSET = object()
+
+
+class _LaunchRecord:
+    """One launch decision of a cohort representative, replayable per member.
+
+    Carries everything a member needs to issue the *same* query without
+    re-running selection or input freezing: the task, the frozen input
+    mapping (shared read-only), the speculative flag, and — computed
+    lazily, once for the whole cohort — the task value and the query-
+    cache share key.
+    """
+
+    __slots__ = ("name", "index", "task", "values", "speculative", "_value", "_key")
+
+    def __init__(self, name, index, task, values, speculative):
+        self.name = name
+        self.index = index
+        self.task = task
+        self.values = values
+        self.speculative = speculative
+        self._value = _UNSET
+        self._key = _UNSET
+
+    def value(self):
+        """The task's computed value (deterministic in its stable inputs)."""
+        if self._value is _UNSET:
+            self._value = self.task.compute(self.values)
+        return self._value
+
+    def value_for(self, failed: bool):
+        """The value a completion delivers: the computed value, or the
+        failure sentinel the reference engine substitutes."""
+        if failed:
+            return ExceptionValue(f"query for {self.name!r} failed")
+        return self.value()
+
+    def key(self, query_cache) -> tuple | None:
+        """The share-key hint for ``_submit_query`` (None without a cache)."""
+        if query_cache is None:
+            return None
+        if self._key is _UNSET:
+            self._key = share_key(self.task.name, self.values)
+        return self._key
+
+
+class _StageRecord:
+    """One resolution step of a cohort representative.
+
+    ``name`` is the attribute whose query resolved (None for the start
+    stage).  The outcome triple (``completed``/``failed``/``accepted``)
+    is what members match their own outcome against — any difference
+    splits the member off.  ``cancel_wasted`` mirrors the reference
+    engine's cancelled-speculative check, ``drain_wasted_*`` the
+    state-derived wasted-work deltas booked during the representative's
+    advance (identical for every member, unlike the query-unit-based
+    parts which members book with their own units).  ``cancels`` are the
+    unneeded-cancel decisions members re-apply to their own handles,
+    ``launches`` the follow-on launches they replay.
+    """
+
+    __slots__ = (
+        "name",
+        "completed",
+        "failed",
+        "accepted",
+        "cancel_wasted",
+        "drain_wasted_queries",
+        "drain_wasted_units",
+        "done_after",
+        "cancels",
+        "launches",
+    )
+
+    def __init__(self, name):
+        self.name = name
+        self.completed = True
+        self.failed = False
+        self.accepted = True
+        self.cancel_wasted = False
+        self.drain_wasted_queries = 0
+        self.drain_wasted_units = 0
+        self.done_after = False
+        self.cancels: tuple[str, ...] = ()
+        self.launches: list[_LaunchRecord] = []
+
+
+class _Cohort:
+    """A representative instance plus the members mirroring its trace.
+
+    Formed at one ``(typed start valuation, start instant)`` point;
+    ``open`` while the representative is still at its start stage (the
+    only window in which a joining member has missed nothing).  The
+    ``log`` is append-only: members consume it by their own stage
+    cursor, so a member lagging the representative (bounded/profiled
+    backends) mirrors from history, and one running *ahead* of the log
+    — or differing in any outcome — is split off.
+
+    ``mode`` is decided at the first join:
+
+    * ``"live"`` — members submit their own queries and mirror the log
+      through their own completion callbacks (the only sound mode
+      without a query cache, and the fallback whenever a
+      representative's launch is answered by the cache rather than
+      dispatched as a primary);
+    * ``"lockstep"`` — with a query cache, members whose every launch
+      would coalesce behind the representative's own primaries are
+      tracked *virtually*: one weighted attachment per primary
+      (:meth:`QueryShareCache.attach_virtual`), one shared metrics
+      ``template`` (members are bit-identical until they finish), and
+      per-member work only for observer events, finishing, and the two
+      demotion paths back to ``"live"``/ordinary execution.
+    """
+
+    __slots__ = (
+        "rep",
+        "start_time",
+        "log",
+        "open",
+        "live_members",
+        "launch_by_name",
+        "mode",
+        "members",
+        "template",
+        "virtual",
+        "cancelled",
+        "final",
+        "epoch",
+    )
+
+    def __init__(self, rep, start_time: float):
+        self.rep = rep
+        self.start_time = start_time
+        self.log: list[_StageRecord] = []
+        self.open = True
+        self.live_members = 0
+        self.launch_by_name: dict[str, _LaunchRecord] = {}
+        #: None until the first member joins, then "live" or "lockstep"
+        self.mode: str | None = None
+        #: lockstep members in join order (retained after finishing for
+        #: post-halt straggler bookkeeping)
+        self.members: list = []
+        #: the shared per-member metrics record of a lockstep cohort
+        self.template: InstanceMetrics | None = None
+        #: attribute name -> launch record, for virtual attachments whose
+        #: members still wait on the result / have cancelled the wait
+        self.virtual: dict[str, _LaunchRecord] = {}
+        self.cancelled: dict[str, _LaunchRecord] = {}
+        #: lazily built shared end-state for finishing lockstep members:
+        #: every member of a cohort ends bit-identical, so the final
+        #: arrays and derived attribute counters are computed once and
+        #: shared (nothing mutates a done instance's arrays)
+        self.final: tuple | None = None
+        #: cache follower_epoch at the last verification that no real
+        #: follower sits behind a representative primary — joins skip
+        #: the per-key re-check while the epoch is unchanged
+        self.epoch = -1
+
+    def absorb(self, rec: _StageRecord) -> None:
+        self.log.append(rec)
+        for launch in rec.launches:
+            self.launch_by_name[launch.name] = launch
 
 
 class _BatchCell:
@@ -164,6 +328,8 @@ class BatchedInstance:
         "_start_key",
         "_sources",
         "_any_launched",
+        "_cohort",
+        "_cohort_stage",
     )
 
     def __init__(
@@ -184,30 +350,24 @@ class BatchedInstance:
         if missing:
             raise ExecutionError(f"missing source values: {sorted(missing)}")
 
-        n = plan.n
-        self._readiness = bytearray(plan.readiness0)
-        self._enablement = bytearray(plan.enablement0)
-        self._raw: list[object] = [None] * n
-        self._sv: list[object] = [UNRESOLVED] * n
         sources = {name: source_values[name] for name in plan.schema.source_names}
         self._sources = sources
-        for name, value in sources.items():
-            i = plan.index[name]
-            self._raw[i] = value
-            self._sv[i] = value
         self._start_key = plan.start_key(sources) if plan.start_cache_ok else None
-        self._pending = list(plan.pending0)
-        self._launched = bytearray(n)
-        if plan.strategy.propagation:
-            self._alive: bytearray | None = bytearray(plan.alive0)
-            self._live_out: list[int] | None = list(plan.live_out0)
-            self._unneeded: bytearray | None = bytearray(plan.unneeded0)
-            self._external: bytearray | None = bytearray(plan.external0)
-        else:
-            self._alive = None
-            self._live_out = None
-            self._unneeded = None
-            self._external = None
+        # State arrays are built lazily: a cached start replay and the
+        # shared lockstep finish both install complete array sets, so
+        # eagerly building them here would be pure waste on the hot
+        # cohort paths.  Only a cold (uncached) start needs the plan's
+        # initial state — `start()` builds it on demand.
+        self._readiness: bytearray | None = None
+        self._enablement: bytearray | None = None
+        self._raw: list[object] | None = None
+        self._sv: list[object] | None = None
+        self._pending: list[int] | None = None
+        self._launched = bytearray(plan.n)
+        self._alive: bytearray | None = None
+        self._live_out: list[int] | None = None
+        self._unneeded: bytearray | None = None
+        self._external: bytearray | None = None
 
         #: in-flight query handles keyed by attribute name (engine-facing)
         self.inflight: dict[str, object] = {}
@@ -221,8 +381,34 @@ class BatchedInstance:
         #: flight), the instance state is a pure function of its start
         #: key, so the first scheduling round can replay a plan-level memo.
         self._any_launched = False
+        #: Cohort membership: the _Cohort this instance represents or
+        #: mirrors, None for ordinary instances (and for members after a
+        #: split detaches them).  ``_cohort_stage`` is a member's cursor
+        #: into the cohort log — the next stage record it must mirror.
+        self._cohort: _Cohort | None = None
+        self._cohort_stage = 0
 
     # -- lifecycle ---------------------------------------------------------
+
+    def _build_arrays(self) -> None:
+        """Install the plan's initial state (cold-start path only)."""
+        plan = self.plan
+        n = plan.n
+        self._readiness = bytearray(plan.readiness0)
+        self._enablement = bytearray(plan.enablement0)
+        self._raw = [None] * n
+        self._sv = [UNRESOLVED] * n
+        index = plan.index
+        for name, value in self._sources.items():
+            i = index[name]
+            self._raw[i] = value
+            self._sv[i] = value
+        self._pending = list(plan.pending0)
+        if plan.strategy.propagation:
+            self._alive = bytearray(plan.alive0)
+            self._live_out = list(plan.live_out0)
+            self._unneeded = bytearray(plan.unneeded0)
+            self._external = bytearray(plan.external0)
 
     def start(self) -> None:
         """Initial evaluation phase, replayed from the plan cache when hot."""
@@ -270,6 +456,7 @@ class BatchedInstance:
             self._cand = set(cand)
             self.metrics.synthesis_executed = synth_count
             return
+        self._build_arrays()
         for i in plan.non_source_idx:
             if self._pending[i] == 0:
                 self._mark_ready(i)
@@ -567,6 +754,29 @@ class BatchedEngine(Engine):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.plan = CompiledPlan(self.schema, self.strategy)
+        #: Cohort execution needs a deterministic start state (the typed
+        #: start-state cache guarantees no synthesis and no user-coded
+        #: conditions ran) and is mutually exclusive with the engine-level
+        #: share table, whose hit/join rewiring happens inside _launch —
+        #: below the seam members mirror.  The query cache composes with
+        #: cohorts only at %Permitted == 100: member launches become
+        #: followers of the representative's primaries, and follower
+        #: handles do not count toward the parallelism budget
+        #: (Engine._FollowerHandle.counts_for_parallelism is False), so a
+        #: throttled strategy would legitimately schedule members
+        #: differently from their representative — permitted_slots grants
+        #: the whole pool unconditionally only at 100%.
+        self._cohorts_on = (
+            self.cohorts
+            and self.plan.start_cache_ok
+            and self.share is None
+            and (self.strategy.permitted >= 100 or self.query_cache is None)
+        )
+        #: start_key → the currently open cohort for that valuation (a
+        #: closed cohort is simply overwritten by the next representative)
+        self._open_cohorts: dict[object, _Cohort] = {}
+        #: stage record being captured while the representative advances
+        self._recording: _StageRecord | None = None
 
     def _make_instance(
         self,
@@ -657,7 +867,736 @@ class BatchedEngine(Engine):
         instance._launched[i] = 1
         instance._any_launched = True
         instance._cand.discard(i)
+        rec = self._recording
+        if rec is not None:
+            rec.launches.append(
+                _LaunchRecord(name, i, plan.tasks[i], values, speculative)
+            )
         return plan.tasks[i], values, speculative
+
+    # -- cohort execution ---------------------------------------------------
+    #
+    # Whole-instance dedup over the typed start-state cache: the first
+    # instance of a (start valuation, start instant) point becomes the
+    # cohort *representative* and records every resolution stage it runs
+    # (outcome, cancel decisions, launches, state-derived metric deltas);
+    # instances arriving at the same point while the representative is
+    # still at its start stage *join* and mirror the log instead of
+    # running propagation/selection themselves.  Members still submit
+    # their own queries — with a cache they coalesce into the
+    # representative's primaries as followers, without one they pay the
+    # database exactly as independent instances would — so database
+    # totals, cache counters, event sequences, and cancel-pinning are
+    # unchanged by construction.  Any outcome divergence (a bounded
+    # backend completing out of order, an independent failure draw, a
+    # cancel racing a completion) splits the member off: its start-state
+    # arrays replay the matched prefix of the log and it continues as an
+    # ordinary instance.
+
+    def _start(self, instance: BatchedInstance) -> None:
+        if not self._cohorts_on:
+            return super()._start(instance)
+        key = instance._start_key
+        cohort = self._open_cohorts.get(key)
+        if cohort is not None and cohort.open and cohort.start_time == self.sim.now:
+            if cohort.mode is None:
+                cohort.mode = self._decide_cohort_mode(cohort)
+            if cohort.mode == "lockstep":
+                self._join_lockstep(cohort, instance)
+            else:
+                self._join_cohort(cohort, instance)
+            return
+        cohort = _Cohort(instance, self.sim.now)
+        instance._cohort = cohort
+        rec = _StageRecord(None)
+        self._recording = rec
+        try:
+            super()._start(instance)
+        finally:
+            self._recording = None
+        rec.done_after = instance.done
+        cohort.absorb(rec)
+        self._open_cohorts[key] = cohort
+
+    def _query_done(self, instance, name, value, key, processed, completed) -> None:
+        cohort = getattr(instance, "_cohort", None)
+        if cohort is None or cohort.rep is not instance:
+            return super()._query_done(instance, name, value, key, processed, completed)
+        if cohort.mode == "lockstep":
+            return self._lockstep_rep_done(
+                cohort, instance, name, value, key, processed, completed
+            )
+        if instance.done:
+            return super()._query_done(instance, name, value, key, processed, completed)
+        cohort.open = False
+        if cohort.live_members == 0:
+            # No members joined (or every one finished or split); drop
+            # back to the plain path.
+            instance._cohort = None
+            return super()._query_done(instance, name, value, key, processed, completed)
+        self._record_stage(cohort, instance, name, value, key, processed, completed)
+
+    def _record_stage(
+        self, cohort: _Cohort, instance, name, value, key, processed, completed
+    ) -> _StageRecord:
+        """Run the representative's advance and append its stage record."""
+        plan = self.plan
+        i = plan.index[name]
+        handle = instance.inflight.get(name)
+        rec = _StageRecord(name)
+        rec.completed = completed
+        rec.failed = (
+            completed and handle is not None and getattr(handle, "failed", False)
+        )
+        # Both checks read state the advance can only move *toward*
+        # DISABLED, so they are captured before it runs — exactly where
+        # the reference path evaluates them.
+        rec.accepted = completed and instance._enablement[i] != E_DISABLED
+        rec.cancel_wasted = (
+            not completed
+            and name in instance.speculative_launch
+            and instance._enablement[i] == E_DISABLED
+        )
+        pre_inflight = [n for n in instance.inflight if n != name]
+        before_queries = instance.metrics.speculative_wasted_queries
+        before_units = instance.metrics.speculative_wasted_units
+        self._recording = rec
+        try:
+            super()._query_done(instance, name, value, key, processed, completed)
+        finally:
+            self._recording = None
+        # Split the representative's wasted-work delta into the
+        # query-unit-based part (members re-book it with their own units)
+        # and the drain-derived remainder (plan-cost-based, identical for
+        # every member).
+        query_queries = query_units = 0
+        if (completed and not rec.accepted) or rec.cancel_wasted:
+            query_queries, query_units = 1, processed
+        rec.drain_wasted_queries = (
+            instance.metrics.speculative_wasted_queries - before_queries - query_queries
+        )
+        rec.drain_wasted_units = (
+            instance.metrics.speculative_wasted_units - before_units - query_units
+        )
+        rec.done_after = instance.done
+        if not instance.done and self.strategy.cancel_unneeded and instance._unneeded is not None:
+            unneeded = instance._unneeded
+            index = plan.index
+            rec.cancels = tuple(n for n in pre_inflight if unneeded[index[n]])
+        cohort.absorb(rec)
+        return rec
+
+    # -- lockstep cohorts (cohort-weighted cache attachment) -----------------
+    #
+    # With a query cache, every member launch would coalesce behind the
+    # representative's own primary for the same key, deliver zero units,
+    # and inherit the primary's outcome — so members of a same-instant
+    # cohort are *bit-identical* until they finish.  Lockstep mode
+    # exploits that: members never submit queries (one weighted virtual
+    # attachment per primary keeps cache counters and cancel-pinning
+    # exact), never replay their arrays until they must, and share one
+    # metrics template that each member copies on finishing.  Per-member
+    # work remains only where identity genuinely diverges: observer
+    # events (skipped when nobody listens), finishing, and the two exits
+    # — demotion to live mirroring when a representative launch is
+    # answered by the cache instead of dispatched (members must then
+    # submit real queries to preserve per-member delivery events), and
+    # the all-member split when members cancelled a wait the
+    # representative's query went on to complete.
+
+    def _listening(self):
+        """The observer, or None when event emission would be unobservable."""
+        obs = self.observer
+        if obs is None or not getattr(obs, "has_listeners", True):
+            return None
+        return obs
+
+    def _decide_cohort_mode(self, cohort: _Cohort) -> str:
+        cache = self.query_cache
+        if cache is None:
+            return "live"
+        rep = cohort.rep
+        for launch in cohort.log[0].launches:
+            handle = rep.inflight.get(launch.name)
+            if handle is None or not cache.is_primary(handle):
+                return "live"
+            if cache.follower_count(handle):
+                # Another instance already coalesced a real follower, so
+                # virtual attachments could no longer fan ahead of it in
+                # join order.
+                return "live"
+        cohort.epoch = cache.follower_epoch
+        return "lockstep"
+
+    def _join_lockstep(self, cohort: _Cohort, member: BatchedInstance) -> None:
+        if cohort.virtual:
+            cache = self.query_cache
+            if cache.follower_epoch != cohort.epoch:
+                rep = cohort.rep
+                if any(
+                    cache.follower_count(rep.inflight[vname])
+                    for vname in cohort.virtual
+                ):
+                    # A real follower coalesced behind a representative
+                    # primary since the last join; attaching this member
+                    # virtually would fan it ahead of that earlier
+                    # waiter.  Materialize the members attached so far
+                    # (they *do* precede it) and continue the cohort in
+                    # live mode.
+                    self._demote_lockstep_at_join(cohort)
+                    self._join_cohort(cohort, member)
+                    return
+                cohort.epoch = cache.follower_epoch
+        member._cohort = cohort
+        cohort.members.append(member)
+        cohort.live_members += 1
+        self.cohort_hits += 1
+        if self.observer is not None:
+            self.observer.on_instance_start(member)
+        rec = cohort.log[0]
+        if cohort.template is None:
+            # Cohort-eligible schemas run no synthesis (start_cache_ok),
+            # so the shared record starts from zero counters plus the
+            # start stage's launch bookkeeping.
+            template = InstanceMetrics(
+                instance_id=f"cohort:{cohort.rep.instance_id}",
+                start_time=cohort.start_time,
+            )
+            template.queries_launched = len(rec.launches)
+            template.speculative_launched = sum(
+                1 for launch in rec.launches if launch.speculative
+            )
+            cohort.template = template
+            for launch in rec.launches:
+                cohort.virtual[launch.name] = launch
+        if rec.done_after:
+            self._finish_lockstep_member(cohort, member)
+            return
+        cache = self.query_cache
+        rep = cohort.rep
+        for launch in rec.launches:
+            cache.attach_virtual(rep.inflight[launch.name], 1)
+        obs = self._listening()
+        if obs is not None:
+            for launch in rec.launches:
+                obs.on_launch(
+                    member, launch.name, speculative=launch.speculative, shared=None
+                )
+
+    def _lockstep_rep_done(
+        self, cohort: _Cohort, rep, name, value, key, processed, completed
+    ) -> None:
+        launch = cohort.virtual.pop(name, None)
+        live_virtual = launch is not None
+        if not live_virtual:
+            launch = cohort.cancelled.pop(name)
+        handle = rep.inflight.get(name)
+        failed = completed and handle is not None and getattr(handle, "failed", False)
+        if rep.done:
+            # Post-halt straggler: the representative books its own
+            # event, then each (finished) member resolves its wait.
+            super()._query_done(rep, name, value, key, processed, completed)
+            self._lockstep_straggle(cohort, launch, name, completed, live_virtual, failed)
+            return
+        cohort.open = False
+        rec = self._record_stage(cohort, rep, name, value, key, processed, completed)
+        if not live_virtual and rec.completed:
+            # Members cancelled this wait but the representative's query
+            # completed and was applied: their traces genuinely diverge
+            # here (exactly where live mirroring would split each one).
+            self._lockstep_split_all(cohort, rep, launch, name)
+            return
+        self._lockstep_fan(cohort, rep, rec, launch, live_virtual)
+
+    def _lockstep_fan(
+        self, cohort: _Cohort, rep, rec: _StageRecord, launch: _LaunchRecord, live_virtual: bool
+    ) -> None:
+        template = cohort.template
+        if live_virtual:
+            # Members inherit the primary's outcome with zero units.
+            template.queries_completed += 1
+            if rec.failed:
+                template.queries_failed += 1
+            if not rec.accepted:
+                template.speculative_wasted_queries += 1
+        else:
+            template.queries_cancelled += 1
+            if rec.cancel_wasted:
+                template.speculative_wasted_queries += 1
+        template.speculative_wasted_queries += rec.drain_wasted_queries
+        template.speculative_wasted_units += rec.drain_wasted_units
+        cache = self.query_cache
+        count = cohort.live_members
+        for cancel_name in rec.cancels:
+            moved = cohort.virtual.pop(cancel_name, None)
+            if moved is None:
+                continue  # members already cancelled this wait earlier
+            cohort.cancelled[cancel_name] = moved
+            cache.release_virtual(rep.inflight[cancel_name], count)
+        name = rec.name
+        member_completed = live_virtual
+        if rec.done_after:
+            obs = self._listening()
+            for member in cohort.members:
+                if obs is not None:
+                    obs.on_query_done(member, name, units=0, completed=member_completed)
+                self._finish_lockstep_member(cohort, member)
+            if self.halt_policy == "cancel":
+                for vname in list(cohort.virtual):
+                    cohort.cancelled[vname] = cohort.virtual.pop(vname)
+                    cache.release_virtual(rep.inflight[vname], count)
+            return
+        launches = rec.launches
+        if launches:
+            for new_launch in launches:
+                new_handle = rep.inflight.get(new_launch.name)
+                if new_handle is None or not cache.is_primary(new_handle):
+                    # The cache answered this launch (memo hit, or a
+                    # coalesce into some other issuer's primary): members
+                    # need their own per-delivery events from here on.
+                    self._demote_cohort(cohort, rep, rec, name, member_completed)
+                    return
+            template.queries_launched += len(launches)
+            for new_launch in launches:
+                if new_launch.speculative:
+                    template.speculative_launched += 1
+                cache.attach_virtual(rep.inflight[new_launch.name], count)
+                cohort.virtual[new_launch.name] = new_launch
+        obs = self._listening()
+        if obs is not None:
+            for member in cohort.members:
+                obs.on_query_done(member, name, units=0, completed=member_completed)
+                for new_launch in launches:
+                    obs.on_launch(
+                        member,
+                        new_launch.name,
+                        speculative=new_launch.speculative,
+                        shared=None,
+                    )
+
+    def _lockstep_straggle(
+        self,
+        cohort: _Cohort,
+        launch: _LaunchRecord,
+        name: str,
+        completed: bool,
+        live_virtual: bool,
+        failed: bool,
+    ) -> None:
+        member_completed = live_virtual and completed
+        obs = self._listening()
+        for member in cohort.members:
+            if obs is not None:
+                obs.on_query_done(member, name, units=0, completed=member_completed)
+            metrics = member.metrics
+            if member_completed:
+                metrics.queries_completed += 1
+                if failed:
+                    metrics.queries_failed += 1
+            else:
+                metrics.queries_cancelled += 1
+                if (
+                    launch.speculative
+                    and member._enablement[launch.index] == E_DISABLED
+                ):
+                    metrics.speculative_wasted_queries += 1
+
+    def _materialize_lockstep(self, cohort: _Cohort, rep) -> None:
+        """Turn every virtual attachment into real per-member followers."""
+        cache = self.query_cache
+        members = cohort.members
+
+        def callback(member, vlaunch):
+            return lambda processed, completed, c=cohort, m=member, l=vlaunch: (
+                self._member_query_done(c, m, l, processed, completed)
+            )
+
+        for registry, cancelled in ((cohort.virtual, False), (cohort.cancelled, True)):
+            for vname, vlaunch in registry.items():
+                followers = cache.materialize_virtual(
+                    rep.inflight[vname],
+                    [
+                        (vlaunch.task.cost, callback(member, vlaunch), cancelled)
+                        for member in members
+                    ],
+                )
+                for member, follower in zip(members, followers):
+                    member.inflight[vname] = follower
+        cohort.virtual.clear()
+        cohort.cancelled.clear()
+
+    def _demote_lockstep_at_join(self, cohort: _Cohort) -> None:
+        """Exit lockstep between stages (triggered by a late coalescer).
+
+        Unlike the stage demotion there is no record to fan: members
+        have consumed every record in the log, so they hydrate against
+        the full log and resume as live mirrors with their materialized
+        followers in flight.
+        """
+        self._materialize_lockstep(cohort, cohort.rep)
+        for member in cohort.members:
+            self._hydrate_lockstep_member(cohort, member, cohort.log)
+            member._cohort_stage = len(cohort.log)
+        cohort.mode = "live"
+        cohort.template = None
+        cohort.members = []
+
+    def _hydrate_lockstep_member(
+        self, cohort: _Cohort, member: BatchedInstance, recs
+    ) -> None:
+        """Replay the state a live-mirrored member would hold here."""
+        member.start()
+        self._copy_counters(cohort.template, member.metrics)
+        any_launched = False
+        for rec in recs:
+            for launch in rec.launches:
+                member._launched[launch.index] = 1
+                member._cand.discard(launch.index)
+                if launch.speculative:
+                    member.speculative_launch.add(launch.name)
+                any_launched = True
+        if any_launched:
+            member._any_launched = True
+
+    def _demote_cohort(
+        self, cohort: _Cohort, rep, rec: _StageRecord, name: str, member_completed: bool
+    ) -> None:
+        """Exit lockstep into live mirroring (members submit real queries)."""
+        self._materialize_lockstep(cohort, rep)
+        obs = self._listening()
+        for member in cohort.members:
+            if obs is not None:
+                obs.on_query_done(member, name, units=0, completed=member_completed)
+            self._hydrate_lockstep_member(cohort, member, cohort.log[:-1])
+            member._cohort_stage = len(cohort.log)
+            self._mirror_stage(cohort, member, rec)
+        cohort.mode = "live"
+        cohort.template = None
+        cohort.members = []
+
+    def _lockstep_split_all(
+        self, cohort: _Cohort, rep, launch: _LaunchRecord, name: str
+    ) -> None:
+        self._materialize_lockstep(cohort, rep)
+        obs = self._listening()
+        for member in list(cohort.members):
+            if obs is not None:
+                obs.on_query_done(member, name, units=0, completed=False)
+            self._hydrate_lockstep_member(cohort, member, cohort.log[:-1])
+            member._cohort_stage = len(cohort.log) - 1
+            member.metrics.queries_cancelled += 1
+            self._split_member(cohort, member, launch, 0, False, False)
+        cohort.template = None
+        cohort.members = []
+        rep._cohort = None
+
+    @staticmethod
+    def _copy_counters(src: InstanceMetrics, dst: InstanceMetrics) -> None:
+        dst.work_units = src.work_units
+        dst.queries_launched = src.queries_launched
+        dst.queries_completed = src.queries_completed
+        dst.queries_cancelled = src.queries_cancelled
+        dst.queries_failed = src.queries_failed
+        dst.shared_hits = src.shared_hits
+        dst.shared_joins = src.shared_joins
+        dst.speculative_launched = src.speculative_launched
+        dst.speculative_wasted_queries = src.speculative_wasted_queries
+        dst.speculative_wasted_units = src.speculative_wasted_units
+        dst.synthesis_executed = src.synthesis_executed
+
+    def _finish_lockstep_member(self, cohort: _Cohort, member: BatchedInstance) -> None:
+        """Materialize a lockstep member from the shared cohort state.
+
+        All members of a cohort end bit-identical (same start valuation,
+        same mirrored outcomes), so the copied arrays and the attribute
+        counters :meth:`finalize_metrics` derives from them are computed
+        for the first finishing member and shared by the rest — done
+        instances never mutate their arrays again.
+        """
+        rep = cohort.rep
+        member.done = True
+        metrics = member.metrics
+        self._copy_counters(cohort.template, metrics)
+        metrics.finish_time = self.sim.now
+        member._started = True
+        final = cohort.final
+        if final is None:
+            member._readiness = bytearray(rep._readiness)
+            member._enablement = bytearray(rep._enablement)
+            member._raw = list(rep._raw)
+            member._sv = list(rep._sv)
+            member._pending = list(rep._pending)
+            member._launched = bytearray(rep._launched)
+            if rep._alive is not None:
+                member._alive = bytearray(rep._alive)
+                member._live_out = list(rep._live_out)
+                member._unneeded = bytearray(rep._unneeded)
+                member._external = bytearray(rep._external)
+            index = self.plan.index
+            for source_name, source_value in member._sources.items():
+                i = index[source_name]
+                member._raw[i] = source_value
+                member._sv[i] = source_value
+            member.finalize_metrics()
+            cohort.final = (
+                member._readiness,
+                member._enablement,
+                member._raw,
+                member._sv,
+                member._pending,
+                member._launched,
+                member._alive,
+                member._live_out,
+                member._unneeded,
+                member._external,
+                (
+                    metrics.attrs_value,
+                    metrics.attrs_disabled,
+                    metrics.attrs_unstable,
+                    metrics.unneeded_detected,
+                    metrics.unneeded_cost_avoided,
+                ),
+            )
+        else:
+            (
+                member._readiness,
+                member._enablement,
+                member._raw,
+                member._sv,
+                member._pending,
+                member._launched,
+                alive,
+                live_out,
+                unneeded,
+                external,
+                derived,
+            ) = final
+            if alive is not None:
+                member._alive = alive
+                member._live_out = live_out
+                member._unneeded = unneeded
+                member._external = external
+            (
+                metrics.attrs_value,
+                metrics.attrs_disabled,
+                metrics.attrs_unstable,
+                metrics.unneeded_detected,
+                metrics.unneeded_cost_avoided,
+            ) = derived
+        cohort.live_members -= 1
+        if self.observer is not None:
+            self.observer.on_instance_complete(member)
+        callback = self._on_complete.pop(member.instance_id, None)
+        if callback is not None:
+            callback(member.metrics)
+
+    # -- live mirroring ------------------------------------------------------
+
+    def _join_cohort(self, cohort: _Cohort, member: BatchedInstance) -> None:
+        member._cohort = cohort
+        member._cohort_stage = 1
+        cohort.live_members += 1
+        self.cohort_hits += 1
+        # The cached start replay is cheap and leaves the member's arrays
+        # in exactly the state a split must replay from.
+        member.start()
+        if self.observer is not None:
+            self.observer.on_instance_start(member)
+        self._mirror_stage(cohort, member, cohort.log[0])
+
+    def _mirror_stage(self, cohort: _Cohort, member: BatchedInstance, rec: _StageRecord) -> None:
+        if rec.done_after:
+            self._finish_member(cohort, member)
+            return
+        for cancel_name in rec.cancels:
+            handle = member.inflight.get(cancel_name)
+            if handle is not None and not self._has_waiters(handle):
+                handle.cancel()
+        for launch in rec.launches:
+            self._fan_launch(cohort, member, launch)
+
+    def _fan_launch(self, cohort: _Cohort, member: BatchedInstance, launch: _LaunchRecord) -> None:
+        member.metrics.queries_launched += 1
+        if launch.speculative:
+            member.speculative_launch.add(launch.name)
+            member.metrics.speculative_launched += 1
+        if self.observer is not None:
+            self.observer.on_launch(
+                member, launch.name, speculative=launch.speculative, shared=None
+            )
+        member._launched[launch.index] = 1
+        member._any_launched = True
+        member._cand.discard(launch.index)
+        handle = self._submit_query(
+            launch.task,
+            launch.values,
+            lambda processed, completed, c=cohort, m=member, l=launch: (
+                self._member_query_done(c, m, l, processed, completed)
+            ),
+            share_key_hint=launch.key(self.query_cache),
+        )
+        member.inflight[launch.name] = handle
+
+    def _member_query_done(
+        self,
+        cohort: _Cohort,
+        member: BatchedInstance,
+        launch: _LaunchRecord,
+        processed: int,
+        completed: bool,
+    ) -> None:
+        name = launch.name
+        handle = member.inflight.pop(name, None)
+        member.metrics.work_units += processed
+        if self.observer is not None:
+            self.observer.on_query_done(
+                member, name, units=processed, completed=completed
+            )
+        failed = (
+            completed and handle is not None and getattr(handle, "failed", False)
+        )
+        if completed:
+            member.metrics.queries_completed += 1
+            if failed:
+                member.metrics.queries_failed += 1
+        else:
+            member.metrics.queries_cancelled += 1
+        if member._cohort is None:
+            # Split off earlier: an ordinary instance from here on (its
+            # arrays are real), finish this event on the reference tail.
+            self._tail_query_done(member, name, launch.value_for(failed), processed, completed)
+            return
+        if member.done:
+            # Post-halt straggler: bookkeeping only, plus the cancelled-
+            # speculative check against the materialized final arrays.
+            if (
+                not completed
+                and name in member.speculative_launch
+                and member._enablement[launch.index] == E_DISABLED
+            ):
+                member.metrics.speculative_wasted_queries += 1
+                member.metrics.speculative_wasted_units += processed
+            return
+        stage = member._cohort_stage
+        log = cohort.log
+        rec = log[stage] if stage < len(log) else None
+        if (
+            rec is None
+            or rec.name != name
+            or rec.completed != completed
+            or rec.failed != failed
+        ):
+            self._split_member(cohort, member, launch, processed, completed, failed)
+            return
+        member._cohort_stage = stage + 1
+        if completed:
+            if not rec.accepted:
+                member.metrics.speculative_wasted_queries += 1
+                member.metrics.speculative_wasted_units += processed
+        elif rec.cancel_wasted:
+            member.metrics.speculative_wasted_queries += 1
+            member.metrics.speculative_wasted_units += processed
+        if rec.drain_wasted_queries:
+            member.metrics.speculative_wasted_queries += rec.drain_wasted_queries
+        if rec.drain_wasted_units:
+            member.metrics.speculative_wasted_units += rec.drain_wasted_units
+        self._mirror_stage(cohort, member, rec)
+
+    def _split_member(
+        self,
+        cohort: _Cohort,
+        member: BatchedInstance,
+        launch: _LaunchRecord,
+        processed: int,
+        completed: bool,
+        failed: bool,
+    ) -> None:
+        """Copy-on-diverge: replay the matched log prefix, then detach.
+
+        The member's arrays still hold its start state (mirroring never
+        touched them); applying each matched stage's outcome re-derives
+        the exact state an ordinary instance would hold here.  Launch
+        flags were already set at fan time, and every mirrored metric
+        was booked for real — the replay runs on a scratch metrics
+        object so nothing double-counts.
+        """
+        self.cohort_splits += 1
+        member._cohort = None
+        cohort.live_members -= 1
+        real_metrics = member.metrics
+        member.metrics = InstanceMetrics(
+            instance_id=member.instance_id, start_time=real_metrics.start_time
+        )
+        try:
+            for rec in cohort.log[1 : member._cohort_stage]:
+                if rec.completed:
+                    past = cohort.launch_by_name[rec.name]
+                    member.apply_query_result(rec.name, past.value_for(rec.failed))
+                    member.drain()
+        finally:
+            member.metrics = real_metrics
+        self._tail_query_done(
+            member, launch.name, launch.value_for(failed), processed, completed
+        )
+
+    def _tail_query_done(
+        self, member: BatchedInstance, name: str, value, processed: int, completed: bool
+    ) -> None:
+        """The reference `_query_done` tail (post-bookkeeping half)."""
+        if not completed:
+            i = self.plan.index[name]
+            if (
+                name in member.speculative_launch
+                and member._enablement[i] == E_DISABLED
+            ):
+                member.metrics.speculative_wasted_queries += 1
+                member.metrics.speculative_wasted_units += processed
+        if completed and not member.done:
+            accepted = member.apply_query_result(name, value)
+            if not accepted:
+                member.metrics.speculative_wasted_queries += 1
+                member.metrics.speculative_wasted_units += processed
+        if not member.done:
+            self._after_event(member)
+
+    def _finish_member(self, cohort: _Cohort, member: BatchedInstance) -> None:
+        """Mirror of :meth:`Engine._finish` fed from the representative.
+
+        The representative is done by the time any member consumes a
+        ``done_after`` record, so its arrays are final; copying them
+        (with the member's own source objects overlaid) materializes the
+        member's state for value/state maps, handles, and post-halt
+        straggler checks.
+        """
+        rep = cohort.rep
+        member.done = True
+        member.metrics.finish_time = self.sim.now
+        member._readiness = bytearray(rep._readiness)
+        member._enablement = bytearray(rep._enablement)
+        member._raw = list(rep._raw)
+        member._sv = list(rep._sv)
+        member._pending = list(rep._pending)
+        if rep._alive is not None:
+            member._alive = bytearray(rep._alive)
+            member._live_out = list(rep._live_out)
+            member._unneeded = bytearray(rep._unneeded)
+            member._external = bytearray(rep._external)
+        index = self.plan.index
+        for source_name, source_value in member._sources.items():
+            i = index[source_name]
+            member._raw[i] = source_value
+            member._sv[i] = source_value
+        member.finalize_metrics()
+        if self.halt_policy == "cancel":
+            for handle in member.inflight.values():
+                if not self._has_waiters(handle):
+                    handle.cancel()
+        cohort.live_members -= 1
+        if self.observer is not None:
+            self.observer.on_instance_complete(member)
+        callback = self._on_complete.pop(member.instance_id, None)
+        if callback is not None:
+            callback(member.metrics)
 
     def __repr__(self) -> str:
         done = sum(1 for i in self.instances if i.done)

@@ -143,6 +143,7 @@ class Engine:
         share_results: bool = False,
         observer: EngineObserver | None = None,
         query_cache: QueryShareCache | bool | None = None,
+        cohorts: bool = False,
     ):
         if halt_policy not in ("cancel", "drain"):
             raise ValueError(f"halt_policy must be 'cancel' or 'drain', got {halt_policy!r}")
@@ -164,6 +165,13 @@ class Engine:
         #: instant-pool dispatch stats (0 until enable_pooled_dispatch)
         self.pooled_batches = 0
         self.pooled_events = 0
+        #: Cohort execution is an instance-dedup layer only the batched
+        #: engine implements (see BatchedEngine); the reference engine
+        #: accepts the flag for config parity and runs every instance
+        #: individually, leaving the counters at zero.
+        self.cohorts = bool(cohorts)
+        self.cohort_hits = 0
+        self.cohort_splits = 0
 
     # -- public API -----------------------------------------------------------
 

@@ -69,11 +69,12 @@ class InstanceMetrics:
 class MetricsSummary:
     """Aggregates over a set of finished instances.
 
-    The ``query_cache_*`` counters are service-level (one
-    :class:`~repro.simdb.database.QueryShareCache` per service/shard, not
-    per instance): zero unless the cache is armed, filled in by
-    ``DecisionService.summary()``, and summed — not averaged — by
-    :meth:`merge` so sharded aggregations report fleet totals.
+    The ``query_cache_*`` and ``cohort_*`` counters are service-level
+    (one :class:`~repro.simdb.database.QueryShareCache` and one cohort
+    table per service/shard, not per instance): zero unless the feature
+    is armed, filled in by ``DecisionService.summary()``, and summed —
+    not averaged — by :meth:`merge` so sharded aggregations report fleet
+    totals.
     """
 
     count: int
@@ -88,6 +89,8 @@ class MetricsSummary:
     query_cache_hits: int = 0
     query_cache_misses: int = 0
     query_cache_coalesced: int = 0
+    cohort_hits: int = 0
+    cohort_splits: int = 0
 
     def mean_time_in_units(self, unit_duration: float = 1.0) -> float:
         return self.mean_elapsed / unit_duration
@@ -148,6 +151,8 @@ class MetricsSummary:
                 "query_cache_hits",
                 "query_cache_misses",
                 "query_cache_coalesced",
+                "cohort_hits",
+                "cohort_splits",
             )
         }
         live = [s for s in summaries if s.count > 0]

@@ -349,6 +349,7 @@ def config_to_dict(config) -> dict:
         "executor": config.executor,
         "dispatch": config.dispatch,
         "query_cache": config.query_cache,
+        "cohorts": config.cohorts,
     }
 
 
@@ -374,4 +375,5 @@ def config_from_dict(data: dict):
         executor=data.get("executor", "serial"),
         dispatch=data.get("dispatch", "per-event"),
         query_cache=bool(data.get("query_cache", False)),
+        cohorts=bool(data.get("cohorts", False)),
     )

@@ -11,6 +11,10 @@ Everything is stdlib ``sqlite3``.  One connection is shared across the
 daemon's threads behind a lock (the drain loop writes whole epochs in
 one transaction; HTTP handler threads only read), which keeps the store
 safe under ``ThreadingHTTPServer`` without per-thread connections.
+On-disk stores open in WAL journal mode with a busy timeout, so an
+*external* connection — another process inspecting the store, or a
+concurrent reader in tests — sees consistent snapshots instead of
+``database is locked`` errors while an epoch commit is in flight.
 
 Attribute values may carry the ⊥ null sentinel and tuples, neither of
 which is plain JSON; :func:`encode_values` / :func:`decode_values` reuse
@@ -91,15 +95,34 @@ class RunStore:
     only needs :meth:`close`.
     """
 
+    #: How long a connection waits on a competing writer before raising
+    #: ``sqlite3.OperationalError: database is locked`` (milliseconds).
+    BUSY_TIMEOUT_MS = 5_000
+
     def __init__(self, path: str | Path):
         self.path = str(path)
         self._lock = threading.Lock()
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
         with self._lock:
+            # WAL lets an external reader (another process tailing the
+            # store, or a second daemon pointed at the same file by
+            # mistake) see consistent snapshots while the drain loop is
+            # mid-commit; in-memory stores only support the default
+            # journal, so take whatever mode sqlite grants.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(f"PRAGMA busy_timeout={self.BUSY_TIMEOUT_MS}")
             self._conn.execute(_SCHEMA)
             self._conn.commit()
         self._closed = False
+
+    @property
+    def journal_mode(self) -> str:
+        """The journal mode sqlite actually granted (``wal`` on disk)."""
+        with self._lock:
+            self._ensure_open()
+            (mode,) = self._conn.execute("PRAGMA journal_mode").fetchone()
+        return str(mode).lower()
 
     # -- writing --------------------------------------------------------------
 

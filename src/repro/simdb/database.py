@@ -41,6 +41,7 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_right
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.simdb.des import Simulation
 from repro.simdb.query import CompletionCallback, QueryHandle
@@ -639,12 +640,24 @@ class QueryShareCache:
         self._inflight: dict[object, tuple[QueryHandle, list[_CacheFollower]]] = {}
         #: primary handle -> key (waiter lookups, entry cleanup)
         self._handle_key: dict[QueryHandle, object] = {}
+        #: key -> count of *virtual* followers: coalesced waiters an
+        #: engine-level aggregation (cohort execution) accounts for
+        #: itself instead of materializing one _CacheFollower each.
+        #: They pin the primary exactly like live real followers; their
+        #: resolution bookkeeping happens in the issuer's completion
+        #: callback, so the cache only counts them.
+        self._virtual: dict[object, int] = {}
         #: completed keys, LRU-ordered (oldest first)
         self._memo: dict[object, bool] = {}
         self.hits = 0
         self.misses = 0
         self.coalesced = 0
         self.reissues = 0
+        #: bumped whenever a *real* follower coalesces anywhere; lets
+        #: engine aggregations skip per-key follower re-checks while no
+        #: coalescing has happened at all (the overwhelmingly common
+        #: case during a burst of identical submissions)
+        self.follower_epoch = 0
 
     # -- submission ----------------------------------------------------------
 
@@ -674,6 +687,7 @@ class QueryShareCache:
         entry = self._inflight.get(key)
         if entry is not None:
             self.coalesced += 1
+            self.follower_epoch += 1
             follower = _CacheFollower(key, cost, on_complete)
             entry[1].append(follower)
             return follower
@@ -704,6 +718,9 @@ class QueryShareCache:
     ) -> None:
         primary, followers = self._inflight.pop(key)
         del self._handle_key[primary]
+        # Virtual followers resolve inside the issuer's callback below
+        # (the engine fans their bookkeeping itself); drop the pin.
+        self._virtual.pop(key, None)
         if completed:
             failed = primary.failed
             if not failed:
@@ -732,6 +749,7 @@ class QueryShareCache:
         # which case they join that entry.
         entry = self._inflight.get(key)
         if entry is not None:
+            self.follower_epoch += 1
             entry[1].extend(live)
             return
         self.reissues += 1
@@ -764,6 +782,75 @@ class QueryShareCache:
             memo.pop(next(iter(memo)))
         memo[key] = True
 
+    # -- virtual followers (cohort-weighted coalescing) -----------------------
+    #
+    # Cohort execution dedupes whole instances: every member of a cohort
+    # would submit the same key and coalesce behind the representative's
+    # primary.  Rather than materializing one _CacheFollower per member
+    # per query, the engine attaches a *count* — counters and waiter
+    # pinning behave exactly as if that many live followers had joined,
+    # while resolution bookkeeping is fanned by the engine inside the
+    # issuer's completion callback (the same event real followers would
+    # resolve in).
+
+    def is_primary(self, handle: object) -> bool:
+        """Whether *handle* is the live primary of an in-flight key."""
+        return handle in self._handle_key
+
+    def follower_count(self, handle: object) -> int:
+        """Real followers already coalesced behind *handle* (0 otherwise).
+
+        Virtual attachments are fanned ahead of the real follower list,
+        so they stay order-exact only while they precede every real
+        follower; the engine checks this before attaching at a cohort
+        join.  Cancelled followers still occupy fan-out positions and
+        therefore count here.
+        """
+        key = self._handle_key.get(handle)
+        if key is None:
+            return 0
+        entry = self._inflight.get(key)
+        return len(entry[1]) if entry is not None else 0
+
+    def attach_virtual(self, handle: object, count: int) -> None:
+        """Coalesce *count* virtual followers behind a primary handle."""
+        key = self._handle_key[handle]
+        self.coalesced += count
+        self._virtual[key] = self._virtual.get(key, 0) + count
+
+    def release_virtual(self, handle: object, count: int) -> None:
+        """Un-pin *count* virtual followers (they cancelled their wait)."""
+        key = self._handle_key[handle]
+        left = self._virtual.get(key, 0) - count
+        if left > 0:
+            self._virtual[key] = left
+        else:
+            self._virtual.pop(key, None)
+
+    def materialize_virtual(
+        self, handle: object, specs: Sequence[tuple[int, CompletionCallback, bool]]
+    ) -> list[_CacheFollower]:
+        """Convert virtual followers into real ones (cohort demotion).
+
+        *specs* is one ``(cost, on_complete, cancel_requested)`` triple
+        per follower, in join order; the new followers are prepended
+        ahead of any follower that coalesced later, preserving fan-out
+        order.  Counters are untouched (the attachments were already
+        counted), and any remaining virtual pin on the key is dropped —
+        the materialized followers carry the waiting from here.
+        """
+        key = self._handle_key[handle]
+        followers: list[_CacheFollower] = []
+        for cost, on_complete, cancelled in specs:
+            follower = _CacheFollower(key, cost, on_complete)
+            follower.cancel_requested = cancelled
+            followers.append(follower)
+        entry = self._inflight[key]
+        entry[1][:0] = followers
+        self.follower_epoch += 1
+        self._virtual.pop(key, None)
+        return followers
+
     # -- inspection ----------------------------------------------------------
 
     def waiter_count(self, handle: object) -> int:
@@ -773,11 +860,13 @@ class QueryShareCache:
         cancelled either way), so they must not pin an otherwise
         cancellable primary — e.g. under ``cancel_unneeded``, a primary
         whose every waiter was itself cancelled should be cancelled too.
+        Virtual (cohort-weighted) followers count while attached; the
+        engine releases them when their members cancel.
         """
         key = self._handle_key.get(handle)
         if key is None:
             return 0
-        return sum(
+        return self._virtual.get(key, 0) + sum(
             1 for follower in self._inflight[key][1] if not follower.cancel_requested
         )
 

@@ -12,8 +12,8 @@ and reschedule completion events instead of walking unit by unit:
 * :attr:`Simulation.pending` is O(1) — a live counter maintained on
   schedule/cancel/fire instead of a scan of the calendar;
 * cancelled events are *compacted* away once they dominate the calendar,
-  so a workload that reschedules most of its events keeps the heap (and
-  every push/pop) proportional to the live event count;
+  so a workload that reschedules most of its events keeps the calendar
+  (and every insert/pop) proportional to the live event count;
 * events carry an explicit *priority* band breaking same-time ties ahead
   of the scheduling sequence.  A per-unit kernel's tie order at a shared
   instant is an artifact of when each chain allocated its next event; a
@@ -23,15 +23,30 @@ and reschedule completion events instead of walking unit by unit:
   1, between plain events (band 0) and zero-delay deliveries (band 2) —
   that both kernels realize identically.
 
+Instant-bucketed calendar
+-------------------------
+
+Large sweeps concentrate thousands of events on a handful of instants
+(every instance starts at t=0; equal-cost queries complete together), so
+a heap of *events* pays O(log n-events) per push/pop for a calendar whose
+distinct instants number in the dozens.  The calendar here is a heap of
+``(time, priority-band)`` *bucket keys* instead; each key maps to a
+bucket holding its events in firing order.  Scheduling into an existing
+instant is an O(1) append; popping the frontier bucket hands a whole
+``(time, band)`` run to :meth:`Simulation.step_instant` without a single
+re-heapify.  Buckets keep their events sorted by ``(priority, seq)``
+lazily: appends arrive in ``seq`` order, so a bucket only sorts when an
+out-of-band-order insert (a band-1 completion re-armed after a
+later-submitted query's) actually lands in it.
+
 Instant pooling
 ---------------
 
-Large sweeps concentrate thousands of events on a handful of instants
-(every instance starts at t=0; equal-cost queries complete together), and
-dispatching each through :meth:`Simulation.step` pays the full per-event
-loop: a head peek, a pop, a clock write, and a priority save/restore.
-:meth:`Simulation.step_instant` instead pops *every* live event sharing
-the ``(time, priority band)`` frontier in one pass and hands the run to a
+Dispatching each event through :meth:`Simulation.step` pays the full
+per-event loop: a head peek, a bucket advance, a clock write, and a
+priority save/restore.  :meth:`Simulation.step_instant` instead pops
+*every* live event sharing the ``(time, priority band)`` frontier — the
+frontier bucket, verbatim — in one pass and hands the run to a
 registered *batch consumer* (see :meth:`Simulation.set_batch_consumer`),
 which fires them through :meth:`Simulation.fire_pooled` — in exactly the
 order :meth:`step` would have — and may layer cross-event optimizations
@@ -53,7 +68,7 @@ from repro.errors import SimulationError
 
 __all__ = ["Event", "Simulation"]
 
-#: Compaction thresholds: rebuild the heap once more than
+#: Compaction thresholds: sweep the buckets once more than
 #: ``_COMPACT_MIN_CANCELLED`` events are dead *and* dead events exceed
 #: ``_COMPACT_LIVE_FRACTION`` of the live count.  Small enough to bound
 #: memory on reschedule-heavy runs, large enough to amortize the rebuild
@@ -88,8 +103,8 @@ class Event:
         self.cancelled = False
         self.fired = False
         #: True while the event sits in a popped instant pool rather than
-        #: the calendar heap — cancellations then must not touch the
-        #: dead-in-queue accounting (the event is not in the queue).
+        #: the calendar — cancellations then must not touch the
+        #: dead-in-queue accounting (the event is not in a bucket).
         self.popped = False
         self._sim = sim
 
@@ -109,6 +124,23 @@ class Event:
         return f"<Event t={self.time:.6g} seq={self.seq}{flag}>"
 
 
+class _Bucket:
+    """Events of one ``(time, priority band)`` instant, in firing order.
+
+    ``items[pos:]`` is the unconsumed tail; ``pos`` advances as events
+    fire so consumption never shifts the list.  ``dirty`` marks an
+    out-of-order append — the tail re-sorts (by full event order; every
+    member shares the bucket time) only when actually read.
+    """
+
+    __slots__ = ("items", "pos", "dirty")
+
+    def __init__(self):
+        self.items: list[Event] = []
+        self.pos = 0
+        self.dirty = False
+
+
 class Simulation:
     """An event calendar with a monotone clock.
 
@@ -119,12 +151,19 @@ class Simulation:
 
     def __init__(self):
         self.now: float = 0.0
-        self._queue: list[Event] = []
+        #: bucket key heap + key→bucket map; keys are (time, band).  A key
+        #: may outlive its bucket (compaction deletes drained buckets
+        #: without touching the heap) — reads skip stale keys lazily.
+        self._heap: list[tuple[float, int]] = []
+        self._buckets: dict[tuple[float, int], _Bucket] = {}
         self._seq = itertools.count()
         self._events_executed = 0
         self._live = 0
         self._dead_in_queue = 0
         self._cancelled_compactions = 0
+        #: bumped on every insert — lets fire_pooled skip its preemption
+        #: peek entirely while no callback has scheduled anything new.
+        self._sched_marker = 0
         self._batch_consumer: Callable[[list[Event]], int | None] | None = None
         #: priority of the event whose callback is currently running
         #: (None outside a dispatch) — lets re-planning code decide whether
@@ -154,17 +193,31 @@ class Simulation:
                 f"cannot schedule at {time} (now is {self.now})"
             )
         event = Event(time, next(self._seq), fn, self, priority)
-        heapq.heappush(self._queue, event)
+        key = (time, priority[0])
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = _Bucket()
+            self._buckets[key] = bucket
+            heapq.heappush(self._heap, key)
+            bucket.items.append(event)
+        else:
+            items = bucket.items
+            # seq is globally monotone, so an append is in order unless
+            # its in-band sub-priority undercuts the current tail.
+            if items and not bucket.dirty and priority < items[-1].priority:
+                bucket.dirty = True
+            items.append(event)
         self._live += 1
+        self._sched_marker += 1
         return event
 
     def _on_cancel(self, event: Event) -> None:
         self._live -= 1
         if event.popped:
-            # The event sits in a consumer's instant pool, not the heap;
-            # it either fires as a no-op or re-enters the queue (counted
-            # dead at that point).  Counting it here would let a
-            # concurrent _compact zero away a debt the queue never held.
+            # The event sits in a consumer's instant pool, not a bucket;
+            # it either fires as a no-op or re-enters the calendar
+            # (counted dead at that point).  Counting it here would let a
+            # concurrent _compact zero away a debt the buckets never held.
             return
         self._dead_in_queue += 1
         if (
@@ -174,43 +227,88 @@ class Simulation:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled events and re-heapify what remains.
+        """Drop cancelled events from every bucket tail.
 
         Reached only once dead events pass the live-fraction threshold in
         :meth:`_on_cancel`; a workload that cancels below it never pays a
-        rebuild (the dead events drain lazily as ``step`` skips them).
-        Mutates the queue list *in place*: a compaction can fire from a
-        callback inside :meth:`fire_pooled`, whose loop holds an alias to
-        the list for its preemption checks — rebinding would leave that
-        alias reading a dead snapshot.
+        rebuild (the dead events drain lazily as reads skip them).
+        Buckets left empty are dropped from the map; their heap keys go
+        stale and are skipped on the next frontier read.
         """
-        self._queue[:] = [event for event in self._queue if not event.cancelled]
-        heapq.heapify(self._queue)
+        buckets = self._buckets
+        for key in list(buckets):
+            bucket = buckets[key]
+            live = [event for event in bucket.items[bucket.pos:] if not event.cancelled]
+            if live:
+                bucket.items = live
+                bucket.pos = 0
+            else:
+                del buckets[key]
         self._dead_in_queue = 0
         self._cancelled_compactions += 1
+
+    def _head(self) -> tuple[Event, _Bucket, tuple[float, int]] | None:
+        """The next live event with its bucket, or None.
+
+        Pops stale heap keys, drops drained buckets, sorts a dirty tail,
+        and advances past cancelled events (settling their dead-in-queue
+        debt) — so on return ``heap[0]`` is exactly the returned bucket's
+        key and ``bucket.items[bucket.pos]`` the event ``step`` would
+        fire.
+        """
+        heap = self._heap
+        buckets = self._buckets
+        while heap:
+            key = heap[0]
+            bucket = buckets.get(key)
+            if bucket is None:
+                heapq.heappop(heap)
+                continue
+            items = bucket.items
+            pos = bucket.pos
+            if bucket.dirty:
+                tail = items[pos:]
+                tail.sort()
+                items[pos:] = tail
+                bucket.dirty = False
+            while pos < len(items) and items[pos].cancelled:
+                pos += 1
+                self._dead_in_queue -= 1
+            bucket.pos = pos
+            if pos >= len(items):
+                del buckets[key]
+                heapq.heappop(heap)
+                continue
+            return items[pos], bucket, key
+        return None
+
+    def _queued_events(self) -> int:
+        """Events currently held in buckets, dead included (test hook)."""
+        return sum(len(b.items) - b.pos for b in self._buckets.values())
 
     def fire_pooled(self, events: list[Event]) -> int:
         """Fire an instant pool in order; the consumer work loop.
 
         Each live event dispatches exactly as :meth:`step` would (fired
         flag, counters, :attr:`executing_priority` visible to its
-        callback), with a head-of-queue preemption check between events
-        — but the per-event costs are hoisted out of the loop: one
-        priority-context restore for the whole pool, and an
-        allocation-free preemption test exploiting the pool invariant
-        (every member shares the pool time, and ``schedule_at`` refuses
-        the past, so a queued event can only preempt by priority/seq
-        *at* that time).  Events cancelled after being popped (an
-        earlier pool member may cancel a later one) are skipped; their
-        accounting was already settled by :meth:`_on_cancel`.  Returns
-        the number of pool slots consumed; batch consumers delegate to
-        this and layer their own group work around it.
+        callback), with a head-of-calendar preemption check between
+        events — but the per-event costs are hoisted out of the loop:
+        one priority-context restore for the whole pool, and a preemption
+        test that runs only when a callback actually scheduled something
+        (tracked by the insert marker; the pool was the maximal frontier,
+        so everything already queued sorts after it — only a *new* event
+        can preempt, and ``schedule_at`` refuses the past, so only by
+        priority/seq at the pool time).  Events cancelled after being
+        popped (an earlier pool member may cancel a later one) are
+        skipped; their accounting was already settled by
+        :meth:`_on_cancel`.  Returns the number of pool slots consumed;
+        batch consumers delegate to this and layer their own group work
+        around it.
         """
-        # Safe to alias across callbacks: _compact mutates in place.
-        queue = self._queue
         count = len(events)
         last = count - 1
         previous = self.executing_priority
+        marker = self._sched_marker
         try:
             for index, event in enumerate(events):
                 if not event.cancelled:
@@ -219,39 +317,41 @@ class Simulation:
                     self._events_executed += 1
                     self.executing_priority = event.priority
                     event.fn()
-                if index < last and queue:
-                    head = queue[0]
-                    nxt = events[index + 1]
-                    if head.time == nxt.time:
-                        head_priority = head.priority
-                        nxt_priority = nxt.priority
-                        if head_priority < nxt_priority or (
-                            head_priority == nxt_priority and head.seq < nxt.seq
-                        ):
-                            return index + 1
+                if index < last and self._sched_marker != marker:
+                    marker = self._sched_marker
+                    found = self._head()
+                    if found is not None:
+                        head = found[0]
+                        nxt = events[index + 1]
+                        if head.time == nxt.time:
+                            head_priority = head.priority
+                            nxt_priority = nxt.priority
+                            if head_priority < nxt_priority or (
+                                head_priority == nxt_priority and head.seq < nxt.seq
+                            ):
+                                return index + 1
         finally:
             self.executing_priority = previous
         return count
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False when none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                self._dead_in_queue -= 1
-                continue
-            self.now = event.time
-            event.fired = True
-            self._live -= 1
-            self._events_executed += 1
-            previous = self.executing_priority
-            self.executing_priority = event.priority
-            try:
-                event.fn()
-            finally:
-                self.executing_priority = previous
-            return True
-        return False
+        found = self._head()
+        if found is None:
+            return False
+        event, bucket, _key = found
+        bucket.pos += 1
+        self.now = event.time
+        event.fired = True
+        self._live -= 1
+        self._events_executed += 1
+        previous = self.executing_priority
+        self.executing_priority = event.priority
+        try:
+            event.fn()
+        finally:
+            self.executing_priority = previous
+        return True
 
     # -- instant pooling -----------------------------------------------------
 
@@ -284,36 +384,31 @@ class Simulation:
     def step_instant(self) -> bool:
         """Run every pending event at the ``(time, priority band)`` frontier.
 
-        Pops the maximal run of live events sharing the head event's time
-        and priority band in one pass and hands it to the registered
-        batch consumer.  Falls back to a single per-event :meth:`step`
+        The frontier is exactly the head bucket: detach it whole, settle
+        the dead-in-queue debt of its cancelled members, and hand the
+        live run to the registered batch consumer — no per-event heap
+        traffic at all.  Falls back to a single per-event :meth:`step`
         when no consumer is registered.  Returns False when the calendar
         is empty.
         """
         consumer = self._batch_consumer
         if consumer is None:
             return self.step()
-        queue = self._queue
-        while queue and queue[0].cancelled:
-            heapq.heappop(queue)
-            self._dead_in_queue -= 1
-        if not queue:
+        found = self._head()
+        if found is None:
             return False
-        head = queue[0]
-        time, band = head.time, head.priority[0]
-        batch = [heapq.heappop(queue)]
-        while queue:
-            event = queue[0]
+        head, bucket, key = found
+        tail = bucket.items[bucket.pos:]
+        batch = []
+        for event in tail:
             if event.cancelled:
-                heapq.heappop(queue)
                 self._dead_in_queue -= 1
-                continue
-            if event.time != time or event.priority[0] != band:
-                break
-            batch.append(heapq.heappop(queue))
-        for event in batch:
-            event.popped = True
-        self.now = time
+            else:
+                event.popped = True
+                batch.append(event)
+        del self._buckets[key]
+        heapq.heappop(self._heap)  # _head left this bucket's key on top
+        self.now = head.time
         try:
             consumed = consumer(batch)
         except BaseException:
@@ -330,25 +425,43 @@ class Simulation:
 
     def _requeue_unfired(self, events: list[Event]) -> None:
         """Return popped-but-unfired pool members to the calendar."""
-        queue = self._queue
+        buckets = self._buckets
         for event in events:
             if event.fired:
                 continue
             event.popped = False
             if event.cancelled:
                 self._dead_in_queue += 1
-            heapq.heappush(queue, event)
+            key = (event.time, event.priority[0])
+            bucket = buckets.get(key)
+            if bucket is None:
+                bucket = _Bucket()
+                buckets[key] = bucket
+                heapq.heappush(self._heap, key)
+                bucket.items.append(event)
+            else:
+                items = bucket.items
+                # The bucket may hold events scheduled mid-pool, whose
+                # seqs are newer than the requeued remainder's; a full
+                # (priority, seq) comparison decides whether the tail
+                # needs a re-sort.
+                if (
+                    items
+                    and not bucket.dirty
+                    and (event.priority, event.seq)
+                    < (items[-1].priority, items[-1].seq)
+                ):
+                    bucket.dirty = True
+                items.append(event)
 
     def run(self, until: float | None = None) -> None:
         """Run events until the calendar drains or the clock passes *until*."""
         pooled = self._batch_consumer is not None
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                self._dead_in_queue -= 1
-                continue
-            if until is not None and head.time > until:
+        while True:
+            found = self._head()
+            if found is None:
+                break
+            if until is not None and found[0].time > until:
                 self.now = until
                 return
             if pooled:

@@ -183,6 +183,79 @@ class TestQueryCacheCounters:
         assert only_idle.query_cache_coalesced == 9
 
 
+class TestCohortCounters:
+    """cohort_hits/cohort_splits are whole-shard totals: merge must sum
+    them exactly — never average, never drop empty shards' counts."""
+
+    def _shard(self, rng):
+        """One shard summary: possibly empty, with random cohort totals."""
+        from dataclasses import replace
+
+        if rng.random() < 0.4:  # idle shard: no finished instances yet
+            base = MetricsSummary.empty()
+        else:
+            base = summarize(
+                [
+                    InstanceMetrics(
+                        f"i{k}", 0.0, finish_time=rng.uniform(1.0, 9.0),
+                        work_units=rng.randrange(1, 20),
+                    )
+                    for k in range(rng.randrange(1, 5))
+                ]
+            )
+        return replace(
+            base,
+            cohort_hits=rng.randrange(0, 50),
+            cohort_splits=rng.randrange(0, 12),
+        )
+
+    def test_summarize_leaves_cohort_counters_zero(self):
+        summary = summarize([InstanceMetrics("i", 0.0, finish_time=4.0, work_units=3)])
+        assert summary.cohort_hits == 0
+        assert summary.cohort_splits == 0
+
+    def test_merge_sums_exactly_over_random_shard_mixes(self):
+        import random
+
+        for seed in range(50):
+            rng = random.Random(seed)
+            shards = [self._shard(rng) for _ in range(rng.randrange(1, 7))]
+            merged = MetricsSummary.merge(*shards)
+            assert merged.cohort_hits == sum(s.cohort_hits for s in shards), seed
+            assert merged.cohort_splits == sum(s.cohort_splits for s in shards), seed
+            # Order-invariant and associative: shuffle, then fold pairwise.
+            shuffled = shards[:]
+            rng.shuffle(shuffled)
+            folded = shuffled[0]
+            for shard in shuffled[1:]:
+                folded = MetricsSummary.merge(folded, shard)
+            assert folded.cohort_hits == merged.cohort_hits, seed
+            assert folded.cohort_splits == merged.cohort_splits, seed
+
+    def test_empty_shards_still_contribute_counters(self):
+        from dataclasses import replace
+
+        # Shards whose instances are all mid-flight summarize to count=0
+        # but have already recorded cohort traffic; an average (or a
+        # count-weighted mean) would erase it.
+        idle_a = replace(MetricsSummary.empty(), cohort_hits=7, cohort_splits=2)
+        idle_b = replace(MetricsSummary.empty(), cohort_hits=5)
+        merged = MetricsSummary.merge(idle_a, idle_b)
+        assert merged.count == 0
+        assert merged.cohort_hits == 12
+        assert merged.cohort_splits == 2
+
+    def test_merge_roundtrips_through_wire_format(self):
+        from dataclasses import replace
+
+        shard = replace(
+            summarize([InstanceMetrics("a", 0.0, finish_time=2.0, work_units=2)]),
+            cohort_hits=4, cohort_splits=1,
+        )
+        merged = MetricsSummary.merge(shard, MetricsSummary.empty())
+        assert MetricsSummary.from_dict(merged.to_dict()) == merged
+
+
 class TestSummaryDict:
     """to_dict/from_dict: the wire format GET /metrics serves."""
 

@@ -181,6 +181,7 @@ def run_scenario(
     *,
     dispatch: str = "per-event",
     query_cache: bool = False,
+    cohorts: bool = False,
 ) -> dict:
     """Execute one scenario on one engine; returns the observable trace."""
     pattern = scenario_pattern(
@@ -202,6 +203,7 @@ def run_scenario(
         share_results=scenario.share,
         observer=observer,
         query_cache=query_cache,
+        cohorts=cohorts,
     )
     if dispatch == "pooled":
         engine.enable_pooled_dispatch()
@@ -209,6 +211,7 @@ def run_scenario(
         engine.submit_instance(pattern.source_values, at=index * scenario.spacing)
     sim.run()
     return {
+        "cohort_stats": (engine.cohort_hits, engine.cohort_splits),
         "values": [
             (inst.instance_id, inst.done, tuple(sorted(
                 (name, repr(value)) for name, value in inst.value_map().items()
@@ -338,6 +341,109 @@ def test_query_cache_cuts_db_work_and_preserves_full_launch_values(engine_kind):
     cached = run_scenario(engine_kind, scenario, seed=1, query_cache=True)
     assert cached["values"] == plain["values"]
     assert cached["database"][0] < plain["database"][0]  # fewer total units
+
+
+# -- cohort execution ----------------------------------------------------------
+#
+# Cohort execution promises the *same* observable trace while running one
+# representative per (start valuation, strategy, instant) group.  The
+# curated ring spans all three backends, same-instant bursts (the cohort
+# case) and spaced arrivals (the no-op case), failure injection and the
+# bounded backend (both force copy-on-diverge splits), drain halts,
+# cancel-unneeded, sharing (the documented fallback to individual
+# execution), and the cache on/off × lockstep/live mode boundary.
+
+COHORT_SCENARIOS = [
+    Scenario(code="PSE100", spacing=0.0),
+    Scenario(code="PSE50", spacing=0.0),
+    Scenario(code="PSE50", spacing=1.0),
+    Scenario(code="PCE0", spacing=0.0),
+    Scenario(code="NSE50", spacing=0.0),
+    Scenario(code="NCC80", halt_policy="drain", spacing=0.0),
+    Scenario(code="PCC50", cancel_unneeded=True, spacing=0.0),
+    Scenario(code="PSE80", failure_prob=0.2, spacing=0.0),
+    Scenario(code="PSC100", share=True, spacing=0.0),
+    Scenario(backend="profiled", code="PSE100", spacing=0.0),
+    Scenario(backend="profiled", code="PSE50", failure_prob=0.25, spacing=0.0),
+    Scenario(backend="bounded", code="PSE50", instances=4, nb_nodes=16, spacing=0.0),
+    Scenario(backend="bounded", code="NSE100", instances=4, nb_nodes=16, spacing=0.0),
+]
+
+
+def test_cohort_scenario_coverage():
+    assert {s.backend for s in COHORT_SCENARIOS} == {"ideal", "profiled", "bounded"}
+    assert any(s.spacing == 0.0 for s in COHORT_SCENARIOS)
+    assert any(s.spacing > 0.0 for s in COHORT_SCENARIOS)
+    assert any(s.failure_prob > 0 for s in COHORT_SCENARIOS)
+    assert any(s.share for s in COHORT_SCENARIOS)
+    assert any(s.halt_policy == "drain" for s in COHORT_SCENARIOS)
+    assert any(s.cancel_unneeded for s in COHORT_SCENARIOS)
+
+
+@pytest.mark.parametrize("query_cache", [False, True], ids=["nocache", "cache"])
+@pytest.mark.parametrize("engine_kind", ["reference", "batched"])
+@pytest.mark.parametrize(
+    "scenario", COHORT_SCENARIOS, ids=[s.label for s in COHORT_SCENARIOS]
+)
+def test_cohorts_match_individual_execution(scenario, engine_kind, query_cache):
+    """cohorts=True is trace-identical to individual execution on both
+    engines (a documented no-op on the reference engine)."""
+    for seed in range(2):
+        individual = run_scenario(
+            engine_kind, scenario, seed=seed, query_cache=query_cache
+        )
+        cohorted = run_scenario(
+            engine_kind, scenario, seed=seed, query_cache=query_cache, cohorts=True
+        )
+        assert_traces_identical(individual, cohorted)
+        assert individual["cohort_stats"] == (0, 0)
+        if engine_kind == "reference":
+            assert cohorted["cohort_stats"] == (0, 0)
+
+
+@pytest.mark.parametrize("query_cache", [False, True], ids=["nocache", "cache"])
+def test_cohorts_capture_same_instant_bursts(query_cache):
+    """Identical same-instant submissions actually form cohorts, so the
+    trace equality above isn't vacuous."""
+    burst = Scenario(code="PSE100", spacing=0.0)
+    trace = run_scenario("batched", burst, seed=0, query_cache=query_cache, cohorts=True)
+    hits, splits = trace["cohort_stats"]
+    assert hits == burst.instances - 1
+    assert splits == 0
+    bounded = Scenario(
+        backend="bounded", code="PSE100", instances=4, nb_nodes=16, spacing=0.0
+    )
+    trace = run_scenario(
+        "batched", bounded, seed=0, query_cache=query_cache, cohorts=True
+    )
+    hits, splits = trace["cohort_stats"]
+    assert hits > 0
+    if not query_cache:
+        # Mirrored members submit their own queries, so the bounded
+        # backend's out-of-order completions force copy-on-diverge
+        # splits; with the cache every member coalesces behind the one
+        # primary and legitimately inherits its outcome instead.
+        assert splits > 0
+    spaced = Scenario(code="PSE50", spacing=1.0)
+    trace = run_scenario("batched", spaced, seed=0, query_cache=query_cache, cohorts=True)
+    assert trace["cohort_stats"] == (0, 0)
+
+
+@pytest.mark.parametrize("query_cache", [False, True], ids=["nocache", "cache"])
+@pytest.mark.parametrize(
+    "scenario",
+    [s for s in COHORT_SCENARIOS if s.spacing == 0.0][:6],
+    ids=[s.label for s in COHORT_SCENARIOS if s.spacing == 0.0][:6],
+)
+def test_cohorts_match_under_pooled_dispatch(scenario, query_cache):
+    """cohorts × pooled dispatch (the benchmark configuration) stays
+    trace-identical to the per-event individual baseline."""
+    individual = run_scenario("batched", scenario, seed=0, query_cache=query_cache)
+    cohorted = run_scenario(
+        "batched", scenario, seed=0,
+        dispatch="pooled", query_cache=query_cache, cohorts=True,
+    )
+    assert_traces_identical(individual, cohorted)
 
 
 def _run_handbuilt(engine_kind: str, schema, source_values, code: str,

@@ -119,6 +119,55 @@ class TestLifecycle:
         assert "closed" in repr(store)
 
 
+class TestWalConcurrency:
+    def test_on_disk_store_opens_in_wal_mode(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            assert store.journal_mode == "wal"
+
+    def test_external_reader_sees_snapshots_during_write_burst(self, tmp_path):
+        """A second connection reads consistent counts while the store
+        commits epoch batches — WAL + busy_timeout means no ``database
+        is locked`` in either direction."""
+        import sqlite3
+        import threading
+
+        path = tmp_path / "runs.sqlite"
+        epochs, per_epoch = 20, 25
+        errors: list[BaseException] = []
+        counts: list[int] = []
+        done = threading.Event()
+
+        def read_loop():
+            reader = sqlite3.connect(path, timeout=5.0)
+            try:
+                while not done.is_set():
+                    (count,) = reader.execute("SELECT COUNT(*) FROM runs").fetchone()
+                    counts.append(count)
+            except BaseException as exc:  # surfaced on the main thread
+                errors.append(exc)
+            finally:
+                reader.close()
+
+        with RunStore(path) as store:
+            thread = threading.Thread(target=read_loop)
+            thread.start()
+            try:
+                for epoch in range(epochs):
+                    store.record_many(
+                        make_record(instance_id=f"srv-{epoch * per_epoch + i}")
+                        for i in range(per_epoch)
+                    )
+            finally:
+                done.set()
+                thread.join(30.0)
+            assert not errors, errors
+            assert store.count() == epochs * per_epoch
+        # Every observed count is a committed-batch boundary: WAL readers
+        # never see a half-applied epoch.
+        assert all(count % per_epoch == 0 for count in counts), sorted(set(counts))[:5]
+        assert counts, "reader thread never got a snapshot"
+
+
 class TestConfigHash:
     def test_short_stable_hex(self):
         config = ExecutionConfig.from_code("PSE80")

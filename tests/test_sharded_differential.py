@@ -54,6 +54,7 @@ def build_config(
     failure_prob: float = 0.0,
     dispatch: str = "per-event",
     query_cache: bool = False,
+    cohorts: bool = False,
 ) -> ExecutionConfig:
     return ExecutionConfig.from_code(
         code,
@@ -64,6 +65,7 @@ def build_config(
         shards=shards,
         dispatch=dispatch,
         query_cache=query_cache,
+        cohorts=cohorts,
     )
 
 
@@ -256,6 +258,81 @@ def test_pooled_dispatch_invisible_at_any_shard_count(
         pooled["summary"].query_cache_coalesced
         == per_event["summary"].query_cache_coalesced
     )
+
+
+# -- ring 5: cohort execution is invisible at any shard count ------------------
+
+
+@pytest.mark.parametrize("query_cache", [False, True], ids=["nocache", "cache"])
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("backend", ["ideal", "profiled", "bounded"])
+def test_cohorts_invisible_at_any_shard_count(backend, engine, shards, query_cache):
+    """Same shard count, cohorts off vs on (cache on/off, both engines,
+    every backend): each shard's cohort grouping must reproduce the
+    identical trace — values, all metrics counters, database totals, and
+    the exact event sequence — while the merged summary surfaces the
+    hit/split totals."""
+    seed = 9
+    pattern = scenario_pattern(seed, nb_nodes=16 if backend == "bounded" else 24)
+    # Same-instant bursts (the cohort case) mixed with spaced arrivals.
+    arrivals = [0.0, 0.0, 0.0, 1.5, 1.5, 3.0]
+    individual = run_sharded(
+        pattern,
+        build_config(
+            "PSE100", backend, engine, seed, shards=shards,
+            dispatch="pooled", query_cache=query_cache,
+        ),
+        arrivals,
+    )
+    cohorted = run_sharded(
+        pattern,
+        build_config(
+            "PSE100", backend, engine, seed, shards=shards,
+            dispatch="pooled", query_cache=query_cache, cohorts=True,
+        ),
+        arrivals,
+    )
+    assert cohorted["values"] == individual["values"]
+    assert cohorted["metrics"] == individual["metrics"]
+    assert cohorted["totals"] == individual["totals"]
+    assert cohorted["events"] == individual["events"]
+    assert_summaries_close(cohorted["summary"], individual["summary"], exact=True)
+    assert individual["summary"].cohort_hits == 0
+    assert individual["summary"].cohort_splits == 0
+    if engine == "batched" and shards == 1:
+        # All three t=0 arrivals land in one shard: the burst must
+        # actually cohort, so the equality above isn't vacuous.
+        assert cohorted["summary"].cohort_hits > 0
+    if engine == "reference":
+        assert cohorted["summary"].cohort_hits == 0
+
+
+@pytest.mark.parametrize("executor", ["serial", "process"])
+def test_cohort_config_survives_executors(executor):
+    """cohorts travels to shard workers; hit/split counters merge back
+    summed (never averaged) across shards."""
+    pattern = scenario_pattern(0)
+    config = build_config(
+        "PSE100", "ideal", "batched", 0,
+        shards=2, dispatch="pooled", query_cache=True, cohorts=True,
+    ).replace(executor=executor)
+    service = ShardedDecisionService(pattern.schema, config)
+    for _ in range(8):
+        service.submit(pattern.source_values)
+    service.run()
+    summary = service.summary()
+    assert summary.count == 8
+    # Every shard saw a same-instant burst of one valuation: all six
+    # non-representative instances must be cohort hits across the two
+    # shards combined, identically on both executors.
+    assert summary.cohort_hits == 6
+    assert summary.cohort_splits == 0
+    serial = ShardedDecisionService(pattern.schema, config.replace(executor="serial"))
+    for _ in range(8):
+        serial.submit(pattern.source_values)
+    serial.run()
+    assert serial.summary() == summary
 
 
 @pytest.mark.parametrize("executor", ["serial", "process"])

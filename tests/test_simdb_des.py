@@ -132,7 +132,7 @@ class TestCompaction:
             event.cancel()
         # Compaction is amortized: at any point the calendar holds at most
         # max(threshold, live) dead events, never the full 500.
-        assert len(sim._queue) - sim.pending <= 65
+        assert sim._queued_events() - sim.pending <= 65
         assert sim.pending == 10
         sim.run()
         assert sim.events_executed == 10
@@ -198,6 +198,87 @@ class TestCompactionStat:
         assert sim.cancelled_compactions == 0
         sim.run()
         assert sim.events_executed == 200
+
+
+class TestBucketCancelStorm:
+    """Cancel storms concentrated in a single instant bucket: the O(1)
+    ``pending`` counter, the compaction counter, and the ``popped``
+    accounting of pooled dispatch all stay exact."""
+
+    def test_storm_in_one_bucket_keeps_counters_exact(self):
+        from repro.simdb.des import _COMPACT_MIN_CANCELLED
+
+        sim = Simulation()
+        storm = 500
+        fired = []
+        keep = [
+            sim.schedule(5.0, (lambda i=i: fired.append(i)), priority=(0, i))
+            for i in range(10)
+        ]
+        doomed = [
+            sim.schedule(5.0, lambda: None, priority=(0, 1000 + i)) for i in range(storm)
+        ]
+        # pending is a maintained counter, not a scan: every cancel is
+        # exactly one decrement, even with all 510 events in ONE bucket.
+        for index, event in enumerate(doomed):
+            event.cancel()
+            assert sim.pending == 10 + storm - index - 1
+        doomed[0].cancel()  # double-cancel inside the bucket: no drift
+        assert sim.pending == 10
+        # Compaction cadence is exact: replay the documented policy
+        # (sweep when dead passes both the absolute floor and the live
+        # fraction) and demand the counter agree sweep-for-sweep.
+        from repro.simdb.des import _COMPACT_LIVE_FRACTION
+
+        expected_sweeps, dead, live = 0, 0, 10 + storm
+        for _ in range(storm):
+            live -= 1
+            dead += 1
+            if dead > _COMPACT_MIN_CANCELLED and dead > live * _COMPACT_LIVE_FRACTION:
+                expected_sweeps += 1
+                dead = 0
+        assert expected_sweeps >= 3  # the storm actually exercises sweeps
+        assert sim.cancelled_compactions == expected_sweeps
+        # ...and the dead events still queued match the replica exactly,
+        # even though all of them share one bucket key.
+        assert sim._queued_events() - sim.pending == dead
+        sim.run()
+        assert fired == list(range(10))  # sub-priority order, no dead fires
+        assert sim.pending == 0
+        assert sim._queued_events() == 0
+
+    def test_popped_flags_exact_through_storm_compaction(self):
+        """A storm-triggered compaction while a pool is popped must leave
+        ``Event.popped`` and the dead-event debt exact: popped members are
+        not in any bucket, so the sweep must neither count nor resurrect
+        them."""
+        sim = Simulation()
+        log = []
+        doomed = [sim.schedule(5.0, lambda: None) for _ in range(200)]
+        survivor = sim.schedule(5.0, lambda: log.append("survivor"))
+        holder = []
+
+        def killer():
+            log.append("killer")
+            pool_victim, sibling = holder
+            assert pool_victim.popped and sibling.popped  # in-flight pool
+            pool_victim.cancel()  # popped: must NOT add dead-in-queue debt
+            for event in doomed:  # storm in the t=5.0 bucket → compaction
+                event.cancel()
+            assert sim.cancelled_compactions >= 1
+            # The sweep ran while three events sat popped; none were
+            # returned to a bucket behind the pool's back.
+            assert pool_victim.popped and sibling.popped
+
+        first = sim.schedule(1.0, killer)
+        holder.append(sim.schedule(1.0, lambda: log.append("victim")))
+        holder.append(sim.schedule(1.0, lambda: log.append("sibling")))
+        sim.set_batch_consumer(sim.fire_pooled)
+        sim.run()
+        assert log == ["killer", "sibling", "survivor"]
+        assert first.fired and holder[1].fired and not holder[0].fired
+        assert sim.pending == 0
+        assert sim._queued_events() == 0
 
 
 class TestInstantPooling:

@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Engine, Simulation, Strategy
+from repro import BatchedEngine, Engine, Simulation, Strategy
 
 from tests._support import make_database, scenario_pattern
+
+ENGINE_CLASSES = {"reference": Engine, "batched": BatchedEngine}
 
 
 def run_scenario(
@@ -38,6 +40,8 @@ def run_scenario(
     nb_nodes: int = 24,
     pct_enabled: float = 50.0,
     max_cost: int = 6,
+    engine: str = "reference",
+    cohorts: bool = False,
 ):
     """One engine run; returns the full observable trace."""
     pattern = scenario_pattern(
@@ -45,12 +49,13 @@ def run_scenario(
     )
     sim = Simulation()
     database = make_database(backend, kernel, sim, seed, failure_prob)
-    engine = Engine(
+    engine = ENGINE_CLASSES[engine](
         pattern.schema,
         Strategy.parse(code),
         database,
         halt_policy=halt_policy,
         share_results=share_results,
+        cohorts=cohorts,
     )
     for index in range(instances):
         engine.submit_instance(pattern.source_values, at=index * spacing)
@@ -229,3 +234,68 @@ def test_sequential_strategy_cancels_match():
         coalesced = run_scenario("coalesced", **kwargs)
         per_unit = run_scenario("per-unit", **kwargs)
         assert_traces_match(coalesced, per_unit, exact_times=True)
+
+
+# -- cohort execution through both kernels -------------------------------------
+
+#: (backend, strategy code, halt policy, failure_prob) — same-instant
+#: bursts so cohorts actually form; a failure scenario so copy-on-diverge
+#: splits cross the kernel boundary too.
+COHORT_KERNEL_SCENARIOS = [
+    ("ideal", "PSE100", "cancel", 0.0),
+    ("ideal", "PSE50", "drain", 0.0),
+    ("ideal", "PSE80", "cancel", 0.25),
+    ("profiled", "PSE100", "cancel", 0.0),
+    ("profiled", "PSE50", "cancel", 0.2),
+]
+
+
+@pytest.mark.parametrize(
+    "backend,code,halt_policy,failure_prob",
+    COHORT_KERNEL_SCENARIOS,
+    ids=[f"{b}-{c}-{h}{'-fail' if f else ''}" for b, c, h, f in COHORT_KERNEL_SCENARIOS],
+)
+def test_cohort_traces_match_across_kernels(backend, code, halt_policy, failure_prob):
+    """Cohorted batched runs stay kernel-identical — the instance dedupe
+    layer must not perturb what either database kernel observes."""
+    for seed in range(2):
+        kwargs = dict(
+            backend=backend,
+            seed=seed,
+            code=code,
+            halt_policy=halt_policy,
+            failure_prob=failure_prob,
+            instances=6,
+            spacing=0.0,
+            engine="batched",
+            cohorts=True,
+        )
+        coalesced = run_scenario("coalesced", **kwargs)
+        per_unit = run_scenario("per-unit", **kwargs)
+        assert_traces_match(coalesced, per_unit, exact_times=(backend == "ideal"))
+
+
+@pytest.mark.parametrize("kernel", ["coalesced", "per-unit"])
+@pytest.mark.parametrize(
+    "backend,code,halt_policy,failure_prob",
+    COHORT_KERNEL_SCENARIOS,
+    ids=[f"{b}-{c}-{h}{'-fail' if f else ''}" for b, c, h, f in COHORT_KERNEL_SCENARIOS],
+)
+def test_cohorts_invisible_within_each_kernel(kernel, backend, code, halt_policy, failure_prob):
+    """Within one kernel, cohorts on vs off is trace-identical — and the
+    reference engine (where the flag is a documented no-op) agrees."""
+    for seed in range(2):
+        kwargs = dict(
+            backend=backend,
+            seed=seed,
+            code=code,
+            halt_policy=halt_policy,
+            failure_prob=failure_prob,
+            instances=6,
+            spacing=0.0,
+        )
+        individual = run_scenario(kernel, engine="batched", cohorts=False, **kwargs)
+        cohorted = run_scenario(kernel, engine="batched", cohorts=True, **kwargs)
+        assert_traces_match(cohorted, individual, exact_times=True)
+        reference = run_scenario(kernel, engine="reference", cohorts=True, **kwargs)
+        assert_traces_match(reference, individual, exact_times=True)
