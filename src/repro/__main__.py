@@ -105,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="closed system: instances kept in flight (default 1; ignored with --rate)",
     )
     simulate.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="write the run's flight-recorder spans as Chrome-trace JSON "
+        "(loadable in about:tracing / Perfetto; implies --observe)",
+    )
+    simulate.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
     )
 
@@ -132,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="arrival-queue bound: past it, POST /instances gets 429 with a "
         "Retry-After derived from the observed drain rate (default 256)",
+    )
+    serve.add_argument(
+        "--stall-after",
+        type=float,
+        default=None,
+        help="heartbeat age (wall seconds) past which GET /healthz reports "
+        "the drain loop wedged with a 503 (default 30)",
     )
     serve.add_argument(
         "--ticks-per-second",
@@ -219,6 +233,13 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         "--share", action="store_true", help="share query results across instances"
     )
     parser.add_argument(
+        "--observe",
+        action="store_true",
+        help="arm the repro.obs layer: per-phase span tracing plus a "
+        "mergeable metrics registry (counters/gauges/latency histograms); "
+        "identical results, small constant overhead",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="backend/arrival seed (default 0)"
     )
 
@@ -263,6 +284,8 @@ def _build_workload(args: argparse.Namespace):
         dispatch=args.dispatch,
         query_cache=args.query_cache,
         cohorts=args.cohorts,
+        # --trace needs the recorder armed even without an explicit --observe.
+        observe=args.observe or getattr(args, "trace", None) is not None,
         # Every built-in backend accepts a seed; third-party factories may
         # not, so only forward it where it is known to be understood.
         backend_options=(
@@ -328,7 +351,19 @@ def run_simulate(args: argparse.Namespace) -> int:
         "cohorts": config.cohorts,
         "cohort_hits": summary.cohort_hits,
         "cohort_splits": summary.cohort_splits,
+        **service.dispatch_stats(),
+        "observe": config.observe,
     }
+    if config.observe:
+        payload["observability"] = service.observability()
+    if args.trace is not None:
+        args.trace.parent.mkdir(parents=True, exist_ok=True)
+        trace = service.chrome_trace()
+        args.trace.write_text(json.dumps(trace) + "\n")
+        payload["trace"] = {
+            "path": str(args.trace),
+            "events": len(trace["traceEvents"]),
+        }
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -355,6 +390,16 @@ def run_simulate(args: argparse.Namespace) -> int:
                 f"  cohorts: {payload['cohort_hits']} hits   "
                 f"{payload['cohort_splits']} splits"
             )
+        if config.dispatch == "pooled":
+            print(
+                f"  pooled dispatch: {payload['pooled_batches']} batches   "
+                f"{payload['pooled_events']} events"
+            )
+        if args.trace is not None:
+            print(
+                f"  trace: {payload['trace']['events']} events -> "
+                f"{payload['trace']['path']}"
+            )
     return 0
 
 
@@ -363,6 +408,7 @@ def run_serve(args: argparse.Namespace) -> int:
     from repro.server import ServerDaemon, create_server
 
     pattern, config = _build_workload(args)
+    extra = {} if args.stall_after is None else {"stall_after": args.stall_after}
     daemon = ServerDaemon(
         pattern.schema,
         config,
@@ -370,6 +416,7 @@ def run_serve(args: argparse.Namespace) -> int:
         high_water=args.high_water,
         default_values=pattern.source_values,
         ticks_per_second=args.ticks_per_second,
+        **extra,
     )
     server = create_server(daemon, args.host, args.port)
     banner = {
@@ -393,7 +440,8 @@ def run_serve(args: argparse.Namespace) -> int:
             f"  queue high-water mark: {args.high_water}  "
             f"config hash: {daemon.config_digest}\n"
             "  endpoints: POST /instances | GET /instances/<id> | "
-            "GET /events | GET /metrics | GET /healthz",
+            "GET /events | GET /metrics[?format=prometheus] | "
+            "GET /trace | GET /healthz",
             flush=True,
         )
     try:

@@ -81,6 +81,14 @@ class ExecutionConfig:
     (engine-level ``share_results``, schemas whose start phase runs user
     code, or a throttled %Permitted combined with ``query_cache``).
 
+    ``observe`` arms the :mod:`repro.obs` layer on every execution
+    context built from this config: a per-service metrics registry and a
+    bounded span tracer (flight recorder) instrumenting plan compilation,
+    scheduling rounds, the query lifecycle, pooled DES drains, and cohort
+    formation/splits.  Instrumentation is provably invisible to execution
+    (identical event order, RNG draws, and cohort decisions); disarmed it
+    costs one boolean test per hook.
+
     ``shards`` and ``executor`` configure the sharded runtime
     (:class:`repro.runtime.ShardedDecisionService`): instances are
     hash-partitioned across ``shards`` independent engine + DES + database
@@ -102,6 +110,7 @@ class ExecutionConfig:
     dispatch: str = "per-event"
     query_cache: bool = False
     cohorts: bool = False
+    observe: bool = False
 
     def __post_init__(self):
         if isinstance(self.strategy, str):
@@ -139,6 +148,10 @@ class ExecutionConfig:
         if not isinstance(self.cohorts, bool):
             raise ValueError(
                 f"cohorts must be a bool, got {self.cohorts!r}"
+            )
+        if not isinstance(self.observe, bool):
+            raise ValueError(
+                f"observe must be a bool, got {self.observe!r}"
             )
         # Freeze the options mapping so the config stays a value.
         object.__setattr__(
@@ -219,6 +232,8 @@ class ExecutionConfig:
             extras.append("query-cache")
         if self.cohorts:
             extras.append("cohorts")
+        if self.observe:
+            extras.append("observe")
         if self.share_results:
             extras.append("shared")
         if self.cancel_unneeded:

@@ -34,6 +34,7 @@ from repro.core.metrics import InstanceMetrics, MetricsSummary, summarize
 from repro.core.schema import DecisionFlowSchema
 from repro.core.strategy import Strategy
 from repro.errors import ExecutionError
+from repro.obs import NULL_OBS, Observability, export_chrome_trace
 
 __all__ = ["DecisionService", "InstanceHandle", "coerce_config"]
 
@@ -168,6 +169,7 @@ class DecisionService:
 
         self.schema = schema
         self.config = config
+        self.obs = Observability.create() if config.observe else NULL_OBS
         self._dispatcher = _Dispatcher(lambda: self.backend.simulation.now)
         engine_cls = _ENGINE_CLASSES[config.engine]
         self.engine = engine_cls(
@@ -179,6 +181,7 @@ class DecisionService:
             observer=self._dispatcher,
             query_cache=config.query_cache,
             cohorts=config.cohorts,
+            obs=self.obs,
         )
         if config.dispatch == "pooled":
             self.engine.enable_pooled_dispatch()
@@ -336,6 +339,54 @@ class DecisionService:
                 cohort_splits=self.engine.cohort_splits,
             )
         return summary
+
+    def dispatch_stats(self) -> dict:
+        """Pooled-dispatch counters (zero under per-event dispatch)."""
+        return {
+            "pooled_batches": self.engine.pooled_batches,
+            "pooled_events": self.engine.pooled_events,
+        }
+
+    # -- observability (repro.obs) --------------------------------------------
+
+    def observability(self) -> dict:
+        """The armed registry snapshot, refreshed with point-in-time gauges.
+
+        Disarmed services return an ``enabled: False`` snapshot with no
+        entries; armed ones fold the live engine/DES/database/cache state
+        into gauges before snapshotting, so the result is self-contained
+        (JSON-able, mergeable across shards, renderable as Prometheus).
+        """
+        if not self.obs.enabled:
+            return self.obs.registry.snapshot()
+        registry = self.obs.registry
+        simulation = self.backend.simulation
+        database = self.backend.database
+        registry.gauge("sim_time").set(simulation.now)
+        registry.gauge("sim_events_executed").set(simulation.events_executed)
+        registry.gauge("db_total_units").set(database.total_units)
+        registry.gauge("db_mean_gmpl").set(database.mean_gmpl())
+        registry.gauge("pooled_batches").set(self.engine.pooled_batches)
+        registry.gauge("pooled_events").set(self.engine.pooled_events)
+        registry.gauge("instances_submitted").set(len(self._handles))
+        registry.gauge("instances_done").set(sum(1 for h in self._handles if h.done))
+        cache = self.engine.query_cache
+        if cache is not None:
+            registry.gauge("query_cache_hits").set(cache.hits)
+            registry.gauge("query_cache_misses").set(cache.misses)
+            registry.gauge("query_cache_coalesced").set(cache.coalesced)
+        if self.engine.cohorts:
+            registry.gauge("cohort_hits").set(self.engine.cohort_hits)
+            registry.gauge("cohort_splits").set(self.engine.cohort_splits)
+        return registry.snapshot()
+
+    def trace_groups(self) -> list[tuple[int, str, list]]:
+        """Chrome-trace lanes: one per execution context (one here)."""
+        return [(0, f"service:{self.schema.name}", self.obs.tracer.events())]
+
+    def chrome_trace(self) -> dict:
+        """The flight recorder as a Chrome-trace JSON object."""
+        return export_chrome_trace(self.trace_groups(), armed=self.obs.enabled)
 
     # -- observation ----------------------------------------------------------
 

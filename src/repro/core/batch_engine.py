@@ -33,6 +33,7 @@ the instance layer — which the differential harness in
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Iterator, Mapping, Sequence
 
 from repro.core.engine import Engine
@@ -753,7 +754,21 @@ class BatchedEngine(Engine):
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
-        self.plan = CompiledPlan(self.schema, self.strategy)
+        if self._obs_on:
+            t0 = perf_counter()
+            self.plan = CompiledPlan(self.schema, self.strategy)
+            self.obs.tracer.record(
+                "plan.compile",
+                t0,
+                perf_counter(),
+                args={"schema": self.schema.name, "nodes": len(self.plan.names)},
+            )
+            registry = self.obs.registry
+            self._obs_cohort_forms = registry.counter("cohort_forms")
+            self._obs_cohort_joins = registry.counter("cohort_joins")
+            self._obs_cohort_splits = registry.counter("cohort_splits")
+        else:
+            self.plan = CompiledPlan(self.schema, self.strategy)
         #: Cohort execution needs a deterministic start state (the typed
         #: start-state cache guarantees no synthesis and no user-coded
         #: conditions ran) and is mutually exclusive with the engine-level
@@ -901,6 +916,11 @@ class BatchedEngine(Engine):
         if cohort is not None and cohort.open and cohort.start_time == self.sim.now:
             if cohort.mode is None:
                 cohort.mode = self._decide_cohort_mode(cohort)
+                if self._obs_on:
+                    self.obs.tracer.instant(
+                        "cohort.mode",
+                        args={"rep": cohort.rep.instance_id, "mode": cohort.mode},
+                    )
             if cohort.mode == "lockstep":
                 self._join_lockstep(cohort, instance)
             else:
@@ -917,6 +937,11 @@ class BatchedEngine(Engine):
         rec.done_after = instance.done
         cohort.absorb(rec)
         self._open_cohorts[key] = cohort
+        if self._obs_on:
+            self._obs_cohort_forms.inc()
+            self.obs.tracer.instant(
+                "cohort.form", args={"rep": instance.instance_id}
+            )
 
     def _query_done(self, instance, name, value, key, processed, completed) -> None:
         cohort = getattr(instance, "_cohort", None)
@@ -1051,6 +1076,12 @@ class BatchedEngine(Engine):
         cohort.members.append(member)
         cohort.live_members += 1
         self.cohort_hits += 1
+        if self._obs_on:
+            self._obs_cohort_joins.inc()
+            self.obs.tracer.instant(
+                "cohort.join",
+                args={"member": member.instance_id, "mode": "lockstep"},
+            )
         if self.observer is not None:
             self.observer.on_instance_start(member)
         rec = cohort.log[0]
@@ -1397,6 +1428,12 @@ class BatchedEngine(Engine):
         member._cohort_stage = 1
         cohort.live_members += 1
         self.cohort_hits += 1
+        if self._obs_on:
+            self._obs_cohort_joins.inc()
+            self.obs.tracer.instant(
+                "cohort.join",
+                args={"member": member.instance_id, "mode": "live"},
+            )
         # The cached start replay is cheap and leaves the member's arrays
         # in exactly the state a split must replay from.
         member.start()
@@ -1521,6 +1558,12 @@ class BatchedEngine(Engine):
         object so nothing double-counts.
         """
         self.cohort_splits += 1
+        if self._obs_on:
+            self._obs_cohort_splits.inc()
+            self.obs.tracer.instant(
+                "cohort.split",
+                args={"member": member.instance_id, "attribute": launch.name},
+            )
         member._cohort = None
         cohort.live_members -= 1
         real_metrics = member.metrics

@@ -36,6 +36,7 @@ Two engine-level extensions beyond the paper's experiments:
 from __future__ import annotations
 
 import itertools
+from time import perf_counter
 from typing import Callable, Mapping
 
 from repro.core.instance import InstanceRuntime
@@ -47,6 +48,7 @@ from repro.core.state import Enablement
 from repro.core.strategy import Strategy
 from repro.errors import ExecutionError
 from repro.nulls import ExceptionValue
+from repro.obs import NULL_OBS, Observability
 from repro.simdb.database import DatabaseServer, QueryShareCache
 
 __all__ = ["Engine", "EngineObserver", "claim_instance_id"]
@@ -144,6 +146,7 @@ class Engine:
         observer: EngineObserver | None = None,
         query_cache: QueryShareCache | bool | None = None,
         cohorts: bool = False,
+        obs: Observability | None = None,
     ):
         if halt_policy not in ("cancel", "drain"):
             raise ValueError(f"halt_policy must be 'cancel' or 'drain', got {halt_policy!r}")
@@ -172,6 +175,22 @@ class Engine:
         self.cohorts = bool(cohorts)
         self.cohort_hits = 0
         self.cohort_splits = 0
+        #: Observability (repro.obs): disarmed contexts share NULL_OBS and
+        #: pay one boolean test per hook; armed ones get pre-bound
+        #: instruments so hot paths never do registry lookups.
+        self.obs = obs if obs is not None else NULL_OBS
+        self._obs_on = self.obs.enabled
+        if self._obs_on:
+            registry = self.obs.registry
+            self._obs_rounds = registry.counter("engine_scheduling_rounds")
+            self._obs_launches = registry.counter("engine_queries_launched")
+            self._obs_share_hits = registry.counter("engine_share_hits")
+            self._obs_share_joins = registry.counter("engine_share_joins")
+            self._obs_query_wall = registry.histogram("query_wall_seconds")
+            self._obs_completions = registry.counter("engine_instances_completed")
+            #: perf_counter at dispatch, keyed (instance_id, attribute) —
+            #: closed in _query_done into a query-lifecycle span.
+            self._obs_query_start: dict[tuple[str, str], float] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -237,12 +256,37 @@ class Engine:
         )
 
     def _start(self, instance: InstanceRuntime) -> None:
-        instance.start()
+        if self._obs_on:
+            t0 = perf_counter()
+            instance.start()
+            self.obs.tracer.record(
+                "engine.start_state",
+                t0,
+                perf_counter(),
+                args={"instance": instance.instance_id},
+            )
+        else:
+            instance.start()
         if self.observer is not None:
             self.observer.on_instance_start(instance)
         self._after_event(instance)
 
     def _after_event(self, instance: InstanceRuntime) -> None:
+        if self._obs_on:
+            t0 = perf_counter()
+            self._advance(instance)
+            self.obs.tracer.record(
+                "engine.round",
+                t0,
+                perf_counter(),
+                args={"instance": instance.instance_id},
+            )
+            self._obs_rounds.inc()
+            return
+        self._advance(instance)
+
+    def _advance(self, instance: InstanceRuntime) -> None:
+        """One scheduling round: drain, finish-check, cancel, select, launch."""
         instance.drain()
         if instance.targets_stable():
             self._finish(instance)
@@ -322,6 +366,12 @@ class Engine:
             cached = self.share.get(key)
             if cached is not UNSET:
                 instance.metrics.shared_hits += 1
+                if self._obs_on:
+                    self._obs_share_hits.inc()
+                    self.obs.tracer.instant(
+                        "query.share_hit",
+                        args={"instance": instance.instance_id, "attribute": name},
+                    )
                 if self.observer is not None:
                     self.observer.on_launch(
                         instance, name, speculative=speculative, shared="hit"
@@ -335,6 +385,12 @@ class Engine:
                 return
             if self.share.is_pending(key):
                 instance.metrics.shared_joins += 1
+                if self._obs_on:
+                    self._obs_share_joins.inc()
+                    self.obs.tracer.instant(
+                        "query.share_join",
+                        args={"instance": instance.instance_id, "attribute": name},
+                    )
                 instance.inflight[name] = _SharedWait(key)
                 if self.observer is not None:
                     self.observer.on_launch(
@@ -348,6 +404,9 @@ class Engine:
 
         value = task.compute(values)
         instance.metrics.queries_launched += 1
+        if self._obs_on:
+            self._obs_launches.inc()
+            self._obs_query_start[(instance.instance_id, name)] = perf_counter()
         if speculative:
             instance.speculative_launch.add(name)
             instance.metrics.speculative_launched += 1
@@ -374,6 +433,22 @@ class Engine:
         processed: int,
         completed: bool,
     ) -> None:
+        if self._obs_on:
+            started = self._obs_query_start.pop((instance.instance_id, name), None)
+            if started is not None:
+                now = perf_counter()
+                self.obs.tracer.record(
+                    "query",
+                    started,
+                    now,
+                    args={
+                        "instance": instance.instance_id,
+                        "attribute": name,
+                        "units": processed,
+                        "completed": completed,
+                    },
+                )
+                self._obs_query_wall.observe(now - started)
         handle = instance.inflight.pop(name, None)
         if handle is not None:
             self._handle_key.pop(handle, None)
@@ -475,7 +550,24 @@ class Engine:
         re-peek, clock write, priority bookkeeping) is paid once per pool
         instead of once per event.
         """
-        self.sim.set_batch_consumer(self.drain_pooled)
+        if self._obs_on:
+            # The armed wrapper times each pool drain (the step_instant /
+            # fire_pooled bucket span) without touching the disarmed path.
+            self.sim.set_batch_consumer(self._drain_pooled_observed)
+        else:
+            self.sim.set_batch_consumer(self.drain_pooled)
+
+    def _drain_pooled_observed(self, events) -> int:
+        pool = len(events)
+        t0 = perf_counter()
+        consumed = self.drain_pooled(events)
+        self.obs.tracer.record(
+            "des.pool",
+            t0,
+            perf_counter(),
+            args={"time": self.sim.now, "pool": pool, "consumed": consumed},
+        )
+        return consumed
 
     def drain_pooled(self, events) -> int:
         """Consume one instant pool, preserving per-event dispatch order.
@@ -496,6 +588,11 @@ class Engine:
         instance.done = True
         instance.metrics.finish_time = self.sim.now
         instance.finalize_metrics()
+        if self._obs_on:
+            self._obs_completions.inc()
+            self.obs.tracer.instant(
+                "instance.complete", args={"instance": instance.instance_id}
+            )
         if self.halt_policy == "cancel":
             for handle in instance.inflight.values():
                 if not self._has_waiters(handle):

@@ -350,6 +350,7 @@ def config_to_dict(config) -> dict:
         "dispatch": config.dispatch,
         "query_cache": config.query_cache,
         "cohorts": config.cohorts,
+        "observe": config.observe,
     }
 
 
@@ -376,4 +377,5 @@ def config_from_dict(data: dict):
         dispatch=data.get("dispatch", "per-event"),
         query_cache=bool(data.get("query_cache", False)),
         cohorts=bool(data.get("cohorts", False)),
+        observe=bool(data.get("observe", False)),
     )

@@ -1,0 +1,146 @@
+"""The span tracer: a bounded flight recorder with Chrome-trace export.
+
+Hot phases record *spans* — ``(name, start, end)`` wall-clock intervals
+from ``time.perf_counter`` with optional JSON-able args — into a bounded
+ring buffer (a ``deque(maxlen=...)``), so a long-running daemon retains
+the most recent window of activity at O(1) cost per span and a fixed
+memory ceiling: a true flight recorder, not an unbounded log.
+
+Recording never touches the simulation clock or any RNG — instrumented
+code reads ``perf_counter`` and appends a tuple, which is what keeps the
+differential suites trace-identical with tracing armed.
+
+Export is the Chrome trace event format (the ``traceEvents`` JSON loaded
+by ``about:tracing`` / Perfetto): complete events (``ph: "X"``) for
+spans, instant events (``ph: "i"``) for point occurrences, with one
+process lane per trace group (the sharded service exports one lane per
+shard, the daemon adds its own lane for admit/epoch spans).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from time import perf_counter
+
+__all__ = ["SpanTracer", "NullTracer", "export_chrome_trace", "DEFAULT_TRACE_CAPACITY"]
+
+#: Ring-buffer capacity: the most recent spans retained for export.
+DEFAULT_TRACE_CAPACITY = 65_536
+
+#: Internal event tuples: (phase, name, ts_us, dur_us, args).
+_SPAN = "X"
+_INSTANT = "i"
+
+
+class SpanTracer:
+    """Bounded ring buffer of spans and instants, perf_counter-based."""
+
+    enabled = True
+
+    __slots__ = ("_events", "_origin")
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"trace capacity must be >= 1, got {capacity}")
+        self._events: deque = deque(maxlen=capacity)
+        self._origin = perf_counter()
+
+    def now(self) -> float:
+        """The timestamp hot paths capture before timed work."""
+        return perf_counter()
+
+    def record(self, name: str, start: float, end: float, args: dict | None = None) -> None:
+        """One completed span: *start*/*end* are ``perf_counter`` readings."""
+        self._events.append(
+            (_SPAN, name, (start - self._origin) * 1e6, (end - start) * 1e6, args)
+        )
+
+    def instant(self, name: str, args: dict | None = None) -> None:
+        """One point event (a cohort split, a cache coalesce)."""
+        self._events.append(
+            (_INSTANT, name, (perf_counter() - self._origin) * 1e6, 0.0, args)
+        )
+
+    def events(self) -> list[tuple]:
+        """The retained window, oldest first (plain tuples; picklable)."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"<SpanTracer {len(self._events)}/{self._events.maxlen} events>"
+
+
+class NullTracer:
+    """The disarmed tracer: recording is a no-op, export is empty."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return 0.0
+
+    def record(self, name: str, start: float, end: float, args: dict | None = None) -> None:
+        return None
+
+    def instant(self, name: str, args: dict | None = None) -> None:
+        return None
+
+    def events(self) -> list[tuple]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "<NullTracer>"
+
+
+def export_chrome_trace(groups, *, armed: bool = True) -> dict:
+    """Render trace groups as a Chrome-trace JSON object.
+
+    *groups* is an iterable of ``(pid, label, events)`` — one process
+    lane per group, where *events* are the tuples of
+    :meth:`SpanTracer.events`.  The result loads directly in
+    ``about:tracing`` / Perfetto.
+    """
+    trace_events: list[dict] = []
+    for pid, label, events in groups:
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        for phase, name, ts, dur, args in events:
+            event = {
+                "name": name,
+                "cat": "repro",
+                "ph": phase,
+                "ts": ts,
+                "pid": pid,
+                "tid": 0,
+            }
+            if phase == _SPAN:
+                event["dur"] = dur
+            else:
+                event["s"] = "t"
+            if args:
+                event["args"] = dict(args)
+            trace_events.append(event)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "metadata": {"armed": bool(armed)},
+    }

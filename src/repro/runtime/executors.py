@@ -153,6 +153,15 @@ class SerialExecutor:
     def time_unit(self) -> str | None:
         return self.services[0].backend.time_unit if self.services else None
 
+    def dispatch_stats(self) -> list[dict]:
+        return [service.dispatch_stats() for service in self.services]
+
+    def obs_snapshots(self) -> list[dict]:
+        return [service.observability() for service in self.services]
+
+    def trace_groups(self) -> list[list]:
+        return [service.obs.tracer.events() for service in self.services]
+
 
 class ProcessExecutor:
     """Buffer shard workloads; one ``run`` executes them on a worker pool."""
@@ -340,6 +349,29 @@ class ProcessExecutor:
             if outcome.time_unit is not None:
                 return outcome.time_unit
         return None
+
+    def dispatch_stats(self) -> list[dict]:
+        if self._outcomes is None:
+            return [
+                {"pooled_batches": 0, "pooled_events": 0} for _ in range(self.shards)
+            ]
+        return [
+            {
+                "pooled_batches": outcome.pooled_batches,
+                "pooled_events": outcome.pooled_events,
+            }
+            for outcome in self._outcomes
+        ]
+
+    def obs_snapshots(self) -> list[dict]:
+        if self._outcomes is None:
+            return [{} for _ in range(self.shards)]
+        return [outcome.obs or {} for outcome in self._outcomes]
+
+    def trace_groups(self) -> list[list]:
+        if self._outcomes is None:
+            return [[] for _ in range(self.shards)]
+        return [outcome.trace or [] for outcome in self._outcomes]
 
 
 #: Executor implementations behind ``ExecutionConfig.executor``; kept in

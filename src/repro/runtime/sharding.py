@@ -55,6 +55,7 @@ from repro.core.schema import DecisionFlowSchema
 from repro.core.strategy import Strategy
 from repro.errors import ExecutionError
 from repro.nulls import NULL
+from repro.obs import MetricsRegistry, export_chrome_trace
 from repro.runtime.executors import EXECUTOR_CLASSES, ShardStats
 from repro.runtime.worker import InstanceRecord
 
@@ -447,6 +448,46 @@ class ShardedDecisionService:
         """How to read shard clocks (``"units"``/``"ms"``; None before the
         process executor has built its backends)."""
         return self._executor.time_unit()
+
+    def dispatch_stats(self) -> dict:
+        """Fleet-level pooled-dispatch counters (summed across shards)."""
+        totals = {"pooled_batches": 0, "pooled_events": 0}
+        for stats in self._executor.dispatch_stats():
+            totals["pooled_batches"] += stats["pooled_batches"]
+            totals["pooled_events"] += stats["pooled_events"]
+        return totals
+
+    # -- observability (repro.obs) --------------------------------------------
+
+    def observability(self) -> dict:
+        """Shard registry snapshots merged into one, labelled ``shard=<n>``.
+
+        Counters and histograms add across shards; gauges stay per-shard
+        (each entry keeps its shard label), since summing shard clocks or
+        Gmpl figures would be meaningless.  Process-executor shards ship
+        their snapshots back inside :class:`ShardOutcome`, exactly like
+        their metrics summaries.
+        """
+        if not self.config.observe:
+            return {"enabled": False, "counters": [], "gauges": [], "histograms": []}
+        merged = MetricsRegistry()
+        for shard, snapshot in enumerate(self._executor.obs_snapshots()):
+            if snapshot and snapshot.get("enabled"):
+                merged.merge_snapshot(snapshot, extra_labels={"shard": shard})
+        return merged.snapshot()
+
+    def trace_groups(self) -> list[tuple[int, str, list]]:
+        """Chrome-trace lanes: one process lane per shard."""
+        return [
+            (shard, f"shard:{shard}", events)
+            for shard, events in enumerate(self._executor.trace_groups())
+        ]
+
+    def chrome_trace(self) -> dict:
+        """The fleet's flight recorders as one Chrome-trace JSON object."""
+        return export_chrome_trace(
+            self.trace_groups(), armed=bool(self.config.observe)
+        )
 
     # -- observation ----------------------------------------------------------
 

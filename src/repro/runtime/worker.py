@@ -69,6 +69,14 @@ class ShardOutcome:
     backend_name: str
     time_unit: str | None
     events: list[object] | None
+    #: pooled-dispatch counters (always shipped; zero under per-event)
+    pooled_batches: int = 0
+    pooled_events: int = 0
+    #: repro.obs payloads (None unless config.observe armed the shard):
+    #: the registry snapshot and the flight-recorder event tuples, merged
+    #: by the sharded service exactly like the metrics summary.
+    obs: dict | None = None
+    trace: list[tuple] | None = None
 
     @classmethod
     def idle(cls, shard: int, backend_name: str, collect_events: bool) -> "ShardOutcome":
@@ -138,4 +146,8 @@ def execute_shard(task: ShardTask) -> ShardOutcome:
         backend_name=service.backend.name,
         time_unit=service.backend.time_unit,
         events=list(log.events) if log is not None else None,
+        pooled_batches=service.engine.pooled_batches,
+        pooled_events=service.engine.pooled_events,
+        obs=service.observability() if service.obs.enabled else None,
+        trace=service.obs.tracer.events() if service.obs.enabled else None,
     )

@@ -34,7 +34,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import asdict, dataclass
-from queue import Queue
+from queue import Full, Queue
 from typing import Any, Mapping, Sequence
 
 from repro.api.config import ExecutionConfig
@@ -44,6 +44,13 @@ from repro.core.metrics import MetricsSummary
 from repro.core.schema import DecisionFlowSchema
 from repro.core.strategy import Strategy
 from repro.errors import ExecutionError
+from repro.obs import (
+    NULL_OBS,
+    MetricsRegistry,
+    Observability,
+    export_chrome_trace,
+    histogram_quantile,
+)
 from repro.runtime.sharding import create_service
 from repro.server.store import RunStore, config_hash, encode_values
 
@@ -60,6 +67,12 @@ STATUSES = (QUEUED, RUNNING, DONE, STALLED, FAILED)
 #: Default wall→DES time scale: 1 wall second = 1000 simulated ticks,
 #: the repo-wide "ms clock" convention the CLI's --rate flag uses.
 DEFAULT_TICKS_PER_SECOND = 1000.0
+
+#: Default drain-loop liveness threshold (wall seconds).  The loop
+#: heartbeats every wake and between epochs; a heartbeat older than this
+#: flips ``health()`` to "wedged" (HTTP 503) — either the thread is stuck
+#: inside one epoch for that long, or it stopped iterating entirely.
+DEFAULT_STALL_AFTER = 30.0
 
 
 @dataclass(frozen=True)
@@ -101,6 +114,7 @@ class _Record:
     status: str
     submitted_wall: float
     source: dict | None
+    started_wall: float | None = None
     completed_wall: float | None = None
     values: dict | None = None
     metrics: Any = None  # InstanceMetrics once done
@@ -151,7 +165,11 @@ class ServerDaemon:
     persistence.  ``default_values`` is the source valuation used when a
     submission carries none (the CLI wires the generated pattern's
     canonical payload here so ``POST /instances`` with an empty body
-    works).  ``high_water`` bounds the arrival queue.
+    works).  ``high_water`` bounds the arrival queue.  ``stall_after``
+    is the drain-loop liveness threshold ``health()`` uses to report a
+    wedged loop; ``config.observe`` arms the repro.obs tracer and
+    registry across the daemon and its service (the per-stage latency
+    histograms of :meth:`stage_stats` are always on).
     """
 
     def __init__(
@@ -164,6 +182,7 @@ class ServerDaemon:
         default_values: Mapping[str, object] | None = None,
         ticks_per_second: float = DEFAULT_TICKS_PER_SECOND,
         drain_interval: float = 0.005,
+        stall_after: float = DEFAULT_STALL_AFTER,
         event_history: int = 1024,
         id_prefix: str = "srv-",
         backend: str | None = None,
@@ -183,6 +202,8 @@ class ServerDaemon:
             raise ValueError(
                 f"ticks_per_second must be > 0, got {ticks_per_second}"
             )
+        if stall_after <= 0:
+            raise ValueError(f"stall_after must be > 0, got {stall_after}")
         self.schema = schema
         self.service = create_service(
             schema, config, backend=backend, **backend_options
@@ -221,6 +242,31 @@ class ServerDaemon:
         self._peak_queue = 0
         self._drain_rate: float | None = None
 
+        # -- observability --
+        # The tracer arms only under config.observe (flight-recorder
+        # spans for admit/epoch on top of the service's engine spans).
+        # Stage latency histograms are always on: a handful of observes
+        # per instance, far from any hot loop, and /metrics percentiles
+        # should not require arming the full tracer.
+        self._obs = Observability.create() if self.config.observe else NULL_OBS
+        self._stages = MetricsRegistry()
+        self._h_admit = self._stages.histogram("stage_seconds", stage="admit")
+        self._h_queue_wait = self._stages.histogram(
+            "stage_seconds", stage="queue_wait"
+        )
+        self._h_epoch = self._stages.histogram("stage_seconds", stage="epoch")
+        self._h_decision = self._stages.histogram(
+            "stage_seconds", stage="decision"
+        )
+        if self._store is not None:
+            # Seed decision percentiles from persisted runs so a
+            # restarted daemon's /metrics does not start cold.
+            for latency in self._store.latencies():
+                self._h_decision.observe(latency)
+        self._stall_after = stall_after
+        self._heartbeat_mono = time.monotonic()
+        self._events_dropped = 0
+
         # -- event fan-out --
         self._events_lock = threading.Lock()
         self._subscribers: list[Queue] = []
@@ -255,6 +301,27 @@ class ServerDaemon:
         the drain loop will have made room) and ``"shutting down"``
         (admission is closed; already-accepted work still completes).
         """
+        admit_started = time.perf_counter()
+        result = self._admit(values_list)
+        elapsed = time.perf_counter() - admit_started
+        with self._state_lock:
+            # HTTP handler threads call this concurrently; the state
+            # lock keeps the (single-writer) histogram consistent.
+            self._h_admit.observe(elapsed)
+        if self._obs.enabled:
+            self._obs.tracer.instant(
+                "daemon.admit",
+                args={
+                    "accepted": len(result.accepted),
+                    "rejected": result.rejected,
+                    "queue_depth": result.queue_depth,
+                },
+            )
+        return result
+
+    def _admit(
+        self, values_list: Sequence[Mapping[str, object] | None]
+    ) -> SubmitResult:
         n = len(values_list)
         wall = time.time()
         with self._state_lock:
@@ -301,9 +368,11 @@ class ServerDaemon:
         while True:
             self._wake.wait(timeout=self._drain_interval)
             self._wake.clear()
+            self._heartbeat_mono = time.monotonic()
             batch = self._take_batch()
             while batch:
                 self._run_epoch(batch)
+                self._heartbeat_mono = time.monotonic()
                 batch = self._take_batch()
             with self._state_lock:
                 if not self._queue:
@@ -322,12 +391,17 @@ class ServerDaemon:
 
     def _run_epoch(self, batch: list[_Pending]) -> None:
         epoch_mono = time.monotonic()
+        epoch_wall = time.time()
+        span_started = time.perf_counter()
         handles: list[tuple[_Pending, object]] = []
         with self._service_lock:
             floor = self.service.now
             for pending in batch:
                 with self._state_lock:
-                    self._records[pending.instance_id].status = RUNNING
+                    record = self._records[pending.instance_id]
+                    record.status = RUNNING
+                    record.started_wall = epoch_wall
+                    self._h_queue_wait.observe(max(0.0, epoch_wall - pending.wall))
                 scaled = (pending.wall - self._wall0) * self.ticks_per_second
                 try:
                     handle = self.service.submit(
@@ -345,6 +419,13 @@ class ServerDaemon:
                 for pending, _handle in handles:
                     self._mark_failed(pending.instance_id, error)
                 handles = []
+        if self._obs.enabled:
+            self._obs.tracer.record(
+                "daemon.epoch",
+                span_started,
+                time.perf_counter(),
+                args={"batch": len(batch)},
+            )
         self._finish_epoch(handles, time.monotonic() - epoch_mono)
 
     def _mark_failed(self, instance_id: str, error: Exception) -> None:
@@ -370,6 +451,9 @@ class ServerDaemon:
                     )
                     record.values = self._handle_values(handle)
                     record.metrics = handle.metrics
+                    self._h_decision.observe(
+                        max(0.0, record.completed_wall - record.submitted_wall)
+                    )
                     done_count += 1
                 else:
                     # run() drained the calendar with targets unstable:
@@ -379,6 +463,7 @@ class ServerDaemon:
             self._completed += done_count
             self._stalled += len(handles) - done_count
             self._epochs += 1
+            self._h_epoch.observe(epoch_seconds)
             if done_count and epoch_seconds > 0:
                 rate = done_count / epoch_seconds
                 self._drain_rate = (
@@ -403,6 +488,7 @@ class ServerDaemon:
             "schema_name": self.schema.name,
             "status": record.status,
             "submitted_wall": record.submitted_wall,
+            "started_wall": record.started_wall,
             "completed_wall": record.completed_wall,
             "source": encode_values(record.source) or {},
             "values": encode_values(record.values),
@@ -435,6 +521,7 @@ class ServerDaemon:
             "status": record.status,
             "schema": self.schema.name,
             "submitted_at": record.submitted_wall,
+            "started_at": record.started_wall,
             "completed_at": record.completed_wall,
             "source": encode_values(record.source) or {},
             "values": encode_values(record.values),
@@ -455,6 +542,7 @@ class ServerDaemon:
             "status": stored["status"],
             "schema": stored["schema_name"],
             "submitted_at": stored["submitted_wall"],
+            "started_at": stored.get("started_wall"),
             "completed_at": stored["completed_wall"],
             "source": stored["source"],
             "values": stored["values"],
@@ -473,6 +561,7 @@ class ServerDaemon:
 
     def server_stats(self) -> dict:
         """Daemon-level counters: queue, admission, drain, persistence."""
+        now = time.monotonic()
         with self._state_lock:
             return {
                 "queue_depth": len(self._queue),
@@ -486,15 +575,87 @@ class ServerDaemon:
                 "persisted": self._persisted,
                 "epochs": self._epochs,
                 "drain_rate": self._drain_rate,
-                "uptime": time.monotonic() - self._mono0,
+                "events_dropped": self._events_dropped,
+                "heartbeat_age": now - self._heartbeat_mono,
+                "drain_alive": self._thread.is_alive(),
+                "uptime": now - self._mono0,
                 "stopping": self._stopping.is_set(),
             }
+
+    def health(self) -> tuple[bool, dict]:
+        """Liveness verdict plus the ``GET /healthz`` payload.
+
+        Unlike a bare "the process answered", this detects a wedged
+        drain loop: the loop heartbeats every wake and between epochs,
+        so a heartbeat older than ``stall_after`` means admitted work is
+        sitting in the queue with nothing consuming it.  ``ok=False``
+        (HTTP 503) when the loop is wedged or died without a shutdown.
+        """
+        now = time.monotonic()
+        heartbeat_age = now - self._heartbeat_mono
+        alive = self._thread.is_alive()
+        stopping = self._stopping.is_set()
+        with self._state_lock:
+            depth = len(self._queue)
+        if not alive and not self._stopped.is_set():
+            status, ok = "dead", False
+        elif alive and heartbeat_age > self._stall_after:
+            status, ok = "wedged", False
+        elif stopping:
+            status, ok = "stopping", True
+        else:
+            status, ok = "ok", True
+        return ok, {
+            "status": status,
+            "ok": ok,
+            "queue_depth": depth,
+            "high_water": self.high_water,
+            "heartbeat_age": heartbeat_age,
+            "stall_after": self._stall_after,
+            "drain_alive": alive,
+            "uptime": now - self._mono0,
+        }
+
+    def dispatch_stats(self) -> dict:
+        """Pooled-dispatch totals from the underlying service."""
+        with self._service_lock:
+            return self.service.dispatch_stats()
+
+    def stage_stats(self) -> dict:
+        """Per-stage latency digests: admit, queue_wait, epoch, decision.
+
+        Each stage reports ``count``, ``mean``, ``p50``, and ``p99`` in
+        wall seconds, interpolated from the always-on fixed-bucket
+        histograms — these power the ``/metrics`` JSON body and feed the
+        AdaptiveStrategy controller sketched in ROADMAP item 5.
+        """
+        with self._state_lock:
+            snapshot = self._stages.snapshot()
+        stages = {}
+        for hist in snapshot["histograms"]:
+            stage = hist["labels"].get("stage", hist["name"])
+            count = hist["count"]
+            stages[stage] = {
+                "count": count,
+                "mean": (hist["sum"] / count) if count else 0.0,
+                "p50": histogram_quantile(hist["bounds"], hist["counts"], 0.5),
+                "p99": histogram_quantile(hist["bounds"], hist["counts"], 0.99),
+            }
+        return stages
+
+    def observability(self) -> dict:
+        """The service-level registry snapshot (disabled stub when off)."""
+        with self._service_lock:
+            return self.service.observability()
 
     def metrics_payload(self) -> dict:
         """The ``GET /metrics`` body: summary + server + config identity."""
         return {
             "summary": self.summary().to_dict(),
             "server": self.server_stats(),
+            "dispatch": self.dispatch_stats(),
+            "stages": self.stage_stats(),
+            "observability": self.observability(),
             "config": {
                 "code": self.config.code,
                 "backend": self.config.backend,
@@ -510,6 +671,44 @@ class ServerDaemon:
                 "schema": self.schema.name,
             },
         }
+
+    def prometheus_payload(self) -> str:
+        """The ``GET /metrics?format=prometheus`` text exposition body.
+
+        Summary and server counters become ``repro_summary_*`` /
+        ``repro_server_*`` gauges, pooled-dispatch totals become
+        ``repro_dispatch_*`` counters, the always-on stage histograms
+        export with cumulative ``_bucket{le=...}`` series, and — when the
+        daemon runs with ``observe=True`` — the merged engine registry
+        (per-shard labels intact) rides along.
+        """
+        registry = MetricsRegistry()
+        for name, value in self.summary().to_dict().items():
+            if isinstance(value, (int, float)):
+                registry.gauge(f"summary_{name}").set(float(value))
+        for name, value in self.server_stats().items():
+            if isinstance(value, (int, float)):  # bools export as 0/1
+                registry.gauge(f"server_{name}").set(float(value))
+        for name, value in self.dispatch_stats().items():
+            registry.counter(f"dispatch_{name}").inc(int(value))
+        with self._state_lock:
+            stage_snapshot = self._stages.snapshot()
+        registry.merge_snapshot(stage_snapshot)
+        service_snapshot = self.observability()
+        if service_snapshot.get("enabled"):
+            registry.merge_snapshot(service_snapshot)
+        return registry.to_prometheus()
+
+    def trace_payload(self) -> dict:
+        """Chrome-trace JSON: the daemon lane plus every service lane.
+
+        Loadable in ``about:tracing`` / Perfetto.  Disarmed daemons
+        return a valid-but-empty document (``metadata.armed: false``).
+        """
+        groups = [(1000, "daemon", self._obs.tracer.events())]
+        with self._service_lock:
+            groups.extend(self.service.trace_groups())
+        return export_chrome_trace(groups, armed=self._obs.enabled)
 
     # -- events ---------------------------------------------------------------
 
@@ -538,22 +737,36 @@ class ServerDaemon:
         with self._events_lock:
             self._history.append(payload)
             for subscriber in self._subscribers:
-                subscriber.put(payload)
+                try:
+                    subscriber.put_nowait(payload)
+                except Full:
+                    # A slow/stuck consumer must never block the drain
+                    # loop or grow daemon memory: drop, count, move on.
+                    self._events_dropped += 1
 
-    def subscribe_events(self, *, replay: bool = False) -> Queue:
+    def subscribe_events(
+        self, *, replay: bool = False, max_queue: int = 1024
+    ) -> Queue:
         """A queue receiving every typed event payload from now on.
 
         ``replay=True`` pre-loads the retained history (bounded ring)
         before live delivery starts; the switch is atomic, so no event is
         lost or duplicated across the boundary.  A ``None`` item marks
         daemon shutdown.
+
+        The queue is bounded at ``max_queue`` items (``0`` → unbounded);
+        events published while a subscriber is full are dropped for that
+        subscriber and counted in ``server_stats()["events_dropped"]``.
         """
         self._arm_event_taps()
-        subscriber: Queue = Queue()
+        subscriber: Queue = Queue(maxsize=max_queue)
         with self._events_lock:
             if replay:
                 for payload in self._history:
-                    subscriber.put(payload)
+                    if subscriber.full():
+                        self._events_dropped += 1
+                        continue
+                    subscriber.put_nowait(payload)
             self._subscribers.append(subscriber)
         return subscriber
 
@@ -592,7 +805,13 @@ class ServerDaemon:
             self._store.close()
         with self._events_lock:
             for subscriber in self._subscribers:
-                subscriber.put(None)
+                try:
+                    subscriber.put_nowait(None)
+                except Full:
+                    # The stream loop also exits on stopping+idle, so a
+                    # full subscriber still terminates without the
+                    # sentinel.
+                    self._events_dropped += 1
         return drained
 
     def __repr__(self) -> str:

@@ -17,8 +17,13 @@ Endpoints::
     GET  /events           NDJSON stream of typed observer events
                            (?limit=N closes after N, ?replay=1 prepends
                            the retained history)
-    GET  /metrics          summary() + daemon counters + config identity
-    GET  /healthz          liveness + queue depth
+    GET  /metrics          summary() + daemon counters + stage latency
+                           digests + config identity (JSON);
+                           ?format=prometheus serves the text exposition
+    GET  /trace            Chrome-trace JSON (flight recorder; empty but
+                           valid when the daemon runs without --observe)
+    GET  /healthz          drain-loop liveness: 200 while the loop
+                           heartbeats, 503 once it is wedged or dead
 
 ``create_server`` binds (port 0 → ephemeral, how the tests stay
 port-free); ``start_http_server`` also spins the serve loop on a
@@ -85,6 +90,14 @@ class DecisionRequestHandler(BaseHTTPRequestHandler):
     def _send_error_json(self, status: int, message: str, **extra) -> None:
         self._send_json(status, {"error": {"message": message, **extra}})
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length > _MAX_BODY:
@@ -102,17 +115,24 @@ class DecisionRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         url = urlsplit(self.path)
         if url.path == "/healthz":
-            stats = self.daemon.server_stats()
-            self._send_json(
-                200,
-                {
-                    "status": "stopping" if stats["stopping"] else "ok",
-                    "queue_depth": stats["queue_depth"],
-                    "uptime": stats["uptime"],
-                },
-            )
+            ok, payload = self.daemon.health()
+            self._send_json(200 if ok else 503, payload)
         elif url.path == "/metrics":
-            self._send_json(200, self.daemon.metrics_payload())
+            fmt = parse_qs(url.query).get("format", ["json"])[0]
+            if fmt == "prometheus":
+                self._send_text(
+                    200,
+                    self.daemon.prometheus_payload(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif fmt == "json":
+                self._send_json(200, self.daemon.metrics_payload())
+            else:
+                self._send_error_json(
+                    400, f"unknown metrics format {fmt!r}", format=fmt
+                )
+        elif url.path == "/trace":
+            self._send_json(200, self.daemon.trace_payload())
         elif url.path.startswith("/instances/"):
             instance_id = url.path[len("/instances/"):]
             payload = self.daemon.get(instance_id)

@@ -47,6 +47,7 @@ CREATE TABLE IF NOT EXISTS runs (
     schema_name    TEXT NOT NULL,
     status         TEXT NOT NULL,
     submitted_wall REAL NOT NULL,
+    started_wall   REAL,
     completed_wall REAL,
     source_json    TEXT NOT NULL,
     values_json    TEXT,
@@ -54,6 +55,12 @@ CREATE TABLE IF NOT EXISTS runs (
     config_hash    TEXT NOT NULL
 );
 """
+
+#: Columns added after the first released schema, applied by ALTER TABLE
+#: when an existing store predates them.  Additions only — SQLite cannot
+#: drop or retype columns in place, and additive migration keeps old
+#: daemons able to read new stores (they select by name, not position).
+_MIGRATIONS = (("started_wall", "REAL"),)
 
 
 def config_hash(config) -> str:
@@ -113,6 +120,15 @@ class RunStore:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute(f"PRAGMA busy_timeout={self.BUSY_TIMEOUT_MS}")
             self._conn.execute(_SCHEMA)
+            present = {
+                row["name"]
+                for row in self._conn.execute("PRAGMA table_info(runs)")
+            }
+            for column, column_type in _MIGRATIONS:
+                if column not in present:
+                    self._conn.execute(
+                        f"ALTER TABLE runs ADD COLUMN {column} {column_type}"
+                    )
             self._conn.commit()
         self._closed = False
 
@@ -130,10 +146,11 @@ class RunStore:
         """Persist finished run records (one epoch's completions) atomically.
 
         Each record is a plain dict with keys ``instance_id``,
-        ``schema_name``, ``status``, ``submitted_wall``,
-        ``completed_wall``, ``source`` (encoded values), ``values``
-        (encoded values or None), ``metrics`` (plain dict or None), and
-        ``config_hash``.  Returns the number of rows written.
+        ``schema_name``, ``status``, ``submitted_wall``, ``started_wall``
+        (optional — legacy writers omit it), ``completed_wall``,
+        ``source`` (encoded values), ``values`` (encoded values or None),
+        ``metrics`` (plain dict or None), and ``config_hash``.  Returns
+        the number of rows written.
         """
         rows = [
             (
@@ -141,6 +158,7 @@ class RunStore:
                 record["schema_name"],
                 record["status"],
                 record["submitted_wall"],
+                record.get("started_wall"),
                 record.get("completed_wall"),
                 json.dumps(record.get("source") or {}, sort_keys=True),
                 None
@@ -157,8 +175,14 @@ class RunStore:
             return 0
         with self._lock:
             self._ensure_open()
+            # Explicit column list: migrated stores carry started_wall at
+            # a different ordinal position than freshly created ones.
             self._conn.executemany(
-                "INSERT OR REPLACE INTO runs VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "INSERT OR REPLACE INTO runs ("
+                "instance_id, schema_name, status, submitted_wall, "
+                "started_wall, completed_wall, source_json, values_json, "
+                "metrics_json, config_hash) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 rows,
             )
             self._conn.commit()
@@ -189,6 +213,7 @@ class RunStore:
             "schema_name": row["schema_name"],
             "status": row["status"],
             "submitted_wall": row["submitted_wall"],
+            "started_wall": row["started_wall"],
             "completed_wall": row["completed_wall"],
             "source": json.loads(row["source_json"]),
             "values": None if row["values_json"] is None else json.loads(row["values_json"]),
@@ -211,6 +236,24 @@ class RunStore:
                 "SELECT instance_id FROM runs ORDER BY instance_id"
             ).fetchall()
         return [row["instance_id"] for row in rows]
+
+    def latencies(self, limit: int = 1000) -> list[float]:
+        """Submit→decide wall latencies of the most recent completed runs.
+
+        Used to seed the daemon's decision-latency histogram across a
+        restart, so ``/metrics`` percentiles do not start cold.  Rows
+        written by pre-migration daemons (NULL ``started_wall``) still
+        qualify — latency only needs the submit and complete stamps.
+        """
+        with self._lock:
+            self._ensure_open()
+            rows = self._conn.execute(
+                "SELECT completed_wall - submitted_wall AS latency FROM runs "
+                "WHERE completed_wall IS NOT NULL "
+                "ORDER BY completed_wall DESC LIMIT ?",
+                (int(limit),),
+            ).fetchall()
+        return [float(row["latency"]) for row in rows]
 
     def next_sequence(self, prefix: str = "srv-") -> int:
         """One past the largest numeric suffix among ``<prefix><n>`` ids.

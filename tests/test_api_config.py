@@ -221,3 +221,20 @@ class TestDispatchAndQueryCache:
         config = ExecutionConfig(dispatch="pooled", query_cache=True)
         assert "dispatch=pooled" in repr(config)
         assert "query-cache" in repr(config)
+
+
+class TestObserve:
+    def test_defaults_off(self):
+        assert ExecutionConfig().observe is False
+
+    def test_armed_via_from_code_and_replace(self):
+        assert ExecutionConfig.from_code("PSE80", observe=True).observe is True
+        assert ExecutionConfig().replace(observe=True).observe is True
+
+    def test_non_bool_observe_rejected(self):
+        with pytest.raises(ValueError, match="observe"):
+            ExecutionConfig(observe=1)
+
+    def test_repr_names_observe_when_armed(self):
+        assert "observe" in repr(ExecutionConfig(observe=True))
+        assert "observe" not in repr(ExecutionConfig())

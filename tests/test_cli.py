@@ -328,3 +328,69 @@ class TestJsonErrorPaths:
         # The legacy contract: plain CLI failures surface the traceback.
         with pytest.raises(ValueError, match="unknown backend"):
             main(["simulate", "--backend", "quantum", "--instances", "1"])
+
+
+class TestSimulateObservability:
+    BASE = ["simulate", "--code", "PSE80", "--nb-nodes", "16", "--instances", "4"]
+
+    def test_json_reports_pooled_dispatch_counters(self, capsys):
+        assert main([*self.BASE, "--dispatch", "pooled", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pooled_batches"] > 0
+        assert payload["pooled_events"] >= payload["pooled_batches"]
+
+    def test_plain_dispatch_reports_zero_pooled_counters(self, capsys):
+        assert main([*self.BASE, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pooled_batches"] == 0
+        assert payload["pooled_events"] == 0
+        assert payload["observe"] is False
+        assert "observability" not in payload
+
+    def test_observe_adds_registry_snapshot(self, capsys):
+        assert main([*self.BASE, "--observe", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["observe"] is True
+        snapshot = payload["observability"]
+        assert snapshot["enabled"] is True
+        counters = {
+            (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+            for c in snapshot["counters"]
+        }
+        launched = sum(
+            value for (name, _), value in counters.items()
+            if name == "engine_queries_launched"
+        )
+        assert launched > 0
+
+    def test_observe_does_not_change_results(self, capsys):
+        def run(extra):
+            assert main([*self.BASE, "--seed", "3", "--json", *extra]) == 0
+            return json.loads(capsys.readouterr().out)
+
+        plain = run([])
+        observed = run(["--observe"])
+        for key in ("instances", "mean_work", "mean_elapsed", "total_work"):
+            assert observed[key] == plain[key], key
+
+    def test_trace_writes_loadable_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "flight.json"
+        assert main([*self.BASE, "--trace", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # --trace implies --observe.
+        assert payload["observe"] is True
+        assert payload["trace"]["path"] == str(out)
+        assert payload["trace"]["events"] > 0
+        doc = json.loads(out.read_text())
+        assert len(doc["traceEvents"]) == payload["trace"]["events"]
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "engine.round" in names
+        assert "query" in names
+        assert doc["metadata"]["armed"] is True
+
+    def test_trace_text_mode_mentions_the_path(self, tmp_path, capsys):
+        out = tmp_path / "flight.json"
+        assert main([*self.BASE, "--trace", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert str(out) in text
+        assert out.exists()

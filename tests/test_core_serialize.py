@@ -270,3 +270,14 @@ class TestConfigRoundTrip:
             config_to_dict(Strategy.parse("PCE0"))
         with pytest.raises(SerializationError, match="not a config encoding"):
             config_from_dict({"engine": "batched"})
+
+
+class TestObserveRoundTrip:
+    def test_observe_round_trips(self):
+        config = ExecutionConfig(observe=True)
+        assert config_from_dict(config_to_dict(config)).observe is True
+
+    def test_pre_observe_encodings_default_disarmed(self):
+        data = config_to_dict(ExecutionConfig())
+        del data["observe"]
+        assert config_from_dict(data).observe is False

@@ -36,6 +36,7 @@ from repro.api import DecisionService, ExecutionConfig
 from repro.api.backends import Backend
 from repro.core.engine import EngineObserver
 from repro.core.metrics import InstanceMetrics
+from repro.obs import Observability
 
 from tests._support import chain_schema, diamond_schema, make_database, scenario_pattern
 
@@ -182,6 +183,7 @@ def run_scenario(
     dispatch: str = "per-event",
     query_cache: bool = False,
     cohorts: bool = False,
+    observe: bool = False,
 ) -> dict:
     """Execute one scenario on one engine; returns the observable trace."""
     pattern = scenario_pattern(
@@ -204,6 +206,7 @@ def run_scenario(
         observer=observer,
         query_cache=query_cache,
         cohorts=cohorts,
+        obs=Observability.create() if observe else None,
     )
     if dispatch == "pooled":
         engine.enable_pooled_dispatch()
@@ -231,6 +234,11 @@ def run_scenario(
         ),
         "end_time": sim.now,
         "events": observer.events,
+        "obs": (
+            {"spans": len(engine.obs.tracer), **engine.obs.registry.snapshot()}
+            if observe
+            else None
+        ),
     }
 
 
@@ -323,6 +331,42 @@ def test_pooled_dispatch_counters_track_pools():
     assert engine.pooled_events >= sim.events_executed > 0
     # Uniform sweeps genuinely pool: far fewer batches than events.
     assert engine.pooled_batches < engine.pooled_events
+
+
+# -- observability is a pure observer -----------------------------------------
+
+
+@pytest.mark.parametrize("dispatch", ["per-event", "pooled"])
+@pytest.mark.parametrize("engine_kind", ["reference", "batched"])
+@pytest.mark.parametrize(
+    "scenario", DISPATCH_SCENARIOS, ids=[s.label for s in DISPATCH_SCENARIOS]
+)
+def test_armed_observability_is_trace_identical(scenario, engine_kind, dispatch):
+    """Arming the repro.obs tracer + registry must not perturb execution:
+    the full observable trace (values, metrics, db work, event sequence,
+    end time) is bit-identical to the disarmed run."""
+    disarmed = run_scenario(engine_kind, scenario, seed=0, dispatch=dispatch)
+    armed = run_scenario(
+        engine_kind, scenario, seed=0, dispatch=dispatch, observe=True
+    )
+    assert_traces_identical(disarmed, armed)
+    # ...and the armed run actually recorded something: spans in the
+    # flight recorder, counters in the registry.
+    assert armed["obs"]["spans"] > 0
+    counters = {c["name"]: c["value"] for c in armed["obs"]["counters"]}
+    assert counters["engine_scheduling_rounds"] > 0
+    assert counters["engine_queries_launched"] > 0
+
+
+def test_armed_cohort_run_counts_forms_and_joins():
+    """Cohorted sweeps record cohort lifecycle counters when armed."""
+    burst = Scenario(code="PSE100", spacing=0.0, instances=6)
+    disarmed = run_scenario("batched", burst, seed=0, cohorts=True)
+    armed = run_scenario("batched", burst, seed=0, cohorts=True, observe=True)
+    assert_traces_identical(disarmed, armed)
+    counters = {c["name"]: c["value"] for c in armed["obs"]["counters"]}
+    assert counters["cohort_forms"] >= 1
+    assert counters["cohort_joins"] == armed["cohort_stats"][0] > 0
 
 
 @pytest.mark.parametrize("engine_kind", ["reference", "batched"])

@@ -8,6 +8,7 @@ fill, the drain loop is stalled deterministically by shadowing
 iteration), never by sleeping and hoping.
 """
 
+import threading
 import time
 
 import pytest
@@ -259,7 +260,14 @@ class TestMetricsPayload:
         daemon.submit_many([None] * 4)
         assert daemon.wait_idle(WAIT)
         payload = daemon.metrics_payload()
-        assert set(payload) == {"summary", "server", "config"}
+        assert set(payload) == {
+            "summary",
+            "server",
+            "dispatch",
+            "stages",
+            "observability",
+            "config",
+        }
         assert MetricsSummary.from_dict(payload["summary"]) == daemon.summary()
         assert payload["server"]["completed"] == 4
         assert payload["config"]["hash"] == daemon.config_digest
@@ -298,3 +306,194 @@ class TestEvents:
         while not subscriber.empty():
             items.append(subscriber.get_nowait())
         assert items[-1] is None
+
+
+class TestHealth:
+    def test_healthy_daemon_reports_ok(self, make_daemon):
+        daemon = make_daemon()
+        daemon.submit_many([None] * 2)
+        assert daemon.wait_idle(WAIT)
+        ok, payload = daemon.health()
+        assert ok is True
+        assert payload["status"] == "ok"
+        assert payload["drain_alive"] is True
+        assert payload["heartbeat_age"] < daemon._stall_after
+        assert payload["queue_depth"] == 0
+
+    def test_wedged_drain_loop_flips_health(self, make_daemon):
+        """A drain loop stuck mid-iteration stops heartbeating; queued
+        work then sits unconsumed and health() must say so."""
+        daemon = make_daemon(stall_after=0.05)
+        gate = threading.Event()
+        daemon._take_batch = lambda: ([], gate.wait(WAIT))[0]
+        daemon._wake.set()  # drive the loop into the blocked call
+        time.sleep(0.2)  # heartbeat is now stale beyond stall_after
+        ok, payload = daemon.health()
+        assert ok is False
+        assert payload["status"] == "wedged"
+        assert payload["heartbeat_age"] > 0.05
+        assert payload["drain_alive"] is True
+        gate.set()  # unwedge; the fixture's shutdown must still drain
+        del daemon.__dict__["_take_batch"]
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_dead_drain_loop_flips_health(self, make_daemon):
+        daemon = make_daemon()
+
+        def die():
+            raise SystemExit  # exits the thread quietly, unlike RuntimeError
+
+        daemon._take_batch = die
+        daemon._wake.set()
+        daemon._thread.join(WAIT)
+        ok, payload = daemon.health()
+        assert ok is False
+        assert payload["status"] == "dead"
+        assert payload["drain_alive"] is False
+
+    def test_stall_after_is_validated(self, make_daemon):
+        with pytest.raises(ValueError):
+            make_daemon(stall_after=0.0)
+
+
+class TestTimestamps:
+    def test_started_wall_between_submit_and_complete(self, make_daemon):
+        daemon = make_daemon()
+        (instance_id,) = daemon.submit().accepted
+        assert daemon.wait_idle(WAIT)
+        payload = daemon.get(instance_id)
+        assert payload["submitted_at"] <= payload["started_at"]
+        assert payload["started_at"] <= payload["completed_at"]
+
+    def test_started_wall_persists_and_resolves_from_store(
+        self, make_daemon, tmp_path
+    ):
+        db = str(tmp_path / "runs.sqlite")
+        first = make_daemon(db=db)
+        (instance_id,) = first.submit().accepted
+        assert first.wait_idle(WAIT)
+        first.shutdown()
+        second = make_daemon(db=db)
+        payload = second.get(instance_id)
+        assert payload["origin"] == "store"
+        assert payload["started_at"] is not None
+        assert payload["submitted_at"] <= payload["started_at"] <= payload["completed_at"]
+
+
+class TestStageStats:
+    def test_all_four_stages_populate(self, make_daemon):
+        daemon = make_daemon()
+        daemon.submit_many([None] * 3)
+        assert daemon.wait_idle(WAIT)
+        stages = daemon.stage_stats()
+        assert set(stages) == {"admit", "queue_wait", "epoch", "decision"}
+        assert stages["decision"]["count"] == 3
+        assert stages["queue_wait"]["count"] == 3
+        assert stages["admit"]["count"] >= 1
+        assert stages["epoch"]["count"] >= 1
+        for digest in stages.values():
+            assert 0.0 <= digest["p50"] <= digest["p99"]
+            assert digest["mean"] >= 0.0
+
+    def test_restart_seeds_decision_histogram_from_store(
+        self, make_daemon, tmp_path
+    ):
+        db = str(tmp_path / "runs.sqlite")
+        first = make_daemon(db=db)
+        first.submit_many([None] * 3)
+        assert first.wait_idle(WAIT)
+        first.shutdown()
+        second = make_daemon(db=db)
+        assert second.stage_stats()["decision"]["count"] == 3
+
+
+class TestObservabilityPayloads:
+    def test_disarmed_daemon_serves_stub_and_empty_trace(self, make_daemon):
+        daemon = make_daemon()
+        daemon.submit(None)
+        assert daemon.wait_idle(WAIT)
+        assert daemon.observability()["enabled"] is False
+        trace = daemon.trace_payload()
+        assert trace["metadata"]["armed"] is False
+        assert all(e["ph"] == "M" for e in trace["traceEvents"])
+
+    def test_armed_daemon_snapshot_and_trace(self, make_daemon):
+        config = ExecutionConfig.from_code("PSE80", observe=True)
+        daemon = make_daemon(config)
+        daemon.submit_many([None] * 2)
+        assert daemon.wait_idle(WAIT)
+        snapshot = daemon.observability()
+        assert snapshot["enabled"] is True
+        counters = {c["name"]: c["value"] for c in snapshot["counters"]}
+        assert counters["engine_scheduling_rounds"] > 0
+        trace = daemon.trace_payload()
+        assert trace["metadata"]["armed"] is True
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] != "M"}
+        assert "daemon.admit" in names
+        assert "daemon.epoch" in names
+        assert "engine.round" in names
+
+    def test_prometheus_payload_text(self, make_daemon):
+        config = ExecutionConfig.from_code("PSE80", observe=True)
+        daemon = make_daemon(config)
+        daemon.submit_many([None] * 2)
+        assert daemon.wait_idle(WAIT)
+        text = daemon.prometheus_payload()
+        assert "# TYPE repro_stage_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_server_completed 2" in text
+        assert "repro_summary_count 2" in text
+        assert "# TYPE repro_dispatch_pooled_batches counter" in text
+        assert "repro_engine_scheduling_rounds" in text  # armed extras
+        decision_count = [
+            line for line in text.splitlines()
+            if line.startswith("repro_stage_seconds_count")
+            and 'stage="decision"' in line
+        ]
+        assert decision_count and decision_count[0].endswith(" 2")
+
+    def test_dispatch_stats_surface_pooled_counters(self, make_daemon):
+        config = ExecutionConfig.from_code(
+            "PSE80", engine="batched", dispatch="pooled", query_cache=True
+        )
+        daemon = make_daemon(config)
+        daemon.submit_many([None] * 4)
+        assert daemon.wait_idle(WAIT)
+        stats = daemon.dispatch_stats()
+        assert stats["pooled_batches"] > 0
+        assert stats["pooled_events"] >= stats["pooled_batches"]
+        assert daemon.metrics_payload()["dispatch"] == stats
+
+
+class TestBoundedFanout:
+    def test_full_subscriber_drops_and_counts(self, make_daemon):
+        daemon = make_daemon()
+        subscriber = daemon.subscribe_events(max_queue=2)
+        for index in range(5):
+            daemon._publish({"type": "synthetic", "n": index})
+        assert subscriber.qsize() == 2
+        assert daemon.server_stats()["events_dropped"] == 3
+        daemon.unsubscribe_events(subscriber)
+
+    def test_slow_subscriber_does_not_stall_the_daemon(self, make_daemon):
+        """A subscriber that never drains must not wedge the drain loop
+        or grow without bound while real work streams past it."""
+        daemon = make_daemon()
+        subscriber = daemon.subscribe_events(max_queue=4)
+        daemon.submit_many([None] * 6)
+        assert daemon.wait_idle(WAIT)
+        assert daemon.server_stats()["completed"] == 6
+        assert subscriber.qsize() <= 4
+        ok, payload = daemon.health()
+        assert ok, payload
+        daemon.unsubscribe_events(subscriber)
+
+    def test_replay_respects_the_bound(self, make_daemon):
+        daemon = make_daemon()
+        daemon.submit_many([None] * 5)
+        assert daemon.wait_idle(WAIT)
+        subscriber = daemon.subscribe_events(replay=True, max_queue=2)
+        assert subscriber.qsize() == 2
+        daemon.unsubscribe_events(subscriber)

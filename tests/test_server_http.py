@@ -7,6 +7,8 @@ an ephemeral port) and is talked to over the loopback with stdlib
 
 import http.client
 import json
+import threading
+import time
 
 import pytest
 
@@ -296,3 +298,187 @@ class TestRestart:
             server2.server_close()
             thread2.join(WAIT)
             restarted.shutdown()
+
+
+class TestHealthzLiveness:
+    def test_wedged_drain_loop_is_503(self, pattern):
+        daemon = ServerDaemon(
+            pattern.schema,
+            "PSE80",
+            default_values=pattern.source_values,
+            stall_after=0.05,
+        )
+        server, thread = start_http_server(daemon)
+        gate = threading.Event()
+        try:
+            status, _, payload = request(server, "GET", "/healthz")
+            assert status == 200 and payload["status"] == "ok"
+            # Wedge the loop mid-iteration: it blocks inside _take_batch
+            # and stops heartbeating while admitted work queues up.
+            daemon._take_batch = lambda: ([], gate.wait(WAIT))[0]
+            daemon._wake.set()
+            time.sleep(0.2)
+            request(server, "POST", "/instances", {})
+            status, _, payload = request(server, "GET", "/healthz")
+            assert status == 503
+            assert payload["status"] == "wedged"
+            assert payload["ok"] is False
+            assert payload["drain_alive"] is True
+        finally:
+            gate.set()
+            del daemon.__dict__["_take_batch"]
+            daemon._wake.set()
+            server.shutdown()
+            server.server_close()
+            thread.join(WAIT)
+            daemon.shutdown()
+
+
+class TestPrometheusEndpoint:
+    def test_text_exposition_with_stage_histograms(self, stack):
+        daemon, server = stack
+        submit_and_wait(daemon, server, {"batch": [None] * 2})
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=WAIT)
+        try:
+            conn.request("GET", "/metrics?format=prometheus")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type").startswith(
+                "text/plain; version=0.0.4"
+            )
+            body = response.read().decode()
+        finally:
+            conn.close()
+        lines = body.splitlines()
+        # Valid exposition: every non-comment line is "name{labels} value".
+        for line in lines:
+            assert line
+            if line.startswith("#"):
+                assert line.startswith("# TYPE ")
+                continue
+            name_part, _, value_part = line.rpartition(" ")
+            assert name_part and float(value_part) is not None
+        assert "# TYPE repro_stage_seconds histogram" in lines
+        assert any(
+            line.startswith("repro_stage_seconds_bucket")
+            and 'stage="decision"' in line
+            and 'le="+Inf"' in line
+            for line in lines
+        )
+        assert "repro_server_completed 2" in lines
+
+    def test_unknown_format_is_400(self, stack):
+        _, server = stack
+        status, _, payload = request(server, "GET", "/metrics?format=xml")
+        assert status == 400
+        assert payload["error"]["format"] == "xml"
+
+
+class TestTraceEndpoint:
+    def test_disarmed_trace_is_valid_and_unarmed(self, stack):
+        daemon, server = stack
+        submit_and_wait(daemon, server, {})
+        status, _, payload = request(server, "GET", "/trace")
+        assert status == 200
+        assert payload["metadata"]["armed"] is False
+        assert all(e["ph"] == "M" for e in payload["traceEvents"])
+
+    def test_armed_trace_carries_daemon_and_engine_spans(self, pattern):
+        config = ExecutionConfig.from_code("PSE80", observe=True)
+        daemon = ServerDaemon(
+            pattern.schema, config, default_values=pattern.source_values
+        )
+        server, thread = start_http_server(daemon)
+        try:
+            submit_and_wait(daemon, server, {"batch": [None] * 2})
+            status, _, payload = request(server, "GET", "/trace")
+            assert status == 200
+            assert payload["metadata"]["armed"] is True
+            names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+            assert "daemon.epoch" in names
+            assert "engine.round" in names
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(WAIT)
+            daemon.shutdown()
+
+
+class TestEventStreamUnderLoad:
+    def test_concurrent_submissions_reach_a_streaming_client(self, stack):
+        """An /events client receives every completion while submissions
+        arrive concurrently from multiple threads."""
+        daemon, server = stack
+        expected = 9
+        received: list[dict] = []
+
+        def stream():
+            # Each instance also emits launch/query_done events, so read
+            # until all completions have arrived rather than counting lines.
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=WAIT
+            )
+            try:
+                conn.request("GET", "/events")
+                response = conn.getresponse()
+                done = 0
+                while done < expected:
+                    line = response.fp.readline()
+                    event = json.loads(line)
+                    received.append(event)
+                    done += event["type"] == "instance_complete"
+            finally:
+                conn.close()
+
+        reader = threading.Thread(target=stream)
+        reader.start()
+        time.sleep(0.1)  # let the subscription attach before submitting
+
+        def submit_batch():
+            status, _, _ = request(server, "POST", "/instances", {"batch": [None] * 3})
+            assert status == 202
+
+        writers = [threading.Thread(target=submit_batch) for _ in range(3)]
+        for w in writers:
+            w.start()
+        for w in writers:
+            w.join(WAIT)
+        assert daemon.wait_idle(WAIT)
+        reader.join(WAIT)
+        assert not reader.is_alive()
+        completions = [e for e in received if e["type"] == "instance_complete"]
+        assert len(completions) == expected
+        assert len({e["instance_id"] for e in completions}) == expected
+        # Once the client hangs up, the next publish drops the broken
+        # pipe and the subscription is released.
+        deadline = time.monotonic() + WAIT
+        while daemon._subscribers and time.monotonic() < deadline:
+            submit_and_wait(daemon, server, {})
+            time.sleep(0.02)
+        assert daemon._subscribers == []
+
+    def test_mid_stream_disconnect_releases_the_subscription(self, stack):
+        """A client that vanishes mid-stream must not leak its handler
+        thread or its fan-out queue."""
+        daemon, server = stack
+        threads_before = threading.active_count()
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=WAIT)
+        conn.request("GET", "/events")
+        conn.getresponse()  # headers arrive; the stream is now live
+        deadline = time.monotonic() + WAIT
+        while not daemon._subscribers and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert len(daemon._subscribers) == 1
+        conn.close()  # hang up without reading anything
+        # The handler notices on its next poll/write and unsubscribes.
+        submit_and_wait(daemon, server, {"batch": [None] * 2})
+        deadline = time.monotonic() + WAIT
+        while daemon._subscribers and time.monotonic() < deadline:
+            submit_and_wait(daemon, server, {})
+            time.sleep(0.02)
+        assert daemon._subscribers == []
+        deadline = time.monotonic() + WAIT
+        while threading.active_count() > threads_before and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert threading.active_count() <= threads_before
+        assert daemon.server_stats()["events_dropped"] == 0

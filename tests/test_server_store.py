@@ -202,3 +202,101 @@ class TestValueCodec:
     def test_none_passes_through(self):
         assert encode_values(None) is None
         assert decode_values(None) is None
+
+
+class TestSchemaMigration:
+    LEGACY_SCHEMA = """
+        CREATE TABLE runs (
+            instance_id TEXT PRIMARY KEY,
+            schema_name TEXT NOT NULL,
+            status TEXT NOT NULL,
+            submitted_wall REAL NOT NULL,
+            completed_wall REAL,
+            source_json TEXT NOT NULL,
+            values_json TEXT,
+            metrics_json TEXT,
+            config_hash TEXT NOT NULL
+        )
+    """
+
+    def _make_legacy_db(self, path):
+        """A database from before the started_wall column existed."""
+        import json
+        import sqlite3
+
+        conn = sqlite3.connect(path)
+        conn.execute(self.LEGACY_SCHEMA)
+        conn.execute(
+            "INSERT INTO runs VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            ("srv-legacy", "pattern-7", "done", 100.0, 100.25,
+             json.dumps(encode_values({"src": 3})), None, None,
+             "deadbeefdeadbeef"),
+        )
+        conn.commit()
+        conn.close()
+
+    def test_legacy_db_gains_started_wall(self, tmp_path):
+        path = tmp_path / "runs.sqlite"
+        self._make_legacy_db(path)
+        with RunStore(path) as store:
+            stored = store.get("srv-legacy")
+            assert stored["status"] == "done"
+            assert stored["started_wall"] is None
+            # New writes carry the column; old rows stay NULL-tolerant.
+            store.record(make_record("srv-new", started_wall=100.1))
+            assert store.get("srv-new")["started_wall"] == 100.1
+            assert store.get("srv-legacy")["started_wall"] is None
+            assert store.count() == 2
+
+    def test_migration_preserves_wal_mode(self, tmp_path):
+        path = tmp_path / "runs.sqlite"
+        self._make_legacy_db(path)
+        with RunStore(path) as store:
+            (mode,) = store._conn.execute("PRAGMA journal_mode").fetchone()
+            assert mode == "wal"
+
+    def test_migration_is_idempotent_across_reopens(self, tmp_path):
+        path = tmp_path / "runs.sqlite"
+        self._make_legacy_db(path)
+        for _ in range(2):
+            with RunStore(path) as store:
+                assert store.get("srv-legacy")["started_wall"] is None
+
+
+class TestTimestampsAndLatencies:
+    def test_started_wall_round_trips(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            store.record(make_record(started_wall=100.05))
+            stored = store.get("srv-1")
+        assert stored["started_wall"] == 100.05
+        assert stored["submitted_wall"] <= stored["started_wall"]
+        assert stored["started_wall"] <= stored["completed_wall"]
+
+    def test_absent_started_wall_defaults_to_none(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            store.record(make_record())
+            assert store.get("srv-1")["started_wall"] is None
+
+    def test_latencies_are_completed_minus_submitted(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            store.record_many(
+                [
+                    make_record("srv-1", completed_wall=100.25),
+                    make_record("srv-2", completed_wall=100.5, started_wall=100.1),
+                    make_record("srv-3", status="stalled", completed_wall=None),
+                ]
+            )
+            latencies = store.latencies()
+        # Incomplete rows are excluded; NULL started_wall rows still count.
+        assert sorted(latencies) == [pytest.approx(0.25), pytest.approx(0.5)]
+
+    def test_latencies_respect_limit_and_recency(self, tmp_path):
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            store.record_many(
+                [
+                    make_record(f"srv-{i}", completed_wall=100.0 + i)
+                    for i in range(1, 6)
+                ]
+            )
+            newest_two = store.latencies(limit=2)
+        assert newest_two == [pytest.approx(5.0), pytest.approx(4.0)]

@@ -132,6 +132,8 @@ def run_sharded(pattern, config: ExecutionConfig, arrivals) -> dict:
         ),
         "events": [project_event(e) for e in log.events],
         "summary": service.summary(),
+        "observability": service.observability(),
+        "dispatch": service.dispatch_stats(),
     }
 
 
@@ -360,6 +362,69 @@ def test_pooled_cache_config_survives_executors(executor):
         serial.submit(pattern.source_values)
     serial.run()
     assert serial.summary() == summary
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("backend", ["ideal", "profiled", "bounded"])
+def test_armed_observability_invisible_at_any_shard_count(backend, engine, shards):
+    """observe=True (tracer + registry armed in every shard) must not
+    perturb execution: values, every metrics counter, database totals,
+    and the exact merged event sequence match the disarmed run."""
+    seed = 7
+    pattern = scenario_pattern(seed, nb_nodes=16 if backend == "bounded" else 24)
+    arrivals = [index * 1.5 for index in range(6)]
+    config = build_config(
+        "PSE50", backend, engine, seed,
+        shards=shards, dispatch="pooled", query_cache=True,
+    )
+    disarmed = run_sharded(pattern, config, arrivals)
+    armed = run_sharded(pattern, config.replace(observe=True), arrivals)
+    assert armed["values"] == disarmed["values"]
+    assert armed["metrics"] == disarmed["metrics"]
+    assert armed["totals"] == disarmed["totals"]
+    assert armed["events"] == disarmed["events"]
+    assert_summaries_close(armed["summary"], disarmed["summary"], exact=True)
+    assert armed["dispatch"] == disarmed["dispatch"]
+    # The disarmed run reports the stub; the armed run has real content
+    # with every instrument carrying its shard label.
+    assert disarmed["observability"] == {
+        "enabled": False, "counters": [], "gauges": [], "histograms": [],
+    }
+    snapshot = armed["observability"]
+    assert snapshot["enabled"] is True
+    assert snapshot["counters"]
+    assert all("shard" in c["labels"] for c in snapshot["counters"])
+    rounds = sum(
+        c["value"] for c in snapshot["counters"]
+        if c["name"] == "engine_scheduling_rounds"
+    )
+    assert rounds > 0
+
+
+@pytest.mark.parametrize("executor", ["serial", "process"])
+def test_observability_merges_across_executors(executor):
+    """observe travels to shard workers; registry snapshots and trace
+    events ship back in the outcome and merge shard-labeled, identically
+    on both executors."""
+    pattern = scenario_pattern(0)
+    config = build_config(
+        "PSE100", "ideal", "batched", 0,
+        shards=2, dispatch="pooled", query_cache=True,
+    ).replace(executor=executor, observe=True)
+    service = ShardedDecisionService(pattern.schema, config)
+    for _ in range(8):
+        service.submit(pattern.source_values)
+    service.run()
+    snapshot = service.observability()
+    assert snapshot["enabled"] is True
+    shards_seen = {c["labels"]["shard"] for c in snapshot["counters"]}
+    assert shards_seen == {"0", "1"}
+    trace = service.chrome_trace()
+    assert trace["metadata"]["armed"] is True
+    span_pids = {e["pid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert span_pids == {0, 1}
+    assert service.dispatch_stats()["pooled_batches"] > 0
 
 
 def test_multiple_shards_actually_used():

@@ -20,6 +20,7 @@ from __future__ import annotations
 import pytest
 
 from repro import BatchedEngine, Engine, Simulation, Strategy
+from repro.obs import Observability
 
 from tests._support import make_database, scenario_pattern
 
@@ -42,6 +43,7 @@ def run_scenario(
     max_cost: int = 6,
     engine: str = "reference",
     cohorts: bool = False,
+    observe: bool = False,
 ):
     """One engine run; returns the full observable trace."""
     pattern = scenario_pattern(
@@ -56,6 +58,7 @@ def run_scenario(
         halt_policy=halt_policy,
         share_results=share_results,
         cohorts=cohorts,
+        obs=Observability.create() if observe else None,
     )
     for index in range(instances):
         engine.submit_instance(pattern.source_values, at=index * spacing)
@@ -299,3 +302,35 @@ def test_cohorts_invisible_within_each_kernel(kernel, backend, code, halt_policy
         assert_traces_match(cohorted, individual, exact_times=True)
         reference = run_scenario(kernel, engine="reference", cohorts=True, **kwargs)
         assert_traces_match(reference, individual, exact_times=True)
+
+
+@pytest.mark.parametrize("kernel", ["coalesced", "per-unit"])
+@pytest.mark.parametrize("engine", ["reference", "batched"])
+@pytest.mark.parametrize(
+    "backend,code,halt_policy,failure_prob",
+    [
+        ("ideal", "PSE100", "cancel", 0.0),
+        ("profiled", "PSE50", "drain", 0.0),
+        ("bounded", "PSE50", "cancel", 0.1),
+    ],
+    ids=["ideal-PSE100", "profiled-PSE50-drain", "bounded-PSE50-fail"],
+)
+def test_armed_observability_invisible_on_both_kernels(
+    kernel, engine, backend, code, halt_policy, failure_prob
+):
+    """Arming repro.obs changes nothing the DES kernels can observe:
+    same per-instance trace, db totals, mean Gmpl, end time, and — the
+    kernel-sharp check — the exact number of calendar events executed."""
+    kwargs = dict(
+        backend=backend,
+        seed=2,
+        code=code,
+        halt_policy=halt_policy,
+        failure_prob=failure_prob,
+        engine=engine,
+    )
+    disarmed = run_scenario(kernel, **kwargs)
+    armed = run_scenario(kernel, observe=True, **kwargs)
+    assert_traces_match(armed, disarmed, exact_times=True)
+    assert armed["events_executed"] == disarmed["events_executed"]
+    assert armed["end_time"] == disarmed["end_time"]
