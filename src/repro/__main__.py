@@ -10,7 +10,7 @@ Usage::
     python -m repro simulate --code PSE80 --backend bounded --rate 10 \\
         --instances 200                  # drive a DecisionService directly
     python -m repro simulate --code PSE80 --instances 10000 \\
-        --shards 4 --executor process    # sharded fleet on a worker pool
+        --shards 4 --executor process    # persistent shard-worker fleet
 
     python -m repro serve --port 8080 --code PSE80 --query-cache \\
         --dispatch pooled --db runs.sqlite   # streaming daemon (HTTP/JSON)
@@ -23,7 +23,9 @@ switches to machine-readable output (and ``.json`` files with ``--out``).
 :class:`repro.api.DecisionService` on any registered backend, either as a
 closed loop (``--concurrency``) or an open Poisson stream (``--rate``);
 ``--shards N`` partitions the population across the sharded runtime
-(``--executor process`` drives it on a worker pool).
+(``--executor process`` keeps one long-lived worker process per shard;
+``--placement least-loaded`` rebalances skewed populations; with
+``--query-cache`` the shards share a cross-shard L2 result tier).
 
 ``serve`` exposes the same workload as a long-running HTTP/JSON daemon
 (:mod:`repro.server`): streaming submissions with admission control and
@@ -200,8 +202,17 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         choices=("serial", "process"),
         default="serial",
         help="how to drive the shards: in-process ('serial', deterministic "
-        "default) or a multiprocessing worker pool ('process'; batch only — "
-        "'serve' requires 'serial')",
+        "default) or one long-lived worker process per shard ('process'; "
+        "identical results, incremental — 'serve' streams its drain epochs "
+        "to the persistent fleet)",
+    )
+    parser.add_argument(
+        "--placement",
+        choices=("hash", "least-loaded"),
+        default="hash",
+        help="shard routing policy: stable CRC-32 homes ('hash', default) or "
+        "skew rebalancing toward the shard with the fewest instances in "
+        "flight ('least-loaded'; deterministic given submission order)",
     )
     parser.add_argument(
         "--halt", choices=("cancel", "drain"), default="cancel", help="halt policy"
@@ -281,6 +292,7 @@ def _build_workload(args: argparse.Namespace):
         engine=args.engine,
         shards=args.shards,
         executor=args.executor,
+        placement=args.placement,
         dispatch=args.dispatch,
         query_cache=args.query_cache,
         cohorts=args.cohorts,
@@ -324,6 +336,8 @@ def run_simulate(args: argparse.Namespace) -> int:
         time_unit = service.time_unit()
         mean_gmpl = service.mean_gmpl()
         mode = f"{mode} [{config.shards} shards, {config.executor}]"
+        if config.placement != "hash":
+            mode = f"{mode[:-1]}, {config.placement}]"
     else:
         time_unit = service.backend.time_unit
         mean_gmpl = service.database.mean_gmpl()
@@ -336,6 +350,7 @@ def run_simulate(args: argparse.Namespace) -> int:
         "mode": mode,
         "shards": config.shards,
         "executor": config.executor,
+        "placement": config.placement,
         "instances": summary.count,
         "mean_work": summary.mean_work,
         "mean_elapsed": summary.mean_elapsed,
@@ -348,6 +363,9 @@ def run_simulate(args: argparse.Namespace) -> int:
         "query_cache_hits": summary.query_cache_hits,
         "query_cache_misses": summary.query_cache_misses,
         "query_cache_coalesced": summary.query_cache_coalesced,
+        "query_cache_l2_hits": summary.query_cache_l2_hits,
+        "query_cache_l2_misses": summary.query_cache_l2_misses,
+        "query_cache_l2_promotions": summary.query_cache_l2_promotions,
         "cohorts": config.cohorts,
         "cohort_hits": summary.cohort_hits,
         "cohort_splits": summary.cohort_splits,
@@ -385,6 +403,12 @@ def run_simulate(args: argparse.Namespace) -> int:
                 f"{payload['query_cache_misses']} misses   "
                 f"{payload['query_cache_coalesced']} coalesced"
             )
+            if config.shards > 1:
+                print(
+                    f"  L2 tier: {payload['query_cache_l2_hits']} hits   "
+                    f"{payload['query_cache_l2_misses']} misses   "
+                    f"{payload['query_cache_l2_promotions']} promotions"
+                )
         if config.cohorts:
             print(
                 f"  cohorts: {payload['cohort_hits']} hits   "
@@ -400,6 +424,8 @@ def run_simulate(args: argparse.Namespace) -> int:
                 f"  trace: {payload['trace']['events']} events -> "
                 f"{payload['trace']['path']}"
             )
+    if sharded:
+        service.close()  # shut persistent shard workers down, if any
     return 0
 
 
@@ -425,6 +451,8 @@ def run_serve(args: argparse.Namespace) -> int:
         "strategy": config.code,
         "backend": config.backend,
         "shards": config.shards,
+        "executor": config.executor,
+        "placement": config.placement,
         "high_water": args.high_water,
         "db": None if args.db is None else str(args.db),
         "config_hash": daemon.config_digest,
@@ -435,7 +463,8 @@ def run_serve(args: argparse.Namespace) -> int:
         persistence = banner["db"] or "none (in-memory records only)"
         print(
             f"serving {banner['serving']} at {banner['url']} "
-            f"({config.code} on {config.backend}, {config.shards} shard(s))\n"
+            f"({config.code} on {config.backend}, {config.shards} shard(s), "
+            f"{config.executor} executor)\n"
             f"  persistence: {persistence}\n"
             f"  queue high-water mark: {args.high_water}  "
             f"config hash: {daemon.config_digest}\n"

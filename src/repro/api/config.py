@@ -18,7 +18,14 @@ from typing import Any, Mapping
 from repro.core.strategy import Strategy
 from repro.errors import StrategyError
 
-__all__ = ["ExecutionConfig", "HALT_POLICIES", "ENGINES", "EXECUTORS", "DISPATCH_MODES"]
+__all__ = [
+    "ExecutionConfig",
+    "HALT_POLICIES",
+    "ENGINES",
+    "EXECUTORS",
+    "DISPATCH_MODES",
+    "PLACEMENTS",
+]
 
 HALT_POLICIES = ("cancel", "drain")
 
@@ -40,6 +47,15 @@ ENGINES = ("reference", "batched")
 #: ``multiprocessing`` pool.  Kept in lockstep with the registry in
 #: :mod:`repro.runtime.executors`.
 EXECUTORS = ("serial", "process")
+
+#: Shard-placement policies for the sharded runtime: ``"hash"`` routes
+#: each instance to its CRC-32 home shard (stable, stateless, the
+#: reference); ``"least-loaded"`` routes each new submission to the shard
+#: with the fewest instances still in flight (assigned minus completed as
+#: of the last drain, ties to the lowest shard index) — deterministic
+#: given submission order, and identical across executors because routing
+#: happens in the parent.
+PLACEMENTS = ("hash", "least-loaded")
 
 #: Fields that live on the nested Strategy but are accepted by
 #: ``ExecutionConfig.replace`` / ``from_code`` for convenience.
@@ -91,11 +107,19 @@ class ExecutionConfig:
 
     ``shards`` and ``executor`` configure the sharded runtime
     (:class:`repro.runtime.ShardedDecisionService`): instances are
-    hash-partitioned across ``shards`` independent engine + DES + database
+    partitioned across ``shards`` independent engine + DES + database
     replicas, driven either in-process (``executor="serial"``) or by a
-    worker-process pool (``executor="process"``).  A plain
+    fleet of long-lived worker processes (``executor="process"``, one
+    persistent worker per shard streaming ops over pipes).  ``placement``
+    picks the routing policy — ``"hash"`` (stable CRC-32 homes) or
+    ``"least-loaded"`` (skew-rebalancing: new work goes to the shard with
+    the fewest instances in flight).  With ``query_cache`` armed and
+    ``shards > 1``, the runtime adds a shared **L2 tier** above the
+    per-shard caches: keys completed by any shard are committed at round
+    boundaries and probed by every shard's L1 on a miss
+    (``query_cache_l2_*`` counters in ``summary()``).  A plain
     :class:`~repro.api.service.DecisionService` is single-shard by
-    definition and ignores both fields; :func:`repro.runtime.create_service`
+    definition and ignores these fields; :func:`repro.runtime.create_service`
     picks the right facade from them.
     """
 
@@ -107,6 +131,7 @@ class ExecutionConfig:
     engine: str = "reference"
     shards: int = 1
     executor: str = "serial"
+    placement: str = "hash"
     dispatch: str = "per-event"
     query_cache: bool = False
     cohorts: bool = False
@@ -136,6 +161,10 @@ class ExecutionConfig:
         if self.executor not in EXECUTORS:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
             )
         if self.dispatch not in DISPATCH_MODES:
             raise ValueError(
@@ -224,6 +253,8 @@ class ExecutionConfig:
             extras.append(f"engine={self.engine}")
         if self.shards != 1 or self.executor != "serial":
             extras.append(f"shards={self.shards}x{self.executor}")
+        if self.placement != "hash":
+            extras.append(f"placement={self.placement}")
         if self.halt_policy != "cancel":
             extras.append(f"halt={self.halt_policy}")
         if self.dispatch != "per-event":

@@ -89,6 +89,9 @@ class MetricsSummary:
     query_cache_hits: int = 0
     query_cache_misses: int = 0
     query_cache_coalesced: int = 0
+    query_cache_l2_hits: int = 0
+    query_cache_l2_misses: int = 0
+    query_cache_l2_promotions: int = 0
     cohort_hits: int = 0
     cohort_splits: int = 0
 
@@ -151,6 +154,9 @@ class MetricsSummary:
                 "query_cache_hits",
                 "query_cache_misses",
                 "query_cache_coalesced",
+                "query_cache_l2_hits",
+                "query_cache_l2_misses",
+                "query_cache_l2_promotions",
                 "cohort_hits",
                 "cohort_splits",
             )

@@ -347,6 +347,7 @@ def config_to_dict(config) -> dict:
         "engine": config.engine,
         "shards": config.shards,
         "executor": config.executor,
+        "placement": config.placement,
         "dispatch": config.dispatch,
         "query_cache": config.query_cache,
         "cohorts": config.cohorts,
@@ -374,6 +375,7 @@ def config_from_dict(data: dict):
         engine=data.get("engine", "reference"),
         shards=data.get("shards", 1),
         executor=data.get("executor", "serial"),
+        placement=data.get("placement", "hash"),
         dispatch=data.get("dispatch", "per-event"),
         query_cache=bool(data.get("query_cache", False)),
         cohorts=bool(data.get("cohorts", False)),

@@ -2,9 +2,13 @@
 
 Scale-out layer over :mod:`repro.api`: a
 :class:`ShardedDecisionService` presents the ``DecisionService`` facade
-while hash-partitioning instances across independent engine + DES +
-database shards, driven in-process (``executor="serial"``) or by a
-``multiprocessing`` worker pool (``executor="process"``).
+while partitioning instances across independent engine + DES + database
+shards (stable-hash or least-loaded placement), driven in-process
+(``executor="serial"``) or by a fleet of long-lived worker processes
+(``executor="process"``, one persistent worker per shard streaming ops
+over pipes).  With the query cache armed on a multi-shard fleet, a
+shared L2 tier (:mod:`repro.runtime.l2cache`) lets any shard reuse
+query results the fleet already paid for.
 
 Quickstart::
 
@@ -15,9 +19,11 @@ Quickstart::
     service = create_service(pattern.schema, config)
     service.submit_stream(arrivals, values=pattern.source_values)
     print(service.summary().count, service.total_units)
+    service.close()  # shut the persistent worker fleet down
 """
 
 from repro.runtime.executors import ShardStats
+from repro.runtime.l2cache import L2_MEMO_LIMIT, SharedQueryTier, ShardL2View
 from repro.runtime.sharding import (
     MergedEventLog,
     ShardedDecisionService,
@@ -26,7 +32,13 @@ from repro.runtime.sharding import (
     merge_shard_events,
     shard_of,
 )
-from repro.runtime.worker import InstanceRecord, ShardOutcome, ShardTask, execute_shard
+from repro.runtime.worker import (
+    InstanceRecord,
+    ShardOutcome,
+    ShardTask,
+    execute_shard,
+    worker_main,
+)
 
 __all__ = [
     "ShardedDecisionService",
@@ -40,4 +52,8 @@ __all__ = [
     "ShardOutcome",
     "InstanceRecord",
     "execute_shard",
+    "worker_main",
+    "SharedQueryTier",
+    "ShardL2View",
+    "L2_MEMO_LIMIT",
 ]

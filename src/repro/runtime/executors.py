@@ -8,11 +8,22 @@ Two implementations behind one duck-typed interface, selected by
   thread, one shard after another.  Deterministic, incremental (submit /
   run / submit again), and the reference the differential suite locks the
   process executor against.
-* :class:`ProcessExecutor` — submissions buffer as plain-data ops; one
-  ``run()`` ships each non-empty shard's workload to a
-  ``multiprocessing`` pool as a :class:`~repro.runtime.worker.ShardTask`
-  and collects :class:`~repro.runtime.worker.ShardOutcome` results for
-  merging.  Batch-oriented: exactly one execution round, to completion.
+* :class:`ProcessExecutor` — a fleet of **long-lived shard workers**:
+  one process per shard, spawned once (lazily, at the first submission)
+  and kept alive across rounds.  Submissions buffer as plain-data ops;
+  every ``run()`` streams each shard's new ops down its pipe, the
+  workers drive their live services concurrently, and incremental
+  :class:`~repro.runtime.worker.ShardOutcome` frames come back for
+  merging.  Fully incremental — submit → run → submit again matches the
+  serial executor's contract — and ``run(until=...)`` is supported.
+
+Both executors arm the shared L2 query tier
+(:class:`~repro.runtime.l2cache.SharedQueryTier`) when the config asks
+for the query cache with more than one shard: the serial executor's
+shard services share the committed set in-process, the process executor
+replicates it to worker mirrors as pipe deltas, and both commit pending
+keys at the same round boundaries — so cache state, counters, and traces
+are bit-identical across executors.
 
 Both present the same per-shard operations to
 :class:`~repro.runtime.sharding.ShardedDecisionService`; the service owns
@@ -22,7 +33,6 @@ routing, id allocation, and cross-shard aggregation.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import sys
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
@@ -33,7 +43,8 @@ from repro.core.metrics import MetricsSummary
 from repro.core.schema import DecisionFlowSchema
 from repro.core.serialize import SerializationError, config_to_dict, schema_to_dict
 from repro.errors import ExecutionError
-from repro.runtime.worker import InstanceRecord, ShardOutcome, ShardTask, execute_shard
+from repro.runtime.l2cache import SharedQueryTier
+from repro.runtime.worker import InstanceRecord, ShardOutcome, worker_main
 
 __all__ = ["ShardStats", "SerialExecutor", "ProcessExecutor", "EXECUTOR_CLASSES"]
 
@@ -58,6 +69,13 @@ def _shard_config(config: ExecutionConfig) -> ExecutionConfig:
     return config.replace(shards=1, executor="serial")
 
 
+def _l2_tier(config: ExecutionConfig, shards: int) -> SharedQueryTier | None:
+    """The shared L2 tier, when the config arms it (cache + >1 shard)."""
+    if config.query_cache and shards > 1:
+        return SharedQueryTier()
+    return None
+
+
 class SerialExecutor:
     """All shards live in-process; ``run`` drives them one after another."""
 
@@ -66,7 +84,16 @@ class SerialExecutor:
 
     def __init__(self, schema: DecisionFlowSchema, config: ExecutionConfig, shards: int):
         shard_config = _shard_config(config)
-        self.services = [DecisionService(schema, shard_config) for _ in range(shards)]
+        self._tier = _l2_tier(config, shards)
+        self._views = (
+            [self._tier.view() for _ in range(shards)]
+            if self._tier is not None
+            else [None] * shards
+        )
+        self.services = [
+            DecisionService(schema, shard_config, query_cache_l2=view)
+            for view in self._views
+        ]
 
     def submit(
         self,
@@ -97,9 +124,27 @@ class SerialExecutor:
     def run(self, until: float | None = None, collect_events: bool = False) -> None:
         for service in self.services:
             service.run(until)
+        if self._tier is not None:
+            # Round boundary: every shard has finished; commit the keys
+            # they published so the *next* round can hit them.
+            self._tier.commit([view.drain() for view in self._views])
 
     def record_for(self, instance_id: str) -> InstanceRecord | None:
         return None  # serial handles are live; nothing to materialize
+
+    def round_events(self) -> list[list]:
+        return [[] for _ in self.services]  # live delivery; nothing to replay
+
+    def close(self) -> None:
+        return None  # nothing external to tear down
+
+    def worker_health(self) -> dict:
+        return {
+            "executor": self.name,
+            "spawned": False,
+            "alive": True,
+            "workers": [],
+        }
 
     # -- observation ---------------------------------------------------------
 
@@ -163,8 +208,34 @@ class SerialExecutor:
         return [service.obs.tracer.events() for service in self.services]
 
 
+class _WorkerLink:
+    """One persistent shard worker: its process and the parent pipe end."""
+
+    __slots__ = ("shard", "process", "conn")
+
+    def __init__(self, shard: int, process, conn):
+        self.shard = shard
+        self.process = process
+        self.conn = conn
+
+
 class ProcessExecutor:
-    """Buffer shard workloads; one ``run`` executes them on a worker pool."""
+    """One long-lived worker process per shard, streaming ops over pipes.
+
+    Workers spawn lazily at the first submission (after the workload
+    proves serializable) and persist across rounds: each ``run()`` sends
+    every worker its buffered ops plus the shared-cache delta, lets the
+    fleet execute concurrently, then drains one incremental
+    :class:`~repro.runtime.worker.ShardOutcome` per shard.  Aggregate
+    reads between rounds come from the cached outcomes — workers idle
+    between rounds, so the cache is exact and costs no IPC.
+
+    A dead worker surfaces as a named :class:`ExecutionError` on the
+    next send or receive (a closed pipe raises immediately — no hang).
+    ``close()`` shuts the fleet down; it runs automatically on garbage
+    collection and the workers are daemonic besides, so leaked fleets
+    die with the parent.
+    """
 
     name = "process"
     live = False
@@ -176,22 +247,142 @@ class ProcessExecutor:
         self._ops: list[list[tuple]] = [[] for _ in range(shards)]
         self._outcomes: list[ShardOutcome] | None = None
         self._records: dict[str, InstanceRecord] = {}
+        self._round_events: list[list] = [[] for _ in range(shards)]
+        self._workers: list[_WorkerLink] | None = None
+        self._closed = False
+        self._tier = _l2_tier(config, shards)
+        #: completed executor rounds (each run() that reached the fleet)
+        self.rounds = 0
         #: last (mapping, frozen copy) pair: sweeps submit one shared
         #: mapping thousands of times, and reusing its frozen copy keeps
-        #: the buffered ops — and the pickled ShardTask, via the pickler's
+        #: the buffered ops — and the pickled op list, via the pickler's
         #: memo — O(1) instead of O(n) in the mapping size.
         self._freeze_cache: tuple[object, dict | None] = (None, None)
 
-    @property
-    def ran(self) -> bool:
-        return self._outcomes is not None
+    # -- worker lifecycle ----------------------------------------------------
 
-    def _ensure_open(self, action: str) -> None:
-        if self.ran:
+    def _ensure_workers(self) -> list[_WorkerLink]:
+        if self._closed:
             raise ExecutionError(
-                f"cannot {action}: the process executor executes exactly one "
-                "round; use executor='serial' for incremental submission"
+                "the process executor is closed; its shard workers have shut down"
             )
+        if self._workers is not None:
+            return self._workers
+        try:
+            schema_data = schema_to_dict(self.schema)
+            config_data = config_to_dict(self.config)
+        except SerializationError as error:
+            raise ExecutionError(
+                "the process executor ships work to its shard workers via "
+                f"core.serialize and cannot encode this workload: {error}"
+            ) from error
+        # Fork skips re-import in the workers, but only Linux treats it as
+        # safe; everywhere else (macOS made spawn the default because fork
+        # is not) the platform default start method is the right one, and
+        # every frame on the pipe is fully picklable either way.
+        if sys.platform == "linux":
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - exercised on non-Linux CI hosts
+            context = multiprocessing.get_context()
+        workers = []
+        for shard in range(self.shards):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=worker_main,
+                args=(child_conn, shard, schema_data, config_data, self._tier is not None),
+                name=f"repro-shard-{shard}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            workers.append(_WorkerLink(shard, process, parent_conn))
+        self._workers = workers
+        return workers
+
+    def _worker_died(self, link: _WorkerLink) -> ExecutionError:
+        exitcode = link.process.exitcode
+        return ExecutionError(
+            f"shard {link.shard} worker (pid {link.process.pid}) died"
+            f"{f' with exit code {exitcode}' if exitcode is not None else ''}; "
+            "the persistent process executor cannot recover its shard state — "
+            "close() this service and rebuild it"
+        )
+
+    def _send(self, link: _WorkerLink, message: tuple) -> None:
+        try:
+            link.conn.send(message)
+        except (BrokenPipeError, OSError) as error:
+            raise self._worker_died(link) from error
+
+    def _recv(self, link: _WorkerLink):
+        try:
+            frame = link.conn.recv()
+        except (EOFError, OSError) as error:
+            raise self._worker_died(link) from error
+        if frame[0] == "error":
+            _, type_name, message, trace = frame
+            raise ExecutionError(
+                f"shard {link.shard} worker failed: {type_name}: {message}\n"
+                f"--- worker traceback ---\n{trace}"
+            )
+        return frame[1]
+
+    def close(self) -> None:
+        """Shut the worker fleet down (idempotent; runs again on gc)."""
+        if self._closed:
+            return
+        self._closed = True
+        workers, self._workers = self._workers, None
+        if not workers:
+            return
+        for link in workers:
+            try:
+                link.conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        for link in workers:
+            try:
+                if link.conn.poll(2.0):
+                    link.conn.recv()
+            except (EOFError, OSError):
+                pass
+            link.conn.close()
+            link.process.join(timeout=2.0)
+            if link.process.is_alive():  # pragma: no cover - stuck worker
+                link.process.terminate()
+                link.process.join(timeout=1.0)
+
+    def __del__(self):  # pragma: no cover - gc timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def worker_health(self) -> dict:
+        """Liveness of the persistent fleet, for daemon ``/healthz``."""
+        if self._workers is None:
+            return {
+                "executor": self.name,
+                "spawned": False,
+                "alive": not self._closed,
+                "workers": [],
+            }
+        workers = [
+            {
+                "shard": link.shard,
+                "pid": link.process.pid,
+                "alive": link.process.is_alive(),
+            }
+            for link in self._workers
+        ]
+        return {
+            "executor": self.name,
+            "spawned": True,
+            "alive": all(entry["alive"] for entry in workers),
+            "workers": workers,
+        }
+
+    # -- submission ----------------------------------------------------------
 
     def submit(
         self,
@@ -200,14 +391,29 @@ class ProcessExecutor:
         source_values: Mapping[str, object] | None,
         at: float | None,
     ) -> None:
-        self._ensure_open("submit more instances after run()")
-        if at is not None and at < 0.0:
+        floor = self._floor(shard)
+        if at is not None and at < floor:
+            # Mirror the engine's own submit-time check so the error
+            # surfaces here, exactly as it does on the serial executor,
+            # instead of as a worker error frame at the next run().
             raise ExecutionError(
                 f"instance {instance_id!r}: cannot start at past time {at} "
-                "(shard clocks start at 0)"
+                f"(simulation clock is at {floor})"
             )
+        self._ensure_workers()
         self._ops[shard].append(("submit", instance_id, self._frozen(source_values), at))
         return None
+
+    def _floor(self, shard: int) -> float:
+        """One shard's earliest admissible start time: its clock position.
+
+        Shard clocks only move during rounds; between rounds the cached
+        outcomes are exact, so the last outcome's ``end_time`` *is* the
+        worker's live ``sim.now``.
+        """
+        if self._outcomes is None:
+            return 0.0
+        return self._outcomes[shard].end_time
 
     def _frozen(self, source_values: Mapping[str, object] | None) -> dict | None:
         """A snapshot of *source_values* as buffered (mutations after
@@ -229,64 +435,65 @@ class ProcessExecutor:
         values_list: Sequence[Mapping[str, object] | None],
         concurrency: int,
     ) -> None:
-        self._ensure_open("start a closed loop after run()")
+        self._ensure_workers()
         frozen = [self._frozen(v) for v in values_list]
         self._ops[shard].append(("closed", list(instance_ids), frozen, concurrency))
         return None
 
-    def run(self, until: float | None = None, collect_events: bool = False) -> None:
-        if until is not None:
-            raise ExecutionError(
-                "the process executor always drains shards to completion; "
-                "run(until=...) needs executor='serial'"
-            )
-        if self.ran:
-            return
-        try:
-            schema_data = schema_to_dict(self.schema)
-            config_data = config_to_dict(self.config)
-        except SerializationError as error:
-            raise ExecutionError(
-                "the process executor ships work to workers via "
-                f"core.serialize and cannot encode this workload: {error}"
-            ) from error
-        tasks = [
-            ShardTask(shard, schema_data, config_data, ops, collect_events)
-            for shard, ops in enumerate(self._ops)
-            if ops
-        ]
-        by_shard = {
-            shard: ShardOutcome.idle(shard, self.config.backend, collect_events)
-            for shard in range(self.shards)
-        }
-        if tasks:
-            for outcome in self._execute(tasks):
-                by_shard[outcome.shard] = outcome
-        self._outcomes = [by_shard[shard] for shard in range(self.shards)]
-        self._records = {
-            record.instance_id: record
-            for outcome in self._outcomes
-            for record in outcome.records
-        }
+    # -- driving -------------------------------------------------------------
 
-    def _execute(self, tasks: list[ShardTask]) -> list[ShardOutcome]:
-        if len(tasks) == 1:
-            # One busy shard gains nothing from a pool; skip the fork/pickle.
-            return [execute_shard(tasks[0])]
-        # Fork skips re-import in the workers, but only Linux treats it as
-        # safe; everywhere else (macOS made spawn the default because fork
-        # is not) the platform default start method is the right one, and
-        # tasks/outcomes are fully picklable either way.
-        if sys.platform == "linux":
-            context = multiprocessing.get_context("fork")
-        else:  # pragma: no cover - exercised on non-Linux CI hosts
-            context = multiprocessing.get_context()
-        workers = min(len(tasks), os.cpu_count() or len(tasks))
-        with context.Pool(processes=workers) as pool:
-            return pool.map(execute_shard, tasks)
+    def run(self, until: float | None = None, collect_events: bool = False) -> None:
+        if self._closed:
+            raise ExecutionError(
+                "the process executor is closed; its shard workers have shut down"
+            )
+        if self._workers is None:
+            # Nothing was ever submitted: an idle fleet, no spawn needed.
+            if self._outcomes is None:
+                self._outcomes = [
+                    ShardOutcome.idle(shard, self.config.backend, collect_events)
+                    for shard in range(self.shards)
+                ]
+            self._round_events = [[] for _ in range(self.shards)]
+            return
+        added, removed = self._tier.take_delta() if self._tier is not None else ([], [])
+        ops, self._ops = self._ops, [[] for _ in range(self.shards)]
+        # Send every shard's round first, then drain in shard order: the
+        # whole fleet executes concurrently and the parent blocks only on
+        # the slowest shard.
+        for link in self._workers:
+            self._send(
+                link,
+                ("run", ops[link.shard], until, collect_events, added, removed),
+            )
+        outcomes: list[ShardOutcome] = []
+        new_keys: list[list] = []
+        for link in self._workers:
+            outcome, keys = self._recv(link)
+            outcomes.append(outcome)
+            new_keys.append(keys)
+        if self._tier is not None:
+            self._tier.commit(new_keys)
+        self._outcomes = outcomes
+        self._round_events = [outcome.events or [] for outcome in outcomes]
+        for outcome in outcomes:
+            for record in outcome.records:
+                self._records[record.instance_id] = record
+        self.rounds += 1
 
     def record_for(self, instance_id: str) -> InstanceRecord | None:
         return self._records.get(instance_id)
+
+    def round_events(self) -> list[list]:
+        """Per-shard events newly collected by the last round."""
+        return self._round_events
+
+    def snapshots(self) -> list[dict]:
+        """Live worker snapshots (one pipe round-trip per shard)."""
+        workers = self._ensure_workers()
+        for link in workers:
+            self._send(link, ("snapshot",))
+        return [self._recv(link) for link in workers]
 
     # -- aggregation ---------------------------------------------------------
 
@@ -326,8 +533,8 @@ class ProcessExecutor:
         return [
             ShardStats(
                 shard=outcome.shard,
-                instances=len(outcome.records),
-                completed=sum(1 for record in outcome.records if record.done),
+                instances=outcome.instances,
+                completed=outcome.completed,
                 total_units=outcome.total_units,
                 queries_completed=outcome.queries_completed,
                 queries_cancelled=outcome.queries_cancelled,

@@ -1,0 +1,175 @@
+"""The shared L2 query-cache tier: cross-shard result reuse.
+
+PR 4 made sharding strictly partitioned — "sharing is per-shard by
+design" — so two shards answering the same expensive query each paid for
+it.  This module is the cross-shard tier above the per-shard
+:class:`~repro.simdb.database.QueryShareCache` (the L1): keys whose
+queries *completed successfully* anywhere in the fleet are published
+here, and every shard's L1 probes the tier on a miss before dispatching
+to its database.
+
+Round-boundary commit semantics
+-------------------------------
+
+Shards must stay deterministic and executor-independent, so the tier is
+**not** a live shared dict: during one executor ``run()`` round every
+shard sees exactly the keys *committed before the round started*, and
+the keys it completes during the round buffer in a per-shard pending set.
+When every shard has finished the round, the owner commits all pending
+sets (in shard order) into the committed set.  Consequences:
+
+* the serial executor (shards run one after another) and the process
+  executor (shards run concurrently) observe byte-identical cache state,
+  so traces and counters match exactly — the differential suites pin
+  this;
+* a single-round batch run never observes the tier at all (nothing was
+  committed before its only round), so existing single-round rings are
+  unaffected;
+* cross-shard reuse materializes *across rounds* — exactly the shape of
+  the server daemon's drain-loop epochs, where it pays off.
+
+Replication to worker processes is by **delta over the worker pipes**,
+not a ``multiprocessing.Manager`` proxy: a Manager round-trips ~100 µs
+per probe, which would dwarf the dispatch it saves on all-distinct
+workloads.  Instead the parent owns the committed set; each round
+command carries the ``(added, removed)`` delta from the previous commit
+and each round response carries the shard's newly pending keys, so
+workers probe a local mirror at dict-lookup cost.
+
+Only completion *facts* are stored (key → present), never payloads —
+query values are deterministic functions of their inputs in this
+simulation (the paper's fixed-data assumption), so knowing a key
+completed is enough for the L1 to serve it as a zero-delay hit.  Failed
+queries are never published (the L1 never memoizes them either), so
+failures always retry.
+
+The committed set is FIFO-bounded by :data:`L2_MEMO_LIMIT`; evictions
+are decided at commit time by the owner and shipped in the same delta,
+keeping mirrors exact.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ShardL2View", "SharedQueryTier", "L2_MEMO_LIMIT"]
+
+#: Bound on committed keys in one :class:`SharedQueryTier` (FIFO evicted
+#: at commit time).  An open-system daemon runs indefinitely; without a
+#: bound the tier would grow one key per distinct query forever.
+L2_MEMO_LIMIT = 65536
+
+
+class ShardL2View:
+    """One shard's window onto the shared tier.
+
+    ``committed`` is the key membership the shard may *read* this round:
+    the owner's committed mapping itself under the serial executor, or a
+    worker-local mirror ``set`` kept exact by pipe deltas under the
+    process executor.  ``publish`` buffers into the shard's private
+    pending dict (insertion-ordered — commit order must not depend on
+    hash seeds), drained by the round owner at the round boundary.
+    """
+
+    __slots__ = ("_committed", "_pending")
+
+    def __init__(self, committed):
+        self._committed = committed
+        self._pending: dict = {}
+
+    def probe(self, key) -> bool:
+        """Whether *key* was committed before this round started."""
+        return key in self._committed
+
+    def publish(self, key) -> bool:
+        """Buffer a successfully completed *key* for the next commit.
+
+        Returns True when the key is new to this shard's view (not
+        committed, not already pending here) — the caller counts that as
+        one L1→L2 promotion.  Two shards publishing the same key in the
+        same round each count one; the commit dedupes.
+        """
+        if key in self._committed or key in self._pending:
+            return False
+        self._pending[key] = True
+        return True
+
+    def drain(self) -> list:
+        """Take this round's pending keys, in publish order."""
+        keys = list(self._pending)
+        self._pending.clear()
+        return keys
+
+    def apply_delta(self, added, removed) -> None:
+        """Sync a worker-local mirror with the owner's last commit."""
+        committed = self._committed
+        committed.update(added)
+        committed.difference_update(removed)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardL2View committed={len(self._committed)} "
+            f"pending={len(self._pending)}>"
+        )
+
+
+class SharedQueryTier:
+    """The owner of the committed key set, living in the parent process.
+
+    The serial executor hands each shard a view sharing the committed
+    mapping directly; the process executor keeps the tier authoritative
+    and replicates commits to worker mirrors as ``(added, removed)``
+    deltas (see the module docstring).  ``commit`` runs once per
+    executor round, after every shard has finished.
+    """
+
+    def __init__(self, limit: int = L2_MEMO_LIMIT):
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self.limit = limit
+        #: committed keys in commit order (insertion-ordered for FIFO)
+        self._committed: dict = {}
+        self._last_added: list = []
+        self._last_removed: list = []
+
+    def view(self) -> ShardL2View:
+        """A serial-executor shard view sharing the committed mapping."""
+        return ShardL2View(self._committed)
+
+    def commit(self, per_shard_keys) -> None:
+        """Fold every shard's drained pending keys into the committed set.
+
+        *per_shard_keys* is one key list per shard, in shard order —
+        the one total order both executors produce — so the committed
+        set's content and FIFO eviction order are deterministic.
+        """
+        committed = self._committed
+        added: list = []
+        removed: list = []
+        for keys in per_shard_keys:
+            for key in keys:
+                if key not in committed:
+                    committed[key] = True
+                    added.append(key)
+        while len(committed) > self.limit:
+            oldest = next(iter(committed))
+            del committed[oldest]
+            removed.append(oldest)
+        self._last_added = added
+        self._last_removed = removed
+
+    def take_delta(self) -> tuple[list, list]:
+        """The ``(added, removed)`` lists of the last commit, once.
+
+        The process executor ships this down with the next round command;
+        taking it clears it, so every delta reaches the mirrors exactly
+        one time.
+        """
+        added, removed = self._last_added, self._last_removed
+        self._last_added, self._last_removed = [], []
+        return added, removed
+
+    @property
+    def committed_size(self) -> int:
+        return len(self._committed)
+
+    def __repr__(self) -> str:
+        return f"<SharedQueryTier committed={len(self._committed)}/{self.limit}>"

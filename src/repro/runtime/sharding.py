@@ -10,19 +10,27 @@ but hash-partitions instances across ``config.shards`` shards, each
 owning an independent engine (reference or batched), DES calendar, and
 database replica built from the backend registry.
 
-Routing is by a *stable* hash (CRC-32 of the instance id), so the same
-workload lands on the same shards in every process on every run.  Two
+Routing is by a *stable* hash (CRC-32 of the instance id) under the
+default ``placement="hash"``, so the same workload lands on the same
+shards in every process on every run; ``placement="least-loaded"``
+instead routes each new submission to the shard with the fewest
+instances still in flight (skew rebalancing — deterministic given
+submission order, since routing always happens in the parent).  Two
 executors drive the fleet (``config.executor``): ``"serial"`` runs every
 shard in-process — deterministic, incremental, and for ``shards=1``
-indistinguishable from a plain service — while ``"process"`` ships each
-shard's workload to a ``multiprocessing`` worker via
-:mod:`repro.core.serialize` and merges the returned outcomes.
+indistinguishable from a plain service — while ``"process"`` keeps one
+long-lived worker process per shard, streaming each round's ops over a
+pipe via :mod:`repro.core.serialize` and merging the incremental
+outcomes.  Both executors are fully incremental: submit → run → submit
+again works identically on either.
 
 Determinism and equivalence guarantees:
 
 * Any sharded run is exactly reproducible, and the process executor
   reproduces the serial executor's results shard for shard (each worker
-  replays the same ops on the same fresh substrate).
+  replays the same ops on the same substrate at the same round
+  boundaries — including the shared L2 query tier, which commits at
+  end-of-round on both executors).
 * With one shard, results are identical to a plain ``DecisionService`` —
   bit for bit, including event order.
 * With N shards, per-instance results are identical to a single service
@@ -159,8 +167,14 @@ class ShardedInstanceHandle:
         return self._shard
 
     def _resolve(self) -> InstanceRecord | None:
-        if self._record is None:
-            self._record = self._service._executor.record_for(self._instance_id)
+        # Re-fetch until the record reports done: the persistent process
+        # executor re-materializes records of still-running instances
+        # every round, so a cached not-done record goes stale.
+        record = self._record
+        if record is None or not record.done:
+            fetched = self._service._executor.record_for(self._instance_id)
+            if fetched is not None:
+                self._record = fetched
         return self._record
 
     @property
@@ -274,6 +288,12 @@ class ShardedDecisionService:
         self._handles: list[ShardedInstanceHandle] = []
         self._instance_ids: set[str] = set()
         self._id_seq = itertools.count(1)
+        #: placement state: where each instance was routed, how many each
+        #: shard was assigned, and each shard's completion count as of
+        #: the last drain (the live-load signal for least-loaded).
+        self._routes: dict[str, int] = {}
+        self._assigned = [0] * self.shards
+        self._completed_seen = [0] * self.shards
         #: process-executor observation state (serial subscribes live).
         self._handlers: dict[str, list[Callable]] = {
             "launch": [],
@@ -281,7 +301,6 @@ class ShardedDecisionService:
             "complete": [],
         }
         self._logs: list[MergedEventLog] = []
-        self._events_replayed = False
 
     # -- id allocation and routing --------------------------------------------
 
@@ -292,8 +311,28 @@ class ShardedDecisionService:
         )
 
     def shard_of(self, instance_id: str) -> int:
-        """Which shard an instance id routes to."""
+        """Which shard an instance id routes to.
+
+        For an already-routed instance this is its assigned shard under
+        any placement policy; otherwise the stable CRC-32 home.
+        """
+        assigned = self._routes.get(instance_id)
+        if assigned is not None:
+            return assigned
         return shard_of(instance_id, self.shards)
+
+    def _route(self, instance_id: str) -> int:
+        """Assign a new instance a shard under the configured placement."""
+        if self.config.placement == "hash":
+            shard = shard_of(instance_id, self.shards)
+        else:  # least-loaded: fewest in flight, ties to the lowest index
+            shard = min(
+                range(self.shards),
+                key=lambda s: (self._assigned[s] - self._completed_seen[s], s),
+            )
+        self._routes[instance_id] = shard
+        self._assigned[shard] += 1
+        return shard
 
     def _register(
         self, shard: int, instance_id: str, local: InstanceHandle | None
@@ -313,10 +352,15 @@ class ShardedDecisionService:
     ) -> ShardedInstanceHandle:
         """Submit one instance to its home shard."""
         instance_id = self._claim_id(instance_id)
-        shard = self.shard_of(instance_id)
-        local = self._executor.submit(shard, instance_id, source_values, at)
-        # Claim only once the shard accepted it (a rejected submission —
-        # e.g. a past start time — must not burn the name).
+        shard = self._route(instance_id)
+        try:
+            local = self._executor.submit(shard, instance_id, source_values, at)
+        except Exception:
+            # A rejected submission (e.g. a past start time) must not
+            # burn the name or skew the placement load accounting.
+            del self._routes[instance_id]
+            self._assigned[shard] -= 1
+            raise
         self._instance_ids.add(instance_id)
         return self._register(shard, instance_id, local)
 
@@ -372,7 +416,7 @@ class ShardedDecisionService:
             [] for _ in range(self.shards)
         ]
         for instance_id, source_values in zip(ids, values_list):
-            shard = self.shard_of(instance_id)
+            shard = self._route(instance_id)
             per_shard_ids[shard].append(instance_id)
             per_shard_values[shard].append(source_values)
         active = [s for s in range(self.shards) if per_shard_ids[s]]
@@ -400,10 +444,13 @@ class ShardedDecisionService:
     # -- driving and reading --------------------------------------------------
 
     def run(self, until: float | None = None) -> None:
-        """Drive every shard (to *until* with the serial executor, else dry)."""
+        """Drive every shard one round: to *until*, or until its work drains."""
         collect = bool(self._logs) or any(self._handlers.values())
         self._executor.run(until, collect_events=collect)
         self._replay_events()
+        if self.config.placement != "hash":
+            for index, stat in enumerate(self._executor.shard_stats()):
+                self._completed_seen[index] = stat.completed
 
     @property
     def now(self) -> float:
@@ -457,6 +504,25 @@ class ShardedDecisionService:
             totals["pooled_events"] += stats["pooled_events"]
         return totals
 
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release executor resources (shuts persistent shard workers down).
+
+        Idempotent; the serial executor has nothing to release.  A closed
+        process-executor service can still be read (summaries, handles,
+        stats come from cached outcomes) but not driven further.
+        """
+        self._executor.close()
+
+    def worker_health(self) -> dict:
+        """Executor liveness: per-worker alive flags for the process fleet.
+
+        The daemon folds this into ``/healthz``; the serial executor is
+        trivially alive.
+        """
+        return self._executor.worker_health()
+
     # -- observability (repro.obs) --------------------------------------------
 
     def observability(self) -> dict:
@@ -495,22 +561,17 @@ class ShardedDecisionService:
         if self._executor.live:
             self._executor.subscribe(kind, handler)
         else:
-            self._ensure_observable()
             self._handlers[kind].append(handler)
         return handler
-
-    def _ensure_observable(self) -> None:
-        if getattr(self._executor, "ran", False):
-            raise ExecutionError(
-                "attach observers before run(): the process executor collects "
-                "shard events only for handlers registered up front"
-            )
 
     def on_launch(self, handler: Callable[[LaunchEvent], None]):
         """Subscribe to task-launch events; usable as a decorator.
 
         Serial-executor delivery is live; the process executor replays
-        events in the merged global order once shards return.
+        each round's events in the merged global order once its shards
+        return.  Handlers may attach at any point in the service's life —
+        a handler attached after some rounds have run receives events
+        from the next round on.
         """
         return self._subscribe("launch", handler)
 
@@ -523,23 +584,25 @@ class ShardedDecisionService:
         return self._subscribe("complete", handler)
 
     def attach_log(self) -> MergedEventLog:
-        """Subscribe a fresh :class:`MergedEventLog` to every shard."""
+        """Subscribe a fresh :class:`MergedEventLog` to every shard.
+
+        Logs may attach at any point; under the process executor a log
+        attached after some rounds have run records from the next round.
+        """
         log = MergedEventLog(self.shards)
         if self._executor.live:
             self._executor.attach_sink(log.record)
         else:
-            self._ensure_observable()
             self._logs.append(log)
         return log
 
     def _replay_events(self) -> None:
-        """Process executor: fan collected shard events out after the run."""
-        if self._executor.live or self._events_replayed:
+        """Process executor: fan one round's shard events out after it runs."""
+        if self._executor.live:
             return
         if not self._logs and not any(self._handlers.values()):
             return
-        per_shard = [outcome.events or [] for outcome in self._executor.outcomes]
-        self._events_replayed = True
+        per_shard = self._executor.round_events()
         for log in self._logs:
             for shard, events in enumerate(per_shard):
                 for event in events:

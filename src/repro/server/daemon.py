@@ -2,14 +2,16 @@
 
 Everything else in the repo is batch — a sweep is submitted, drained, and
 the process exits.  :class:`ServerDaemon` is the open-system front half:
-it owns a :class:`~repro.api.service.DecisionService` (plain or sharded
-with the serial executor), accepts submissions from any thread, and runs
-a single **drain loop** thread that feeds admitted arrivals into the
-engine in epochs — submit the pending batch at DES times derived from
-wall-clock arrival (``ticks_per_second`` maps wall seconds onto the
-simulated clock), run the calendar dry, record and persist completions,
-repeat.  The DES clock therefore advances against wall-time arrivals
-instead of a pre-baked schedule.
+it owns a :class:`~repro.api.service.DecisionService` (plain, or sharded
+on either executor — the process executor's persistent shard workers
+stay alive across epochs, so each drain round streams down the same
+pipes), accepts submissions from any thread, and runs a single **drain
+loop** thread that feeds admitted arrivals into the engine in epochs —
+submit the pending batch at DES times derived from wall-clock arrival
+(``ticks_per_second`` maps wall seconds onto the simulated clock), run
+the calendar dry, record and persist completions, repeat.  The DES clock
+therefore advances against wall-time arrivals instead of a pre-baked
+schedule.
 
 In front of the engine sits an **admission controller**: a bounded
 arrival queue with a configurable high-water mark.  Past it, submissions
@@ -43,7 +45,6 @@ from repro.api.service import InstanceHandle, coerce_config
 from repro.core.metrics import MetricsSummary
 from repro.core.schema import DecisionFlowSchema
 from repro.core.strategy import Strategy
-from repro.errors import ExecutionError
 from repro.obs import (
     NULL_OBS,
     MetricsRegistry,
@@ -156,9 +157,11 @@ class ServerDaemon:
 
     ``config`` accepts the same spellings as
     :class:`~repro.api.service.DecisionService`; ``config.shards > 1``
-    builds the sharded facade (serial executor only — the process
-    executor executes exactly one round and cannot serve an open system
-    until ROADMAP item 2's persistent shard workers land).
+    builds the sharded facade on either executor.  Under
+    ``executor="process"`` each drain epoch becomes one round streamed
+    to the persistent shard workers, and ``health()`` folds the fleet's
+    per-worker liveness into ``/healthz`` (a dead worker flips the
+    daemon unhealthy).
 
     ``db`` is a SQLite path (or a pre-built
     :class:`~repro.server.store.RunStore`); omit it to run without
@@ -189,13 +192,6 @@ class ServerDaemon:
         **backend_options: Any,
     ):
         config = coerce_config(config)
-        if config.executor != "serial":
-            raise ExecutionError(
-                f"the daemon drives its service incrementally, epoch after "
-                f"epoch; executor={config.executor!r} executes exactly one "
-                "round and cannot serve an open system (persistent shard "
-                "workers are ROADMAP item 2) — use executor='serial'"
-            )
         if high_water < 1:
             raise ValueError(f"high_water must be >= 1, got {high_water}")
         if ticks_per_second <= 0:
@@ -589,7 +585,9 @@ class ServerDaemon:
         drain loop: the loop heartbeats every wake and between epochs,
         so a heartbeat older than ``stall_after`` means admitted work is
         sitting in the queue with nothing consuming it.  ``ok=False``
-        (HTTP 503) when the loop is wedged or died without a shutdown.
+        (HTTP 503) when the loop is wedged or died without a shutdown —
+        or, on a process-executor service, when any persistent shard
+        worker has died (the fleet cannot recover its shard state).
         """
         now = time.monotonic()
         heartbeat_age = now - self._heartbeat_mono
@@ -597,15 +595,18 @@ class ServerDaemon:
         stopping = self._stopping.is_set()
         with self._state_lock:
             depth = len(self._queue)
+        workers = self._worker_health()
         if not alive and not self._stopped.is_set():
             status, ok = "dead", False
         elif alive and heartbeat_age > self._stall_after:
             status, ok = "wedged", False
+        elif workers is not None and not workers["alive"] and not stopping:
+            status, ok = "workers-dead", False
         elif stopping:
             status, ok = "stopping", True
         else:
             status, ok = "ok", True
-        return ok, {
+        payload = {
             "status": status,
             "ok": ok,
             "queue_depth": depth,
@@ -615,6 +616,17 @@ class ServerDaemon:
             "drain_alive": alive,
             "uptime": now - self._mono0,
         }
+        if workers is not None:
+            payload["workers"] = workers
+        return ok, payload
+
+    def _worker_health(self) -> dict | None:
+        """The sharded executor's fleet liveness (None on a plain service)."""
+        probe = getattr(self.service, "worker_health", None)
+        if probe is None:
+            return None
+        with self._service_lock:
+            return probe()
 
     def dispatch_stats(self) -> dict:
         """Pooled-dispatch totals from the underlying service."""
@@ -803,6 +815,13 @@ class ServerDaemon:
         drained = not self._thread.is_alive()
         if drained and self._store is not None:
             self._store.close()
+        if drained:
+            # Shut persistent shard workers down with the daemon (no-op
+            # on plain and serial-executor services).
+            close = getattr(self.service, "close", None)
+            if close is not None:
+                with self._service_lock:
+                    close()
         with self._events_lock:
             for subscriber in self._subscribers:
                 try:

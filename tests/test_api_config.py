@@ -106,6 +106,12 @@ class TestExecutionConfig:
         with pytest.raises(ValueError, match="executor must be one of"):
             ExecutionConfig(executor=executor)
 
+    def test_placement_defaults_and_validation(self):
+        assert ExecutionConfig().placement == "hash"
+        assert ExecutionConfig(placement="least-loaded").placement == "least-loaded"
+        with pytest.raises(ValueError, match="placement must be one of"):
+            ExecutionConfig(placement="round-robin-ish")
+
     def test_sharding_fields_via_from_code_and_replace(self):
         config = ExecutionConfig.from_code("PSE80", shards=4, executor="process")
         assert (config.shards, config.executor) == (4, "process")

@@ -207,6 +207,19 @@ class TestSimulateDispatchAndCache:
         # A closed loop over one source valuation shares aggressively.
         assert payload["query_cache_hits"] + payload["query_cache_coalesced"] > 0
 
+    def test_l2_counters_and_placement_in_sharded_json(self, capsys):
+        payload = self._run(
+            capsys,
+            ["--query-cache", "--shards", "2", "--placement", "least-loaded"],
+        )
+        assert payload["placement"] == "least-loaded"
+        assert "least-loaded" in payload["mode"]
+        # Single-round CLI runs never observe the tier (commit is at
+        # round boundaries), but the counters are always reported.
+        assert payload["query_cache_l2_hits"] == 0
+        assert payload["query_cache_l2_misses"] >= 0
+        assert payload["query_cache_l2_promotions"] >= 0
+
     def test_query_cache_text_summary_line(self, capsys):
         assert main(
             [
@@ -291,19 +304,25 @@ class TestServe:
         assert len(banner["config_hash"]) == 16
         assert closing["shutdown"]["accepted"] == 0
 
-    def test_serve_refuses_process_executor(self):
-        from repro.errors import ExecutionError
-
-        with pytest.raises(ExecutionError, match="serial"):
-            main(
-                [
-                    "serve",
-                    "--port", "0",
-                    "--nb-nodes", "12",
-                    "--shards", "2",
-                    "--executor", "process",
-                ]
-            )
+    def test_serve_runs_on_the_process_executor(self, monkeypatch, capsys):
+        # The one-shot process executor used to be refused here; the
+        # persistent-worker fleet serves an open system directly.
+        self._interrupt_serve_forever(monkeypatch)
+        code = main(
+            [
+                "serve",
+                "--port", "0",
+                "--nb-nodes", "12",
+                "--shards", "2",
+                "--executor", "process",
+                "--json",
+            ]
+        )
+        assert code == 130
+        banner = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert banner["shards"] == 2
+        assert banner["executor"] == "process"
+        assert banner["placement"] == "hash"
 
 
 class TestJsonErrorPaths:

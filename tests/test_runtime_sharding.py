@@ -315,7 +315,7 @@ class TestProcessExecutor:
         assert process["now"] == serial["now"]
         assert process["time_unit"] == serial["time_unit"]
 
-    def test_single_round_contract(self, pattern):
+    def test_pre_run_handle_contract(self, pattern):
         service = ShardedDecisionService(
             pattern.schema, ExecutionConfig(shards=2, executor="process")
         )
@@ -329,18 +329,91 @@ class TestProcessExecutor:
             handle.value("no-such-attribute")
         service.run()
         assert handle.done
-        with pytest.raises(ExecutionError, match="exactly one round"):
-            service.submit(pattern.source_values)
-        with pytest.raises(ExecutionError, match="exactly one round"):
-            service.run_closed(2, values=pattern.source_values)
-        service.run()  # idempotent second run is fine
+        service.close()
 
-    def test_run_until_unsupported(self, pattern):
+    def test_incremental_rounds_regression(self, pattern):
+        """Submit-after-run works: the old one-shot restriction is gone.
+
+        PR 10 regression pin — the process executor used to reject any
+        submission after its single round with an "exactly one round"
+        ExecutionError; persistent workers removed that restriction.
+        """
         service = ShardedDecisionService(
             pattern.schema, ExecutionConfig(shards=2, executor="process")
         )
-        with pytest.raises(ExecutionError, match="to completion"):
-            service.run(until=10.0)
+        first = service.submit(pattern.source_values)
+        service.run()
+        assert first.done
+        second = service.submit(pattern.source_values)  # no ExecutionError
+        assert not second.done
+        closed = service.run_closed(2, values=pattern.source_values)
+        assert second.done  # run_closed drained the whole fleet
+        assert all(h.done for h in closed)
+        assert service.summary().count == 4
+        service.run()  # idempotent extra run is still fine
+        service.close()
+
+    def test_incremental_rounds_match_serial(self, pattern):
+        """Multi-round submit → run → submit traces are executor-identical."""
+
+        def drive(executor):
+            service = ShardedDecisionService(
+                pattern.schema,
+                ExecutionConfig.from_code(
+                    "PSE50", engine="batched", shards=2, executor=executor
+                ),
+            )
+            log = service.attach_log()
+            service.submit_stream([0.0, 1.0, 2.0], values=pattern.source_values)
+            round_one = (service.now, service.summary())
+            service.submit_stream(
+                [service.now, service.now + 1.0], values=pattern.source_values
+            )
+            service.submit(pattern.source_values)  # at=None: shard clock
+            service.run()
+            trace = {
+                "round_one": round_one,
+                "metrics": [h.metrics for h in service.handles],
+                "values": [h.value_map() for h in service.handles],
+                "stats": service.stats(),
+                "summary": service.summary(),
+                "log": [(type(e).__name__, e.time, e.instance_id) for e in log.events],
+                "now": service.now,
+            }
+            service.close()
+            return trace
+
+        serial = drive("serial")
+        process = drive("process")
+        assert process == serial
+
+    def test_run_until_supported(self, pattern):
+        """run(until=...) pauses the fleet mid-simulation, then resumes."""
+
+        def drive(executor):
+            service = ShardedDecisionService(
+                pattern.schema,
+                ExecutionConfig.from_code(
+                    "PSE50", shards=2, executor=executor
+                ),
+            )
+            service.submit_stream(
+                [0.0, 2.0, 4.0, 6.0], values=pattern.source_values, run=False
+            )
+            service.run(until=1.0)
+            partial = (service.now, service.summary().count)
+            service.run()
+            trace = (partial, service.now, service.summary())
+            service.close()
+            return trace
+
+        serial = drive("serial")
+        process = drive("process")
+        assert process == serial
+        (partial_now, partial_count), final_now, final_summary = serial
+        assert partial_now <= 1.0
+        assert final_summary.count == 4
+        assert final_now > partial_now
 
     def test_past_time_submission_rejected_up_front(self, pattern):
         service = ShardedDecisionService(
@@ -349,25 +422,35 @@ class TestProcessExecutor:
         with pytest.raises(ExecutionError, match="past time"):
             service.submit(pattern.source_values, at=-1.0)
 
-    def test_observers_must_attach_before_run(self, pattern):
+    def test_late_observer_attach_delivers_from_next_round(self, pattern):
+        """Observers may attach at any point; delivery starts next round."""
         service = ShardedDecisionService(
             pattern.schema, ExecutionConfig(shards=2, executor="process")
         )
         service.submit(pattern.source_values)
         service.run()
-        with pytest.raises(ExecutionError, match="before run"):
-            service.attach_log()
-        with pytest.raises(ExecutionError, match="before run"):
-            service.on_launch(lambda event: None)
+        log = service.attach_log()  # attached after a round has run
+        completions = []
+        service.on_instance_complete(lambda event: completions.append(event.instance_id))
+        assert len(log) == 0  # the first round's events are gone by contract
+        late = service.submit(pattern.source_values)
+        service.run()
+        assert late.done
+        assert len(log) > 0  # second round's events were delivered
+        assert completions == [late.instance_id]
+        assert all(e.instance_id != service.handles[0].instance_id for e in log.events)
+        service.close()
 
-    def test_non_declarative_schema_raises_helpfully(self):
+    def test_non_declarative_schema_raises_at_submit(self):
+        # Workers spawn lazily at the first submission, so the serialize
+        # failure surfaces there — before any process is forked.
         schema, source_values = diamond_schema()
         service = ShardedDecisionService(
             schema, ExecutionConfig(shards=2, executor="process")
         )
-        service.submit(source_values)
         with pytest.raises(ExecutionError, match="core.serialize"):
-            service.run()
+            service.submit(source_values)
+        assert service.handles == ()  # the rejected submission left no trace
 
     def test_non_plain_backend_options_raise_helpfully(self, pattern):
         from repro.simdb.profiler import DbFunction
@@ -381,9 +464,8 @@ class TestProcessExecutor:
                 backend_options={"db_function": DbFunction(((1.0, 10.0),))},
             ),
         )
-        service.submit(pattern.source_values)
         with pytest.raises(ExecutionError, match="db_function"):
-            service.run()
+            service.submit(pattern.source_values)
 
     def test_wait_drives_the_whole_round(self, pattern):
         service = ShardedDecisionService(
@@ -403,3 +485,252 @@ class TestProcessExecutor:
         assert len(handles) == 6
         assert all(h.done for h in handles)
         assert service.summary().count == 6
+        service.close()
+
+    def test_past_time_rejected_per_shard_between_rounds(self, pattern):
+        """The floor is each shard's own clock, exactly like serial."""
+
+        def drive(executor):
+            service = ShardedDecisionService(
+                pattern.schema,
+                ExecutionConfig.from_code("PSE50", shards=2, executor=executor),
+            )
+            service.submit_stream(
+                [0.0, 1.0, 2.0, 3.0], values=pattern.source_values
+            )
+            floors = tuple(stat.end_time for stat in service.stats())
+            outcome = {}
+            for shard, floor in enumerate(floors):
+                # An id pinned to this shard, submitted just before its
+                # own clock, must be rejected with the engine's message.
+                instance_id = _id_on_shard(shard, service.shards, f"late-{executor}")
+                with pytest.raises(ExecutionError, match="past time"):
+                    service.submit(
+                        pattern.source_values, at=floor - 0.5, instance_id=instance_id
+                    )
+                outcome[shard] = floor
+            count = service.summary().count
+            service.close()
+            return outcome, count
+
+        serial = drive("serial")
+        process = drive("process")
+        assert process == serial
+
+    def test_worker_crash_surfaces_named_error(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig(shards=2, executor="process")
+        )
+        service.submit(pattern.source_values)
+        service.run()
+        executor = service._executor
+        victim = executor._workers[0].process
+        victim.kill()
+        victim.join(timeout=10.0)
+        assert not victim.is_alive()
+        assert service.worker_health()["alive"] is False
+        service.submit(pattern.source_values)
+        with pytest.raises(ExecutionError, match=r"shard 0 worker .* died"):
+            service.run()
+        service.close()
+
+    def test_close_is_idempotent_and_final(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig(shards=2, executor="process")
+        )
+        handle = service.submit(pattern.source_values)
+        service.run()
+        pids = [w["pid"] for w in service.worker_health()["workers"]]
+        assert len(pids) == 2
+        service.close()
+        service.close()  # idempotent
+        # Cached results stay readable after close...
+        assert handle.done
+        assert service.summary().count == 1
+        # ...but the fleet cannot be driven further.
+        with pytest.raises(ExecutionError, match="closed"):
+            service.submit(pattern.source_values)
+        with pytest.raises(ExecutionError, match="closed"):
+            service.run()
+
+    def test_worker_health_lifecycle(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig(shards=3, executor="process")
+        )
+        health = service.worker_health()
+        assert health == {
+            "executor": "process", "spawned": False, "alive": True, "workers": [],
+        }
+        service.submit(pattern.source_values)  # lazy spawn happens here
+        health = service.worker_health()
+        assert health["spawned"] is True and health["alive"] is True
+        assert [w["shard"] for w in health["workers"]] == [0, 1, 2]
+        assert all(w["alive"] for w in health["workers"])
+        service.close()
+        assert service.worker_health()["alive"] is False
+
+    def test_serial_worker_health_is_trivially_alive(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig(shards=2, executor="serial")
+        )
+        assert service.worker_health() == {
+            "executor": "serial", "spawned": False, "alive": True, "workers": [],
+        }
+        service.close()  # no-op, but the method exists on both executors
+
+    def test_snapshots_read_live_worker_state(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema, ExecutionConfig(shards=2, executor="process")
+        )
+        service.submit_stream([0.0, 1.0, 2.0], values=pattern.source_values)
+        snapshots = service._executor.snapshots()
+        assert [s["shard"] for s in snapshots] == [0, 1]
+        assert sum(s["instances"] for s in snapshots) == 3
+        assert sum(s["completed"] for s in snapshots) == 3
+        stats = service.stats()
+        assert [s["now"] for s in snapshots] == [st.end_time for st in stats]
+        service.close()
+
+
+def _id_on_shard(shard: int, shards: int, prefix: str) -> str:
+    """An instance id whose CRC-32 home is *shard*."""
+    for index in range(10_000):
+        candidate = f"{prefix}-{index}"
+        if shard_of(candidate, shards) == shard:
+            return candidate
+    raise AssertionError("no id found")  # pragma: no cover
+
+
+# -- placement policies --------------------------------------------------------
+
+
+class TestPlacement:
+    def test_least_loaded_spreads_round_robin_from_empty(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema,
+            ExecutionConfig(shards=3, placement="least-loaded"),
+        )
+        handles = [
+            service.submit(pattern.source_values, at=float(i), instance_id=f"skew#{i}")
+            for i in range(6)
+        ]
+        # All ids would hash wherever they like; least-loaded ignores the
+        # hash and balances: ties break to the lowest shard index.
+        assert [h.shard for h in handles] == [0, 1, 2, 0, 1, 2]
+        # Routed ids resolve to their assigned shard, not the CRC home.
+        assert service.shard_of("skew#0") == 0
+
+    def test_least_loaded_counters_rebalance_after_drain(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema,
+            ExecutionConfig.from_code("PSE50", shards=2, placement="least-loaded"),
+        )
+        service.submit(pattern.source_values)
+        service.submit(pattern.source_values)
+        service.run()  # both done; in-flight load back to zero everywhere
+        late = service.submit(pattern.source_values)
+        assert late.shard == 0  # fresh tie breaks to the lowest index again
+
+    def test_least_loaded_identical_across_executors(self, pattern):
+        def drive(executor):
+            service = ShardedDecisionService(
+                pattern.schema,
+                ExecutionConfig.from_code(
+                    "PSE50",
+                    engine="batched",
+                    shards=3,
+                    executor=executor,
+                    placement="least-loaded",
+                ),
+            )
+            service.submit_stream(
+                [0.0, 1.0, 2.0, 3.0, 4.0], values=pattern.source_values
+            )
+            service.submit_stream(
+                [service.now, service.now + 1.0], values=pattern.source_values
+            )
+            trace = {
+                "shards": [h.shard for h in service.handles],
+                "metrics": [h.metrics for h in service.handles],
+                "summary": service.summary(),
+                "stats": service.stats(),
+            }
+            service.close()
+            return trace
+
+        serial = drive("serial")
+        process = drive("process")
+        assert process == serial
+
+    def test_rejected_submission_rolls_back_load_accounting(self, pattern):
+        service = ShardedDecisionService(
+            pattern.schema,
+            ExecutionConfig.from_code("PSE50", shards=2, placement="least-loaded"),
+        )
+        with pytest.raises(ExecutionError, match="past time"):
+            service.submit(pattern.source_values, at=-1.0)
+        assert service._assigned == [0, 0]
+        assert service._routes == {}
+        # The next valid submission still starts the rotation at shard 0.
+        assert service.submit(pattern.source_values).shard == 0
+
+
+# -- the shared L2 query tier, end to end --------------------------------------
+
+
+class TestSharedL2Tier:
+    def _trace(self, pattern, executor, rounds):
+        """Drive *rounds* batches of the same population; return counters."""
+        service = ShardedDecisionService(
+            pattern.schema,
+            ExecutionConfig.from_code(
+                "PSE50", engine="batched", shards=2, executor=executor,
+                query_cache=True,
+            ),
+        )
+        for round_index in range(rounds):
+            for index in range(8):
+                # Same source rows every round, but each round lands on
+                # the *other* shard — its own L1 is cold there, so reuse
+                # can only come from the cross-shard L2 tier.
+                service.submit(
+                    pattern.source_values,
+                    instance_id=_id_on_shard(round_index % 2, 2, f"r{round_index}-{index}"),
+                )
+            service.run()
+        cache = service.summary()
+        trace = {
+            "l2_hits": cache.query_cache_l2_hits,
+            "l2_misses": cache.query_cache_l2_misses,
+            "l2_promotions": cache.query_cache_l2_promotions,
+            "l1_hits": cache.query_cache_hits,
+            "summary": cache,
+            "values": [h.value_map() for h in service.handles],
+            "now": service.now,
+        }
+        service.close()
+        return trace
+
+    def test_cross_shard_hits_materialize_across_rounds(self, pattern):
+        trace = self._trace(pattern, "serial", rounds=2)
+        assert trace["l2_promotions"] > 0  # round 1 published its keys
+        assert trace["l2_hits"] > 0  # round 2 reused them across shards
+
+    def test_l2_counters_identical_across_executors(self, pattern):
+        serial = self._trace(pattern, "serial", rounds=3)
+        process = self._trace(pattern, "process", rounds=3)
+        assert process == serial
+        assert serial["l2_hits"] > 0
+
+    def test_single_round_runs_never_observe_the_tier(self, pattern):
+        trace = self._trace(pattern, "process", rounds=1)
+        assert trace["l2_hits"] == 0  # nothing committed before the only round
+        assert trace["l2_promotions"] > 0  # but keys were published for later
+
+    def test_tier_only_armed_with_cache_and_multiple_shards(self, pattern):
+        from repro.runtime.executors import _l2_tier
+
+        config = ExecutionConfig(query_cache=True, shards=2)
+        assert _l2_tier(config, 2) is not None
+        assert _l2_tier(config, 1) is None
+        assert _l2_tier(config.replace(query_cache=False), 2) is None

@@ -15,7 +15,6 @@ import pytest
 
 from repro import ExecutionConfig, PatternParams, generate_pattern
 from repro.core.metrics import MetricsSummary
-from repro.errors import ExecutionError
 from repro.server import STATUSES, RunStore, ServerDaemon
 
 WAIT = 30.0  # generous wall-clock bound; every wait in here is event-driven
@@ -173,11 +172,6 @@ class TestAdmissionControl:
 
 
 class TestValidation:
-    def test_process_executor_rejected(self, make_daemon):
-        config = ExecutionConfig.from_code("PSE80", shards=2, executor="process")
-        with pytest.raises(ExecutionError, match="serial"):
-            make_daemon(config)
-
     def test_high_water_bounds_checked(self, make_daemon):
         with pytest.raises(ValueError, match="high_water"):
             make_daemon(high_water=0)
@@ -252,6 +246,58 @@ class TestShardedService:
         payload = daemon.metrics_payload()
         assert payload["config"]["shards"] == 2
         assert payload["config"]["query_cache"] is True
+
+    def test_process_executor_daemon_drains_across_epochs(self, make_daemon):
+        """The persistent-worker fleet serves the open system: multiple
+        drain epochs stream rounds to the same long-lived workers."""
+        config = ExecutionConfig.from_code(
+            "PSE80", shards=2, executor="process", query_cache=True
+        )
+        daemon = make_daemon(config)
+        first = daemon.submit_many([None] * 4).accepted
+        assert daemon.wait_idle(WAIT)
+        assert all(daemon.get(i)["status"] == "done" for i in first)
+        pids_before = [
+            w["pid"] for w in daemon.health()[1]["workers"]["workers"]
+        ]
+        second = daemon.submit_many([None] * 4).accepted
+        assert daemon.wait_idle(WAIT)
+        assert all(daemon.get(i)["status"] == "done" for i in second)
+        health_ok, payload = daemon.health()
+        assert health_ok
+        workers = payload["workers"]
+        assert workers["executor"] == "process"
+        assert workers["alive"] is True
+        # Same pids across epochs: the fleet persisted, nothing respawned.
+        assert [w["pid"] for w in workers["workers"]] == pids_before
+        summary = daemon.summary()
+        assert summary.count == 8
+        # Epoch 2 reused epoch 1's committed keys through the L2 tier
+        # wherever the population crossed shards; at minimum the L2
+        # counters are live and consistent with the JSON payload.
+        metrics = daemon.metrics_payload()["summary"]
+        assert metrics["query_cache_l2_hits"] == summary.query_cache_l2_hits
+        assert (
+            metrics["query_cache_l2_promotions"]
+            == summary.query_cache_l2_promotions
+        )
+        assert summary.query_cache_l2_promotions > 0
+        assert daemon.shutdown()
+        assert daemon.service.worker_health()["alive"] is False
+
+    def test_dead_worker_flips_daemon_health(self, make_daemon):
+        config = ExecutionConfig.from_code("PSE80", shards=2, executor="process")
+        daemon = make_daemon(config)
+        ids = daemon.submit_many([None] * 2).accepted
+        assert daemon.wait_idle(WAIT)
+        assert all(daemon.get(i)["status"] == "done" for i in ids)
+        victim = daemon.service._executor._workers[0].process
+        victim.kill()
+        victim.join(timeout=10.0)
+        ok, payload = daemon.health()
+        assert ok is False
+        assert payload["status"] == "workers-dead"
+        assert payload["workers"]["alive"] is False
 
 
 class TestMetricsPayload:

@@ -436,3 +436,146 @@ def test_multiple_shards_actually_used():
     service.run()
     assert len({h.shard for h in handles}) == 4
     assert all(h.done for h in handles)
+
+
+# -- ring 6: persistent workers run multi-round, and are the serial executor ---
+
+
+def plain_backend_options(backend: str, seed: int) -> dict:
+    """Backend options that survive ``core.serialize`` to the workers.
+
+    Persistent workers receive their config as plain data, so the
+    profiled backend profiles its Db function on demand (seeded, hence
+    identical in every shard and on both executors) instead of taking
+    the suite's prebuilt :data:`RISING_DB` object.
+    """
+    if backend == "profiled":
+        return {"seed": seed, "completions_per_level": 120, "warmup": 40}
+    return {"seed": seed, "failure_prob": 0.0}
+
+
+def run_rounds(pattern, config: ExecutionConfig, executor: str, batches) -> dict:
+    """Drive several submit→run rounds on one service; trace everything."""
+    service = ShardedDecisionService(
+        pattern.schema, config.replace(executor=executor)
+    )
+    log = service.attach_log()
+    per_round = []
+    for arrivals in batches:
+        service.submit_stream(arrivals, values=pattern.source_values)
+        summary = service.summary()
+        per_round.append(
+            (service.now, summary.count, summary.query_cache_l2_hits)
+        )
+    stats = service.stats()
+    trace = {
+        "per_round": per_round,
+        "values": [
+            (h.instance_id, h.done,
+             tuple(sorted((n, repr(v)) for n, v in h.value_map().items())))
+            for h in service.handles
+        ],
+        "metrics": [
+            tuple(getattr(h.metrics, name) for name in METRIC_FIELDS)
+            for h in service.handles
+        ],
+        "totals": (
+            sum(s.total_units for s in stats),
+            sum(s.queries_completed for s in stats),
+            sum(s.queries_cancelled for s in stats),
+            sum(s.queries_failed for s in stats),
+        ),
+        "events": [project_event(e) for e in log.events],
+        "summary": service.summary(),
+        "health": service.worker_health()["alive"],
+    }
+    service.close()
+    return trace
+
+
+@pytest.mark.parametrize("cohorts", [False, True], ids=["individual", "cohorted"])
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("backend", ["ideal", "profiled", "bounded"])
+def test_persistent_multi_round_matches_serial(backend, engine, cohorts):
+    """Three incremental rounds on one worker fleet — L2 tier armed —
+    reproduce the serial executor's trace bit for bit: values, every
+    metrics counter (L1 and L2 cache counters included via the summary),
+    database totals, and the merged event stream."""
+    seed = 13
+    pattern = scenario_pattern(seed, nb_nodes=16 if backend == "bounded" else 24)
+    code = "PSE100" if cohorts else "PSE50"
+    config = build_config(
+        code, backend, engine, seed, shards=2,
+        dispatch="pooled", query_cache=True, cohorts=cohorts,
+    ).replace(backend_options=plain_backend_options(backend, seed))
+    batches = [
+        [0.0, 0.0, 0.0, 1.5],  # a same-instant burst (the cohort case)
+        [NO_OVERLAP, NO_OVERLAP, NO_OVERLAP + 1.5],
+        [2 * NO_OVERLAP, 2 * NO_OVERLAP],
+    ]
+    serial = run_rounds(pattern, config, "serial", batches)
+    process = run_rounds(pattern, config, "process", batches)
+    assert process["values"] == serial["values"]
+    assert process["metrics"] == serial["metrics"]
+    assert process["totals"] == serial["totals"]
+    assert Counter(process["events"]) == Counter(serial["events"])
+    assert process["per_round"] == serial["per_round"]
+    assert process["summary"] == serial["summary"]
+    assert serial["health"] and process["health"]
+    assert serial["summary"].count == 9
+
+
+def _pin_to_shard(shard: int, shards: int, prefix: str) -> str:
+    from repro.runtime import shard_of
+
+    for index in range(10_000):
+        candidate = f"{prefix}-{index}"
+        if shard_of(candidate, shards) == shard:
+            return candidate
+    raise AssertionError("no id found")  # pragma: no cover
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("backend", ["ideal", "profiled"])
+def test_cross_shard_l2_reuse_matches_serial(backend, engine):
+    """A population whose rounds alternate shards — each round's shard
+    has a cold L1, so reuse can only cross the shard split through the
+    L2 tier — produces real cross-shard hits, identically on both
+    executors."""
+    seed = 17
+    pattern = scenario_pattern(seed)
+    config = build_config(
+        "PSE50", backend, engine, seed, shards=2, query_cache=True
+    ).replace(backend_options=plain_backend_options(backend, seed))
+
+    def drive(executor):
+        service = ShardedDecisionService(
+            pattern.schema, config.replace(executor=executor)
+        )
+        for round_index in range(3):
+            for index in range(6):
+                service.submit(
+                    pattern.source_values,
+                    instance_id=_pin_to_shard(
+                        round_index % 2, 2, f"r{round_index}-{index}"
+                    ),
+                )
+            service.run()
+        trace = {
+            "values": [
+                (h.instance_id,
+                 tuple(sorted((n, repr(v)) for n, v in h.value_map().items())))
+                for h in service.handles
+            ],
+            "summary": service.summary(),
+        }
+        service.close()
+        return trace
+
+    serial = drive("serial")
+    process = drive("process")
+    assert process == serial
+    summary = serial["summary"]
+    assert summary.query_cache_l2_promotions > 0
+    assert summary.query_cache_l2_hits > 0  # real cross-shard reuse
+    assert summary.count == 18
